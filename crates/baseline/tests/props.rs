@@ -1,0 +1,117 @@
+//! Property tests: every baseline index matches a `HashMap<sig, ppa>`
+//! model under arbitrary op sequences (the same contract RHIK's property
+//! suite enforces — all four schemes must be interchangeable behind
+//! `IndexBackend`).
+
+use proptest::prelude::*;
+use rhik_baseline::{LsmConfig, LsmIndex, MultiLevelConfig, MultiLevelIndex, SimpleHashIndex};
+use rhik_ftl::{Ftl, FtlConfig, IndexBackend, IndexError};
+use rhik_nand::{NandGeometry, Ppa};
+use rhik_sigs::KeySignature;
+use std::collections::HashMap;
+
+fn mix(n: u64) -> u64 {
+    let mut z = n.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn big_ftl() -> Ftl {
+    Ftl::new(FtlConfig {
+        geometry: NandGeometry {
+            blocks: 1024,
+            pages_per_block: 8,
+            page_size: 512,
+            spare_size: 16,
+            channels: 2,
+        },
+        ..FtlConfig::tiny()
+    })
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u16, u8),
+    Remove(u16),
+    Lookup(u16),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, p)| Op::Insert(k, p)),
+        2 => any::<u16>().prop_map(Op::Remove),
+        3 => any::<u16>().prop_map(Op::Lookup),
+        1 => Just(Op::Flush),
+    ]
+}
+
+/// Drive any index against the model; returns false if the index reported
+/// a capacity limit (legitimate for the capped baselines).
+fn check_against_model<I: IndexBackend>(
+    mut idx: I,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let mut ftl = big_ftl();
+    let mut model: HashMap<u64, Ppa> = HashMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, p) => {
+                let sig = KeySignature(mix(*k as u64));
+                let ppa = Ppa::new(*p as u32 % 512, *p as u32 % 8);
+                match idx.insert(&mut ftl, sig, ppa) {
+                    Ok(_) => {
+                        model.insert(sig.0, ppa);
+                    }
+                    Err(IndexError::TableFull { .. }) | Err(IndexError::CapacityExhausted) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("insert: {e}"))),
+                }
+            }
+            Op::Remove(k) => {
+                let sig = KeySignature(mix(*k as u64));
+                let got = idx.remove(&mut ftl, sig).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+                prop_assert_eq!(got, model.remove(&sig.0));
+            }
+            Op::Lookup(k) => {
+                let sig = KeySignature(mix(*k as u64));
+                let got = idx.lookup(&mut ftl, sig).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+                prop_assert_eq!(got, model.get(&sig.0).copied());
+            }
+            Op::Flush => idx.flush(&mut ftl).map_err(|e| TestCaseError::fail(format!("{e}")))?,
+        }
+        prop_assert_eq!(idx.len(), model.len() as u64);
+    }
+    for (&raw, &ppa) in &model {
+        let got = idx
+            .lookup(&mut ftl, KeySignature(raw))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(got, Some(ppa));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn multilevel_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        check_against_model(
+            MultiLevelIndex::new(MultiLevelConfig { initial_bits: 1, max_levels: 8, hop_width: 16 }, 512),
+            &ops,
+        )?;
+    }
+
+    #[test]
+    fn simple_hash_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        check_against_model(SimpleHashIndex::new(3, 16, 512), &ops)?;
+    }
+
+    #[test]
+    fn lsm_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        check_against_model(
+            LsmIndex::new(LsmConfig { memtable_records: 24, max_runs_per_level: 3, max_levels: 4 }),
+            &ops,
+        )?;
+    }
+}

@@ -1,0 +1,253 @@
+//! Criterion micro-benchmarks: real CPU cost of the core structures.
+//!
+//! These complement the simulated-time figure harnesses: Criterion numbers
+//! are host wall-clock for the firmware data structures themselves
+//! (hashing, hopscotch tables, page codecs, cache, index ops, resize
+//! migration, device put/get path).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rhik_baseline::{MultiLevelConfig, MultiLevelIndex};
+use rhik_core::{RecordTable, RhikConfig, RhikIndex};
+use rhik_ftl::cache::IndexPageCache;
+use rhik_ftl::layout::PageBuilder;
+use rhik_ftl::{Ftl, FtlConfig, IndexBackend};
+use rhik_kvssd::{DeviceConfig, KvssdDevice};
+use rhik_nand::{NandGeometry, Ppa};
+use rhik_sigs::{murmur2_64a, murmur3_x64_128, KeySignature, SigHasher};
+use std::hint::black_box;
+
+fn mix(n: u64) -> KeySignature {
+    let mut z = n.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    KeySignature(z ^ (z >> 31))
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    for len in [16usize, 128, 1024] {
+        let key = vec![0xabu8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(format!("murmur2_64a/{len}B"), |b| {
+            b.iter(|| murmur2_64a(black_box(&key), 7))
+        });
+        g.bench_function(format!("murmur3_128/{len}B"), |b| {
+            b.iter(|| murmur3_x64_128(black_box(&key), 7))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hopscotch_table(c: &mut Criterion) {
+    let records = RhikConfig::records_per_table(32 * 1024);
+    let mut g = c.benchmark_group("record_table");
+
+    g.bench_function("insert_to_80pct", |b| {
+        b.iter_batched(
+            || RecordTable::new(records, 32),
+            |mut t| {
+                for i in 0..(records as u64 * 8 / 10) {
+                    let _ = t.insert(mix(i), Ppa::new(0, 0));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut table = RecordTable::new(records, 32);
+    for i in 0..(records as u64 * 8 / 10) {
+        let _ = table.insert(mix(i), Ppa::new(0, 0));
+    }
+    g.bench_function("lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % (records as u64 * 8 / 10);
+            black_box(table.lookup(mix(i)))
+        })
+    });
+    g.bench_function("lookup_miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(table.lookup(mix(1_000_000_000 + i)))
+        })
+    });
+    g.bench_function("to_page_32k", |b| b.iter(|| black_box(table.to_page(32 * 1024))));
+    let page = table.to_page(32 * 1024);
+    g.bench_function("from_page_32k", |b| {
+        b.iter(|| black_box(RecordTable::from_page(&page, records, 32)))
+    });
+    g.finish();
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_layout");
+    g.bench_function("pack_64_pairs_4k", |b| {
+        b.iter(|| {
+            let mut builder = PageBuilder::new(4096);
+            for i in 0..64u64 {
+                if !builder.fits(16, 24) {
+                    break;
+                }
+                builder.append_pair(mix(i), b"bench-key-16byte", &[1u8; 24], 0);
+            }
+            black_box(builder.finish())
+        })
+    });
+    let mut builder = PageBuilder::new(4096);
+    for i in 0..64u64 {
+        if !builder.fits(16, 24) {
+            break;
+        }
+        builder.append_pair(mix(i), b"bench-key-16byte", &[1u8; 24], 0);
+    }
+    let page = builder.finish();
+    g.bench_function("decode_64_pairs_4k", |b| {
+        b.iter(|| black_box(rhik_ftl::layout::decode_head(&page, 4096)))
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_page_cache");
+    g.bench_function("hit", |b| {
+        let mut cache = IndexPageCache::new(1 << 20);
+        for k in 0..32u64 {
+            cache.insert(k, bytes::Bytes::from(vec![0u8; 4096]), false);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 32;
+            black_box(cache.get(k))
+        })
+    });
+    g.bench_function("insert_evict", |b| {
+        let mut cache = IndexPageCache::new(64 * 4096);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(cache.insert(k, bytes::Bytes::from(vec![0u8; 4096]), k.is_multiple_of(2)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_ftl() -> Ftl {
+    Ftl::new(FtlConfig {
+        geometry: NandGeometry {
+            blocks: 4096,
+            pages_per_block: 64,
+            page_size: 4096,
+            spare_size: 128,
+            channels: 4,
+        },
+        ..FtlConfig::tiny()
+    })
+}
+
+fn bench_index_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_ops");
+    g.sample_size(20);
+
+    g.bench_function("rhik_insert_10k", |b| {
+        b.iter_batched(
+            || (bench_ftl(), RhikIndex::new(RhikConfig::default(), 4096)),
+            |(mut ftl, mut idx)| {
+                for i in 0..10_000u64 {
+                    idx.insert(&mut ftl, mix(i), Ppa::new(0, 0)).unwrap();
+                }
+                (ftl, idx)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("multilevel_insert_10k", |b| {
+        b.iter_batched(
+            || {
+                (
+                    bench_ftl(),
+                    MultiLevelIndex::new(MultiLevelConfig::default(), 4096),
+                )
+            },
+            |(mut ftl, mut idx)| {
+                for i in 0..10_000u64 {
+                    idx.insert(&mut ftl, mix(i), Ppa::new(0, 0)).unwrap();
+                }
+                (ftl, idx)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let mut ftl = bench_ftl();
+    let mut idx = RhikIndex::new(RhikConfig::default(), 4096);
+    for i in 0..50_000u64 {
+        idx.insert(&mut ftl, mix(i), Ppa::new(0, 0)).unwrap();
+    }
+    g.bench_function("rhik_lookup_warm", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 50_000;
+            black_box(idx.lookup(&mut ftl, mix(i)).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_device_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device");
+    g.sample_size(20);
+    let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+    let mut i = 0u64;
+    g.bench_function("put_256B", |b| {
+        b.iter(|| {
+            i += 1;
+            // Overwrite a rolling window so the device never fills.
+            let key = format!("bench-{:08}", i % 10_000);
+            dev.put(key.as_bytes(), &[7u8; 256]).unwrap();
+        })
+    });
+    g.bench_function("get_hit_256B", |b| {
+        let mut j = 0u64;
+        b.iter(|| {
+            j = (j + 1) % (i % 10_000).max(1);
+            let key = format!("bench-{j:08}");
+            black_box(dev.get(key.as_bytes()).unwrap())
+        })
+    });
+    g.bench_function("exist_signature_only", |b| {
+        let mut j = 0u64;
+        b.iter(|| {
+            j += 1;
+            let key = format!("bench-{:08}", j % 20_000);
+            black_box(dev.exist(key.as_bytes()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_hasher_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sig_hasher");
+    let key = b"dispatch-bench-key";
+    for hasher in [
+        SigHasher::Murmur2 { seed: 1 },
+        SigHasher::Murmur3Folded { seed: 1 },
+        SigHasher::Fnv1a { seed: 1 },
+    ] {
+        g.bench_function(format!("{hasher:?}"), |b| b.iter(|| hasher.sign(black_box(key))));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_hopscotch_table,
+    bench_layout,
+    bench_cache,
+    bench_index_ops,
+    bench_device_path,
+    bench_hasher_dispatch,
+);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Fig. 2 — motivation: write bandwidth collapses as the (Samsung-style)
+//! multi-level hash index outgrows the SSD DRAM cache.
+//!
+//! Four panels, small values to tiny values: (a) few keys — the index fits
+//! DRAM and bandwidth holds to full utilization; (b)-(d) progressively more
+//! keys — the index outgrows the cache, every store pays multi-level flash
+//! probes, and bandwidth drops. The vertical lines of the paper (index
+//! growth points) are reported as the utilizations where a new level was
+//! appended.
+//!
+//! Scaled per DESIGN.md: the shape (who degrades, when) is the deliverable,
+//! not the absolute GB/s of a 3.84 TB device.
+//!
+//! ```sh
+//! cargo run -p rhik-bench --release --bin fig2 [--scale full]
+//! ```
+
+use rhik_baseline::MultiLevelConfig;
+use rhik_bench::{fmt_bytes, render_table, Scale};
+use rhik_ftl::GcConfig;
+use rhik_kvssd::{DeviceConfig, EngineMode, KvError, KvssdDevice};
+use rhik_nand::{DeviceProfile, NandGeometry};
+use rhik_sigs::SigHasher;
+
+struct Panel {
+    label: &'static str,
+    value_bytes: usize,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    // Raw flash: 32 MiB blocks would be huge; use 4 KiB pages x 64/block so
+    // the emulated device stays host-RAM friendly while the cache:index
+    // ratios match the paper's regimes.
+    let capacity: u64 = scale.pick(96 << 20, 512 << 20);
+    let cache_budget: usize = scale.pick(48 << 10, 192 << 10);
+    let pages_per_block: u32 = scale.pick(64, 256);
+    let geometry = NandGeometry {
+        blocks: (capacity / (pages_per_block as u64 * 4096)) as u32,
+        pages_per_block,
+        page_size: 4096,
+        spare_size: 128,
+        channels: 8,
+    };
+
+    let panels = [
+        Panel { label: "(a) few keys, large values", value_bytes: scale.pick(128 << 10, 512 << 10) },
+        Panel { label: "(b) more keys", value_bytes: scale.pick(32 << 10, 64 << 10) },
+        Panel { label: "(c) many keys", value_bytes: scale.pick(4 << 10, 4 << 10) },
+        Panel { label: "(d) key-count extreme", value_bytes: scale.pick(192, 192) },
+    ];
+
+    println!("=== Fig. 2: write bandwidth vs utilization (multi-level index) ===");
+    println!(
+        "device {} | cache {} | page {} | values per panel scaled from the paper's 2MB/32KB/2KB/11B\n",
+        fmt_bytes(capacity),
+        fmt_bytes(cache_budget as u64),
+        fmt_bytes(geometry.page_size as u64),
+    );
+
+    let mut emitted = Vec::new();
+    for panel in &panels {
+        let cfg = DeviceConfig {
+            geometry,
+            profile: DeviceProfile::kvemu_like(),
+            cache_budget_bytes: cache_budget,
+            gc: GcConfig { low_watermark: 3, high_watermark: 6, ..Default::default() },
+            gc_reserve_blocks: 2,
+            engine: EngineMode::Async { queue_depth: 32 },
+            hasher: SigHasher::default(),
+            rhik: rhik_core::RhikConfig::default(),
+        };
+        let mut dev = KvssdDevice::multilevel(
+            cfg,
+            MultiLevelConfig { initial_bits: 1, max_levels: 8, hop_width: 32 },
+        );
+
+        let value = vec![0x42u8; panel.value_bytes];
+        let target_util = 0.85;
+        let mut series: Vec<(f64, f64)> = Vec::new(); // (utilization, MB/s)
+        let mut window_bytes = 0u64;
+        let mut window_start = dev.elapsed_secs();
+        let mut next_checkpoint = 0.05f64;
+        let mut i = 0u64;
+        let mut full = false;
+
+        while dev.utilization() < target_util && !full {
+            let key = format!("fig2-{}-{i:010}", panel.value_bytes);
+            match dev.put(key.as_bytes(), &value) {
+                Ok(()) => window_bytes += value.len() as u64,
+                Err(KvError::DeviceFull) => full = true,
+                Err(KvError::KeyRejected) | Err(KvError::KeyCollision) => {}
+                Err(KvError::IndexFull) => full = true,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+            i += 1;
+            if dev.utilization() >= next_checkpoint {
+                let now = dev.elapsed_secs();
+                let mbps = window_bytes as f64 / 1e6 / (now - window_start).max(1e-9);
+                series.push((dev.utilization(), mbps));
+                window_bytes = 0;
+                window_start = now;
+                next_checkpoint += 0.05;
+            }
+        }
+
+        let peak = series.iter().map(|s| s.1).fold(0.0f64, f64::max);
+        println!("{} — {} keys, value {}", panel.label, dev.key_count(), fmt_bytes(panel.value_bytes as u64));
+        let growth: Vec<String> = dev
+            .index()
+            .growth_points()
+            .iter()
+            .map(|k| format!("{k}"))
+            .collect();
+        println!(
+            "  index: {} levels (growth at keys: {})",
+            dev.index().level_count(),
+            if growth.is_empty() { "none".to_string() } else { growth.join(", ") }
+        );
+        let mut rows = vec![vec!["utilization".to_string(), "write MB/s (sim)".to_string(), "normalized".to_string()]];
+        for (u, mbps) in &series {
+            rows.push(vec![
+                format!("{:.0}%", u * 100.0),
+                format!("{mbps:.1}"),
+                format!("{:.2}", mbps / peak),
+            ]);
+        }
+        print!("{}", render_table(&rows));
+        let last_norm = series.last().map(|s| s.1 / peak).unwrap_or(0.0);
+        println!("  end-of-fill bandwidth = {:.2}x of peak\n", last_norm);
+        emitted.push(serde_json::json!({
+            "panel": panel.label,
+            "value_bytes": panel.value_bytes,
+            "keys": dev.key_count(),
+            "levels": dev.index().level_count(),
+            "growth_points": dev.index().growth_points(),
+            "series": series.iter().map(|(u, m)| serde_json::json!({"util": u, "mbps": m})).collect::<Vec<_>>(),
+        }));
+    }
+
+    println!("shape check: panel (a) should stay near 1.0 to the end; panels (b)-(d)");
+    println!("should sag progressively harder as the index outgrows the {} cache.", fmt_bytes(cache_budget as u64));
+    rhik_bench::emit_json("fig2", &serde_json::json!({ "panels": emitted }));
+}

@@ -1,0 +1,148 @@
+//! Fig. 6 — I/O performance: normalized throughput vs value size for
+//! writes/reads in async/sync mode, across three systems:
+//!
+//! * **KVSSD**  — multi-level index + PM983-like timing profile (the real
+//!   device stand-in; see DESIGN.md "Substitutions"),
+//! * **KVEMU**  — multi-level index + KVEMU-like timing profile,
+//! * **RHIK**   — this paper's index + KVEMU-like timing profile.
+//!
+//! Each cell runs a fixed-volume sequential workload (the paper uses 1 GB;
+//! scaled here), reporting simulated MB/s, normalized to the KVSSD column
+//! so "who wins by what factor" is directly visible.
+//!
+//! ```sh
+//! cargo run -p rhik-bench --release --bin fig6 [--scale full]
+//! ```
+
+use rhik_baseline::{MultiLevelConfig, MultiLevelIndex};
+use rhik_bench::{fmt_bytes, render_table, Scale};
+use rhik_core::RhikIndex;
+use rhik_ftl::GcConfig;
+use rhik_kvssd::{DeviceConfig, EngineMode, KvssdDevice};
+use rhik_nand::{DeviceProfile, NandGeometry};
+use rhik_sigs::SigHasher;
+use rhik_workloads::driver::WorkloadDriver;
+use rhik_workloads::keygen::{KeyStream, Keygen};
+
+#[derive(Clone, Copy, PartialEq)]
+enum System {
+    Kvssd,
+    Kvemu,
+    Rhik,
+}
+
+impl System {
+    fn name(self) -> &'static str {
+        match self {
+            System::Kvssd => "KVSSD",
+            System::Kvemu => "KVEMU",
+            System::Rhik => "RHIK",
+        }
+    }
+
+    fn profile(self) -> DeviceProfile {
+        match self {
+            System::Kvssd => DeviceProfile::pm983_like(),
+            System::Kvemu | System::Rhik => DeviceProfile::kvemu_like(),
+        }
+    }
+}
+
+fn device_config(sys: System, engine: EngineMode, scale: Scale) -> DeviceConfig {
+    DeviceConfig {
+        geometry: NandGeometry {
+            blocks: scale.pick(512, 1024),
+            pages_per_block: 256,
+            page_size: 4096,
+            spare_size: 128,
+            channels: 8,
+        },
+        profile: sys.profile(),
+        cache_budget_bytes: scale.pick(24 << 10, 96 << 10),
+        gc: GcConfig { low_watermark: 3, high_watermark: 6, ..Default::default() },
+        gc_reserve_blocks: 2,
+        engine,
+        hasher: SigHasher::default(),
+        rhik: rhik_core::RhikConfig { initial_dir_bits: 2, ..Default::default() },
+    }
+}
+
+/// Run write-then-read at one value size; returns (write MB/s, read MB/s).
+fn run_cell(sys: System, engine: EngineMode, value_bytes: usize, total_bytes: u64, scale: Scale) -> (f64, f64) {
+    let count = (total_bytes / value_bytes as u64).max(16);
+    let cfg = device_config(sys, engine, scale);
+
+    macro_rules! drive {
+        ($dev:expr) => {{
+            let mut dev = $dev;
+            let mut wgen = Keygen::new(KeyStream::Sequential, 16, 7);
+            let w = WorkloadDriver::fill(&mut dev, &mut wgen, count, value_bytes).expect("fill");
+            let mut rgen = Keygen::new(KeyStream::Sequential, 16, 7);
+            let r = WorkloadDriver::read(&mut dev, &mut rgen, count).expect("read");
+            (w.bytes_per_sec() / 1e6, r.bytes_per_sec() / 1e6)
+        }};
+    }
+
+    match sys {
+        System::Rhik => drive!(KvssdDevice::<RhikIndex>::rhik(cfg)),
+        _ => drive!(KvssdDevice::<MultiLevelIndex>::multilevel(
+            cfg,
+            MultiLevelConfig { initial_bits: 2, max_levels: 8, hop_width: 32 },
+        )),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let total_bytes: u64 = scale.pick(24 << 20, 256 << 20);
+    let systems = [System::Kvssd, System::Kvemu, System::Rhik];
+
+    println!("=== Fig. 6: normalized throughput vs value size (16 B keys) ===");
+    println!("volume per cell: {}\n", fmt_bytes(total_bytes));
+
+    let mut emitted = Vec::new();
+    for (panel, engine, sizes, is_write) in [
+        ("(a) async writes", EngineMode::Async { queue_depth: 32 }, [4 << 10, 64 << 10, 256 << 10, 1 << 20], true),
+        ("(b) async reads", EngineMode::Async { queue_depth: 32 }, [4 << 10, 64 << 10, 256 << 10, 1 << 20], false),
+        ("(c) sync writes", EngineMode::Sync, [4 << 10, 32 << 10, 256 << 10, 1 << 20], true),
+        ("(d) sync reads", EngineMode::Sync, [4 << 10, 32 << 10, 256 << 10, 1 << 20], false),
+    ] {
+        println!("{panel}");
+        let mut rows = vec![{
+            let mut h = vec!["value size".to_string()];
+            for sys in systems {
+                h.push(format!("{} MB/s", sys.name()));
+                h.push(format!("{} norm", sys.name()));
+            }
+            h
+        }];
+        let mut panel_json = Vec::new();
+        for &vs in &sizes {
+            let mut mbps = Vec::new();
+            for sys in systems {
+                let (w, r) = run_cell(sys, engine, vs, total_bytes, scale);
+                mbps.push(if is_write { w } else { r });
+            }
+            let baseline = mbps[0].max(1e-9);
+            let mut row = vec![fmt_bytes(vs as u64)];
+            for &m in &mbps {
+                row.push(format!("{m:.1}"));
+                row.push(format!("{:.2}", m / baseline));
+            }
+            rows.push(row);
+            panel_json.push(serde_json::json!({
+                "value_bytes": vs,
+                "kvssd_mbps": mbps[0],
+                "kvemu_mbps": mbps[1],
+                "rhik_mbps": mbps[2],
+            }));
+        }
+        print!("{}", render_table(&rows));
+        println!();
+        emitted.push(serde_json::json!({ "panel": panel, "cells": panel_json }));
+    }
+
+    println!("shape check (paper): RHIK >= KVEMU at almost all value sizes for writes;");
+    println!("RHIK wins grow with large values on reads; async beats sync throughout.");
+    rhik_bench::emit_json("fig6", &serde_json::json!({ "panels": emitted }));
+}

@@ -1,0 +1,130 @@
+//! Extension experiment — §VI "Integrate advantages of hash-based and
+//! log-structured merge based indexing": the paper asks whether RHIK's
+//! fast point queries can coexist with LSM's lower metadata write
+//! amplification. This harness quantifies the trade on the same device:
+//!
+//! * **metadata write amplification** — index pages programmed per KV
+//!   update (RHIK rewrites a whole table page per dirty eviction; LSM
+//!   batches many updates per run page, then pays compaction),
+//! * **lookup cost** — flash reads per point query (RHIK ≤ 1; LSM pays
+//!   one read per probed run).
+//!
+//! ```sh
+//! cargo run -p rhik-bench --release --bin lsm_vs_hash [--scale full]
+//! ```
+
+use rhik_baseline::LsmConfig;
+use rhik_bench::{render_table, Scale};
+use rhik_ftl::IndexBackend;
+use rhik_kvssd::{DeviceConfig, KvssdDevice};
+use rhik_workloads::{KeyStream, Keygen, WorkloadDriver};
+
+struct Row {
+    system: &'static str,
+    keys: u64,
+    update_rounds: u64,
+    index_programs: u64,
+    index_reads_per_lookup: f64,
+    le1_pct: f64,
+}
+
+fn measure<I: IndexBackend>(
+    system: &'static str,
+    mut dev: KvssdDevice<I>,
+    keys: u64,
+    rounds: u64,
+) -> Row {
+    // Load.
+    let mut gen = Keygen::new(KeyStream::Sequential, 16, 5);
+    WorkloadDriver::fill(&mut dev, &mut gen, keys, 128).expect("load");
+    // Update churn.
+    for _ in 0..rounds {
+        let mut gen = Keygen::new(KeyStream::Sequential, 16, 5);
+        WorkloadDriver::fill(&mut dev, &mut gen, keys, 128).expect("update");
+    }
+    let programs = dev.ftl().stats().index_page_programs;
+
+    // Measured read phase.
+    let reads_before = dev.index().stats().metadata_flash_reads;
+    let lookups_before = dev.index().stats().lookups;
+    let histo_before = dev.index().stats().reads_per_lookup_histo;
+    let mut gen = Keygen::new(KeyStream::Sequential, 16, 5);
+    WorkloadDriver::read(&mut dev, &mut gen, keys).expect("read");
+    let s = dev.index().stats();
+    let lookups = s.lookups - lookups_before;
+    let reads = s.metadata_flash_reads - reads_before;
+    let mut within = 0u64;
+    let mut total = 0u64;
+    for (i, (&a, &b)) in s.reads_per_lookup_histo.iter().zip(histo_before.iter()).enumerate() {
+        total += a - b;
+        if i <= 1 {
+            within += a - b;
+        }
+    }
+
+    Row {
+        system,
+        keys,
+        update_rounds: rounds,
+        index_programs: programs,
+        index_reads_per_lookup: reads as f64 / lookups.max(1) as f64,
+        le1_pct: if total == 0 { 100.0 } else { 100.0 * within as f64 / total as f64 },
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let keys: u64 = scale.pick(8_000, 50_000);
+    let rounds: u64 = scale.pick(3, 6);
+
+    let mut cfg = DeviceConfig::small();
+    cfg.geometry.blocks = scale.pick(256, 1024);
+    cfg.cache_budget_bytes = 32 << 10; // tight: metadata traffic is visible
+
+    let rows_data = [
+        measure("rhik", KvssdDevice::rhik(cfg), keys, rounds),
+        measure("lsm (PinK-style)", KvssdDevice::lsm(cfg, LsmConfig::default()), keys, rounds),
+    ];
+
+    let mut rows = vec![vec![
+        "index".to_string(),
+        "keys".to_string(),
+        "update rounds".to_string(),
+        "index pages programmed".to_string(),
+        "pages/update".to_string(),
+        "reads per lookup".to_string(),
+        "<=1 read %".to_string(),
+    ]];
+    for r in &rows_data {
+        let updates = r.keys * (r.update_rounds + 1);
+        rows.push(vec![
+            r.system.to_string(),
+            r.keys.to_string(),
+            r.update_rounds.to_string(),
+            r.index_programs.to_string(),
+            format!("{:.4}", r.index_programs as f64 / updates as f64),
+            format!("{:.3}", r.index_reads_per_lookup),
+            format!("{:.1}", r.le1_pct),
+        ]);
+    }
+
+    println!("=== §VI: hash-based vs LSM-based index, same device ===\n");
+    print!("{}", render_table(&rows));
+    println!("\nLSM batches hundreds of index updates per run page (low metadata write");
+    println!("amplification) but point lookups probe multiple runs; RHIK pays a table");
+    println!("rewrite per dirty eviction but never more than one read per lookup —");
+    println!("exactly the coexistence question the paper's discussion poses.");
+
+    rhik_bench::emit_json(
+        "lsm_vs_hash",
+        &serde_json::json!({
+            "rows": rows_data.iter().map(|r| serde_json::json!({
+                "system": r.system,
+                "keys": r.keys,
+                "index_programs": r.index_programs,
+                "reads_per_lookup": r.index_reads_per_lookup,
+                "le1_pct": r.le1_pct,
+            })).collect::<Vec<_>>(),
+        }),
+    );
+}

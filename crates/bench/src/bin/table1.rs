@@ -1,0 +1,118 @@
+//! Table I — request-size diversity of production KV workloads and the
+//! key counts a 4 TB KVSSD must support.
+//!
+//! Regenerates both columns of the paper's Table I plus the RocksDB
+//! deployment averages cited in §III, and checks them against the PM983's
+//! observed ~3.1 B-key ceiling.
+//!
+//! ```sh
+//! cargo run -p rhik-bench --release --bin table1
+//! ```
+
+use rhik_bench::render_table;
+use rhik_workloads::distributions::{
+    keys_for_avg_size, rocksdb_avg_pair_bytes, SizeDistribution,
+};
+
+const FOUR_TB: u64 = 4 * 1000 * 1000 * 1000 * 1000;
+const PM983_MAX_KEYS: u64 = 3_100_000_000;
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1} B", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.0} M", n as f64 / 1e6)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn size_label(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{} KB", bytes >> 10)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+fn print_distribution(d: &SizeDistribution) {
+    d.validate().expect("distribution must be a pdf");
+    println!("{}", d.name);
+    let mut rows = vec![vec!["request size".to_string(), "requests".to_string()]];
+    for b in &d.buckets {
+        rows.push(vec![
+            format!("{}-{}", size_label(b.min_bytes.saturating_sub(1)), size_label(b.max_bytes)),
+            format!("{:.1}%", b.fraction * 100.0),
+        ]);
+    }
+    print!("{}", render_table(&rows));
+    let (lo, hi) = d.implied_key_range(FOUR_TB);
+    println!("=> {} - {} keys on a 4 TB KVSSD\n", human(lo), human(hi));
+}
+
+fn main() {
+    println!("=== Table I: diversity in request sizes ===\n");
+    let baidu = SizeDistribution::baidu_atlas_write();
+    let fb = SizeDistribution::fb_memcached_etc();
+    print_distribution(&baidu);
+    print_distribution(&fb);
+
+    println!("=== RocksDB deployments at Facebook (FAST '20) ===");
+    let mut rows = vec![vec![
+        "store".to_string(),
+        "avg pair".to_string(),
+        "keys / 4 TB".to_string(),
+        "vs PM983 limit".to_string(),
+    ]];
+    for (name, avg) in rocksdb_avg_pair_bytes() {
+        let keys = keys_for_avg_size(FOUR_TB, avg);
+        rows.push(vec![
+            name.to_string(),
+            format!("{avg} B"),
+            human(keys),
+            if keys > PM983_MAX_KEYS { "EXCEEDS".into() } else { "fits".into() },
+        ]);
+    }
+    print!("{}", render_table(&rows));
+
+    let (fb_lo, fb_hi) = fb.implied_key_range(FOUR_TB);
+    let (bd_lo, bd_hi) = baidu.implied_key_range(FOUR_TB);
+    let (pfb_lo, pfb_hi) = fb.paper_reported_key_range();
+    let (pbd_lo, pbd_hi) = baidu.paper_reported_key_range();
+    println!(
+        "\nPM983 observed key ceiling: {} keys (§III).",
+        human(PM983_MAX_KEYS)
+    );
+    println!(
+        "Baidu Atlas fits: paper {}-{}, our estimate {}-{}.",
+        human(pbd_lo),
+        human(pbd_hi),
+        human(bd_lo),
+        human(bd_hi),
+    );
+    println!(
+        "FB Memcached exceeds: paper {}-{} ({}x over the ceiling), our estimate {}-{}.",
+        human(pfb_lo),
+        human(pfb_hi),
+        pfb_hi / PM983_MAX_KEYS,
+        human(fb_lo),
+        human(fb_hi),
+    );
+    println!("This is the motivation for RHIK's virtually-unlimited-keys design.");
+
+    rhik_bench::emit_json(
+        "table1",
+        &serde_json::json!({
+            "capacity_bytes": FOUR_TB,
+            "pm983_max_keys": PM983_MAX_KEYS,
+            "baidu_keys": { "lo": bd_lo, "hi": bd_hi },
+            "fb_keys": { "lo": fb_lo, "hi": fb_hi },
+            "rocksdb": rocksdb_avg_pair_bytes().iter().map(|(n, a)| {
+                serde_json::json!({ "store": n, "avg_pair_bytes": a,
+                                    "keys": keys_for_avg_size(FOUR_TB, *a) })
+            }).collect::<Vec<_>>(),
+        }),
+    );
+}

@@ -1,0 +1,156 @@
+//! Shared scaffolding for the experiment harness.
+//!
+//! One binary per paper table/figure lives in `src/bin/`; Criterion
+//! micro-benches live in `benches/`. This library provides the common
+//! pieces: an aligned table printer, scaled experiment presets, and JSON
+//! result emission so EXPERIMENTS.md numbers are regenerable.
+
+use std::fmt::Write as _;
+
+/// Render rows as an aligned ASCII table (first row = header).
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().expect("nonempty");
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = widths[i] - cell.chars().count();
+            out.push_str(cell);
+            out.extend(std::iter::repeat_n(' ', pad));
+        }
+        // Trim trailing padding for clean diffs.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        if r == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{}", "-".repeat(*w));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Human-readable byte size.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+/// Experiment scale: every figure binary supports `--scale small|full`
+/// (small = CI-friendly, full = closer to the paper's magnitudes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Small,
+    Full,
+}
+
+impl Scale {
+    /// Parse from argv; defaults to `Small`.
+    pub fn from_args() -> Scale {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--scale" {
+                match args.next().as_deref() {
+                    Some("full") => return Scale::Full,
+                    Some("small") | None => return Scale::Small,
+                    Some(other) => panic!("unknown scale {other}; use small|full"),
+                }
+            }
+            if let Some(v) = a.strip_prefix("--scale=") {
+                return match v {
+                    "full" => Scale::Full,
+                    "small" => Scale::Small,
+                    other => panic!("unknown scale {other}; use small|full"),
+                };
+            }
+        }
+        Scale::Small
+    }
+
+    /// Pick a value by scale.
+    pub fn pick<T>(self, small: T, full: T) -> T {
+        match self {
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Write a JSON result blob next to the binary output for EXPERIMENTS.md.
+pub fn emit_json(experiment: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{experiment}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            let _ = std::fs::write(&path, s);
+            eprintln!("[wrote {}]", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let rows = vec![
+            vec!["name".into(), "value".into()],
+            vec!["a".into(), "1".into()],
+            vec!["long-name".into(), "123456".into()],
+        ];
+        let t = render_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        let off0 = lines[0].find("value").unwrap();
+        let off2 = lines[2].find('1').unwrap();
+        assert_eq!(off0, off2);
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(10 << 20), "10.0 MiB");
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Small.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

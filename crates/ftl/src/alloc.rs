@@ -1,0 +1,428 @@
+//! Block allocation and per-block accounting.
+
+use std::collections::VecDeque;
+
+use rhik_nand::{BlockId, NandGeometry};
+
+/// Which log a block belongs to. Separating index and data streams keeps GC
+/// simple: data blocks are cleaned by scanning head pages, index blocks by
+/// asking the index which tables are still live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stream {
+    /// KV-pair head pages (packed records + signature info areas).
+    Data,
+    /// Whole-page value bodies (the extent partition of §IV-A5).
+    Extent,
+    /// Index tables and directory snapshots.
+    Index,
+}
+
+/// FTL-side metadata for one erase block.
+#[derive(Clone, Debug)]
+pub struct BlockMeta {
+    pub stream: Option<Stream>,
+    /// Bytes of live payload written into this block.
+    pub live_bytes: u64,
+    /// Bytes since invalidated (updated/deleted pairs, retired tables,
+    /// skipped tail pages).
+    pub stale_bytes: u64,
+    /// Pages programmed so far (mirror of the NAND write pointer; kept here
+    /// so victim scoring doesn't need flash queries).
+    pub pages_used: u32,
+    /// No further programs will land here (full, or closed early for an
+    /// extent that needed a fresh block).
+    pub sealed: bool,
+}
+
+impl BlockMeta {
+    fn fresh() -> Self {
+        BlockMeta { stream: None, live_bytes: 0, stale_bytes: 0, pages_used: 0, sealed: false }
+    }
+
+    /// Greedy GC score: stale payload reclaimed per erase.
+    pub fn gc_score(&self) -> u64 {
+        self.stale_bytes
+    }
+}
+
+/// Free-pool + open-block manager.
+///
+/// One open block per stream; pages are handed out sequentially. When a
+/// block fills (or is closed early), it is sealed and a new block is pulled
+/// from the free pool. A configurable reserve is withheld from normal
+/// allocation so GC always has scratch blocks to relocate into.
+#[derive(Debug)]
+pub struct BlockAllocator {
+    geometry: NandGeometry,
+    free: VecDeque<BlockId>,
+    meta: Vec<BlockMeta>,
+    open_data: Option<BlockId>,
+    open_extent: Option<BlockId>,
+    open_index: Option<BlockId>,
+    /// Partially-programmed extent blocks set aside while a large extent
+    /// claimed a fresh block; reused before the free pool is touched.
+    parked_extent: Vec<BlockId>,
+    /// Blocks withheld for GC relocation.
+    reserve: u32,
+    /// When true, allocation may dip into the reserve (GC in progress).
+    gc_mode: bool,
+}
+
+/// Raised when the free pool (minus reserve) is exhausted — the device must
+/// run GC and retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NeedsGc;
+
+impl BlockAllocator {
+    pub fn new(geometry: NandGeometry, reserve: u32) -> Self {
+        assert!(
+            (reserve as u64) < geometry.blocks as u64,
+            "reserve must leave at least one allocatable block"
+        );
+        BlockAllocator {
+            geometry,
+            free: (0..geometry.blocks).collect(),
+            meta: (0..geometry.blocks).map(|_| BlockMeta::fresh()).collect(),
+            open_data: None,
+            open_extent: None,
+            open_index: None,
+            parked_extent: Vec::new(),
+            reserve,
+            gc_mode: false,
+        }
+    }
+
+    pub fn meta(&self, block: BlockId) -> &BlockMeta {
+        &self.meta[block as usize]
+    }
+
+    pub fn meta_mut(&mut self, block: BlockId) -> &mut BlockMeta {
+        &mut self.meta[block as usize]
+    }
+
+    /// Blocks available to normal allocation (excludes reserve).
+    pub fn free_blocks(&self) -> u32 {
+        (self.free.len() as u32).saturating_sub(self.reserve)
+    }
+
+    /// Blocks in the free pool including the reserve.
+    pub fn free_blocks_raw(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Enter/leave GC mode (GC may consume the reserve).
+    pub fn set_gc_mode(&mut self, on: bool) {
+        self.gc_mode = on;
+    }
+
+    #[allow(dead_code)] // diagnostic accessor, exercised by integration users
+    pub fn gc_mode(&self) -> bool {
+        self.gc_mode
+    }
+
+    fn pop_free(&mut self, allow_reserve: bool) -> Result<BlockId, NeedsGc> {
+        let floor = if self.gc_mode || allow_reserve { 0 } else { self.reserve as usize };
+        if self.free.len() <= floor {
+            return Err(NeedsGc);
+        }
+        Ok(self.free.pop_front().expect("checked non-empty"))
+    }
+
+    fn open_slot(&mut self, stream: Stream) -> &mut Option<BlockId> {
+        match stream {
+            Stream::Data => &mut self.open_data,
+            Stream::Extent => &mut self.open_extent,
+            Stream::Index => &mut self.open_index,
+        }
+    }
+
+    /// The block currently open for `stream`, if any.
+    pub fn open_block(&self, stream: Stream) -> Option<BlockId> {
+        match stream {
+            Stream::Data => self.open_data,
+            Stream::Extent => self.open_extent,
+            Stream::Index => self.open_index,
+        }
+    }
+
+    /// Hand out the next page of `stream`'s open block, opening a new block
+    /// from the free pool when needed. `allow_reserve` lets metadata writes
+    /// dip into the GC reserve so index write-backs cannot fail mid-flight.
+    pub fn next_page(&mut self, stream: Stream, allow_reserve: bool) -> Result<rhik_nand::Ppa, NeedsGc> {
+        let ppb = self.geometry.pages_per_block;
+        loop {
+            let open = *self.open_slot(stream);
+            match open {
+                Some(block) if self.meta[block as usize].pages_used < ppb => {
+                    let page = self.meta[block as usize].pages_used;
+                    self.meta[block as usize].pages_used += 1;
+                    if self.meta[block as usize].pages_used == ppb {
+                        self.meta[block as usize].sealed = true;
+                        *self.open_slot(stream) = None;
+                    }
+                    return Ok(rhik_nand::Ppa::new(block, page));
+                }
+                _ => {
+                    let block = self.pop_free(allow_reserve)?;
+                    let m = &mut self.meta[block as usize];
+                    *m = BlockMeta::fresh();
+                    m.stream = Some(stream);
+                    *self.open_slot(stream) = Some(block);
+                }
+            }
+        }
+    }
+
+    /// Pages remaining in `stream`'s open block (0 when none is open).
+    #[allow(dead_code)] // diagnostic accessor (tests, future policies)
+    pub fn open_pages_left(&self, stream: Stream) -> u32 {
+        match self.open_block(stream) {
+            Some(b) => self.geometry.pages_per_block - self.meta[b as usize].pages_used,
+            None => 0,
+        }
+    }
+
+    /// Make sure the extent stream's open block has at least `pages_needed`
+    /// unprogrammed pages: reuse the current block if it qualifies, else
+    /// park it and reopen the roomiest parked block that fits, else pull a
+    /// fresh block from the free pool. No tail pages are ever wasted.
+    pub fn open_extent_block_with_room(&mut self, pages_needed: u32, allow_reserve: bool) -> Result<(), NeedsGc> {
+        let ppb = self.geometry.pages_per_block;
+        debug_assert!(pages_needed <= ppb, "extent larger than an erase block");
+        if let Some(b) = self.open_extent {
+            if ppb - self.meta[b as usize].pages_used >= pages_needed {
+                return Ok(());
+            }
+        }
+        self.park_open_extent();
+        if let Some(pos) = self
+            .parked_extent
+            .iter()
+            .position(|&b| ppb - self.meta[b as usize].pages_used >= pages_needed)
+        {
+            self.open_extent = Some(self.parked_extent.swap_remove(pos));
+            return Ok(());
+        }
+        let block = self.pop_free(allow_reserve)?;
+        let m = &mut self.meta[block as usize];
+        *m = BlockMeta::fresh();
+        m.stream = Some(Stream::Extent);
+        self.open_extent = Some(block);
+        Ok(())
+    }
+
+    /// Park the extent stream's open block: a large extent needs a fresh
+    /// block, but the remaining pages here stay usable for later extents.
+    pub fn park_open_extent(&mut self) {
+        if let Some(block) = self.open_extent.take() {
+            self.parked_extent.push(block);
+        }
+    }
+
+    /// Blocks currently parked (diagnostics).
+    #[allow(dead_code)] // diagnostic accessor (tests, future policies)
+    pub fn parked_blocks(&self) -> usize {
+        self.parked_extent.len()
+    }
+
+    /// Remove `block` from the parked list so GC can collect it without the
+    /// allocator re-opening it as a relocation target.
+    pub fn quarantine(&mut self, block: BlockId) {
+        self.parked_extent.retain(|&b| b != block);
+    }
+
+    /// Seal `stream`'s open block early (an extent needed a fresh block).
+    /// Unprogrammed tail pages are charged as stale capacity so GC sees the
+    /// waste.
+    pub fn close_open_block(&mut self, stream: Stream) {
+        if let Some(block) = self.open_slot(stream).take() {
+            let m = &mut self.meta[block as usize];
+            let wasted_pages = self.geometry.pages_per_block - m.pages_used;
+            m.stale_bytes += wasted_pages as u64 * self.geometry.page_size as u64;
+            m.pages_used = self.geometry.pages_per_block;
+            m.sealed = true;
+        }
+    }
+
+    /// Return an erased block to the free pool (dropping any parked
+    /// reference — GC may erase a parked block).
+    pub fn release(&mut self, block: BlockId) {
+        debug_assert!(
+            self.open_data != Some(block)
+                && self.open_extent != Some(block)
+                && self.open_index != Some(block)
+        );
+        self.parked_extent.retain(|&b| b != block);
+        self.meta[block as usize] = BlockMeta::fresh();
+        self.free.push_back(block);
+    }
+
+    /// Candidate GC victims of `stream`: any non-open block with stale
+    /// bytes (sealed *or* parked — a parked block's programmed pages can
+    /// hold dead pairs just like a full block's), best score first.
+    pub fn victims(&self, stream: Stream) -> Vec<BlockId> {
+        let open = self.open_block(stream);
+        let mut v: Vec<BlockId> = (0..self.geometry.blocks)
+            .filter(|&b| {
+                let m = &self.meta[b as usize];
+                m.stream == Some(stream) && m.stale_bytes > 0 && Some(b) != open
+            })
+            .collect();
+        v.sort_by_key(|&b| std::cmp::Reverse(self.meta[b as usize].gc_score()));
+        v
+    }
+
+    /// Total live bytes across all blocks (device utilization numerator).
+    pub fn total_live_bytes(&self) -> u64 {
+        self.meta.iter().map(|m| m.live_bytes).sum()
+    }
+
+    /// Total stale bytes across all blocks.
+    pub fn total_stale_bytes(&self) -> u64 {
+        self.meta.iter().map(|m| m.stale_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhik_nand::Ppa;
+
+    fn alloc() -> BlockAllocator {
+        BlockAllocator::new(NandGeometry::tiny(), 2)
+    }
+
+    #[test]
+    fn pages_sequential_within_block() {
+        let mut a = alloc();
+        let p0 = a.next_page(Stream::Data, false).unwrap();
+        let p1 = a.next_page(Stream::Data, false).unwrap();
+        assert_eq!(p0.block, p1.block);
+        assert_eq!(p0.page + 1, p1.page);
+    }
+
+    #[test]
+    fn streams_use_disjoint_blocks() {
+        let mut a = alloc();
+        let d = a.next_page(Stream::Data, false).unwrap();
+        let i = a.next_page(Stream::Index, false).unwrap();
+        assert_ne!(d.block, i.block);
+        assert_eq!(a.meta(d.block).stream, Some(Stream::Data));
+        assert_eq!(a.meta(i.block).stream, Some(Stream::Index));
+    }
+
+    #[test]
+    fn block_rolls_over_when_full() {
+        let mut a = alloc();
+        let ppb = 8;
+        let first = a.next_page(Stream::Data, false).unwrap();
+        for _ in 1..ppb {
+            a.next_page(Stream::Data, false).unwrap();
+        }
+        assert!(a.meta(first.block).sealed);
+        let next = a.next_page(Stream::Data, false).unwrap();
+        assert_ne!(next.block, first.block);
+        assert_eq!(next.page, 0);
+    }
+
+    #[test]
+    fn reserve_is_protected_until_gc_mode() {
+        let mut a = alloc(); // 8 blocks, 2 reserved
+        // Exhaust the 6 allocatable blocks.
+        for _ in 0..6 * 8 {
+            a.next_page(Stream::Data, false).unwrap();
+        }
+        assert_eq!(a.free_blocks(), 0);
+        assert_eq!(a.next_page(Stream::Data, false), Err(NeedsGc));
+        a.set_gc_mode(true);
+        assert!(a.next_page(Stream::Data, false).is_ok());
+        a.set_gc_mode(false);
+    }
+
+    #[test]
+    fn close_early_charges_waste() {
+        let mut a = alloc();
+        let p = a.next_page(Stream::Data, false).unwrap(); // 1 page used of 8
+        a.close_open_block(Stream::Data);
+        let m = a.meta(p.block);
+        assert!(m.sealed);
+        assert_eq!(m.stale_bytes, 7 * 512);
+        assert_eq!(a.open_block(Stream::Data), None);
+    }
+
+    #[test]
+    fn release_recycles_blocks() {
+        let mut a = alloc();
+        let p = a.next_page(Stream::Data, false).unwrap();
+        for _ in 1..8 {
+            a.next_page(Stream::Data, false).unwrap();
+        }
+        let free_before = a.free_blocks_raw();
+        a.release(p.block);
+        assert_eq!(a.free_blocks_raw(), free_before + 1);
+        assert_eq!(a.meta(p.block).stream, None);
+        assert_eq!(a.meta(p.block).stale_bytes, 0);
+    }
+
+    #[test]
+    fn victims_ranked_by_stale_bytes() {
+        let mut a = alloc();
+        let mut blocks = Vec::new();
+        for _ in 0..3 {
+            let first = a.next_page(Stream::Data, false).unwrap();
+            for _ in 1..8 {
+                a.next_page(Stream::Data, false).unwrap();
+            }
+            blocks.push(first.block);
+        }
+        a.meta_mut(blocks[0]).stale_bytes = 10;
+        a.meta_mut(blocks[1]).stale_bytes = 500;
+        a.meta_mut(blocks[2]).stale_bytes = 100;
+        assert_eq!(a.victims(Stream::Data), vec![blocks[1], blocks[2], blocks[0]]);
+        // The open block is never a victim, even with stale bytes.
+        let open = a.next_page(Stream::Data, false).unwrap();
+        a.meta_mut(open.block).stale_bytes = 9999;
+        assert!(!a.victims(Stream::Data).contains(&open.block));
+    }
+
+    #[test]
+    fn parked_extent_blocks_are_victims() {
+        let mut a = alloc();
+        let p = a.next_page(Stream::Extent, false).unwrap();
+        a.meta_mut(p.block).stale_bytes = 100;
+        // Open: protected.
+        assert!(!a.victims(Stream::Extent).contains(&p.block));
+        // Parked: collectable.
+        a.park_open_extent();
+        assert!(a.victims(Stream::Extent).contains(&p.block));
+        // Quarantine keeps the allocator from re-opening it mid-GC.
+        a.quarantine(p.block);
+        assert_eq!(a.parked_blocks(), 0);
+        // Releasing returns it to the pool, victim no more.
+        a.release(p.block);
+        assert!(!a.victims(Stream::Extent).contains(&p.block));
+    }
+
+    #[test]
+    fn open_pages_left_tracks() {
+        let mut a = alloc();
+        assert_eq!(a.open_pages_left(Stream::Data), 0);
+        a.next_page(Stream::Data, false).unwrap();
+        assert_eq!(a.open_pages_left(Stream::Data), 7);
+    }
+
+    #[test]
+    fn page_addresses_valid() {
+        let mut a = alloc();
+        for _ in 0..20 {
+            let p: Ppa = a.next_page(Stream::Data, false).unwrap();
+            assert!(NandGeometry::tiny().contains(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserve must leave")]
+    fn reserve_cannot_cover_all_blocks() {
+        let _ = BlockAllocator::new(NandGeometry::tiny(), 8);
+    }
+}

@@ -1,0 +1,572 @@
+//! Garbage collection over the data and index logs (§IV-B).
+//!
+//! "To identify stale data, GC needs to scan the key signatures in each
+//! flash page of a block, and check if the data is valid or stale by
+//! querying the index. Stale data can then be discarded. Victim block
+//! selection and merging operations can proceed according to existing GC
+//! algorithms."
+//!
+//! Victims are picked greedily by stale bytes. Data-block cleaning decodes
+//! each head page's signature information area (Fig. 4), validates every
+//! signature against the installed index, relocates live pairs through the
+//! normal data path, and erases the block. Index-block cleaning asks the
+//! index which of its pages are still live and relocates those.
+
+use crate::alloc::Stream;
+use crate::ftl::{Ftl, FtlError};
+use crate::layout::{self, PageKind, SpareMeta};
+use crate::traits::{IndexBackend, IndexError, InsertOutcome};
+use rhik_nand::Ppa;
+
+/// Victim-selection policy.
+///
+/// The paper adapts block-SSD GC ("victim block selection and merging
+/// operations can proceed according to existing GC algorithms", §IV-B);
+/// both classic policies are provided so their write-amplification
+/// trade-off can be measured on KV workloads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GcPolicy {
+    /// Most stale bytes first — maximal immediate reclaim.
+    #[default]
+    Greedy,
+    /// Cost-benefit (Kawaguchi et al.): weigh reclaimable space against
+    /// the relocation cost, `stale² / (live + stale)` — prefers blocks
+    /// that are cheap to clean even if they hold less garbage.
+    CostBenefit,
+}
+
+/// GC policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct GcConfig {
+    /// Trigger GC when allocatable free blocks drop below this.
+    pub low_watermark: u32,
+    /// Collect until this many allocatable free blocks are available (or no
+    /// victims remain).
+    pub high_watermark: u32,
+    /// How victims are ranked.
+    pub policy: GcPolicy,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig { low_watermark: 2, high_watermark: 4, policy: GcPolicy::Greedy }
+    }
+}
+
+/// Score a block under `policy`; higher is a better victim.
+fn score(meta: &crate::alloc::BlockMeta, policy: GcPolicy) -> u64 {
+    match policy {
+        GcPolicy::Greedy => meta.stale_bytes,
+        GcPolicy::CostBenefit => meta
+            .stale_bytes
+            .saturating_mul(meta.stale_bytes)
+            .checked_div(meta.live_bytes + meta.stale_bytes)
+            .unwrap_or(0),
+    }
+}
+
+/// What one GC invocation accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    pub data_blocks_erased: u64,
+    pub index_blocks_erased: u64,
+    pub pairs_relocated: u64,
+    pub index_pages_relocated: u64,
+    pub pages_scanned: u64,
+    pub bytes_relocated: u64,
+    /// Stale pairs discarded without relocation.
+    pub pairs_discarded: u64,
+}
+
+/// Whether GC should run now.
+pub fn should_run(ftl: &Ftl, cfg: &GcConfig) -> bool {
+    ftl.free_blocks() < cfg.low_watermark
+}
+
+/// Run garbage collection until the high watermark is met or victims run
+/// out. Returns what was done; a report with zero erases means the device
+/// is genuinely full of live data.
+pub fn run<I: IndexBackend>(
+    ftl: &mut Ftl,
+    index: &mut I,
+    cfg: &GcConfig,
+) -> Result<GcReport, FtlError> {
+    let mut report = GcReport::default();
+    ftl.note_gc_run();
+    ftl.alloc_mut().set_gc_mode(true);
+    let result = run_inner(ftl, index, cfg, &mut report);
+    ftl.alloc_mut().set_gc_mode(false);
+    result.map(|()| report)
+}
+
+fn run_inner<I: IndexBackend>(
+    ftl: &mut Ftl,
+    index: &mut I,
+    cfg: &GcConfig,
+    report: &mut GcReport,
+) -> Result<(), FtlError> {
+    // Progress guard: cleaning a mostly-live victim can consume as many
+    // blocks (relocation targets) as erasing it frees. Two consecutive
+    // iterations without net gain in the raw free pool mean GC is churning
+    // write amplification for nothing — stop.
+    let mut stagnant = 0;
+    while ftl.free_blocks() < cfg.high_watermark {
+        let raw_before = ftl.alloc_ref().free_blocks_raw();
+        // Best victim across all three streams, ranked by the policy.
+        let victim = [Stream::Data, Stream::Extent, Stream::Index]
+            .into_iter()
+            .flat_map(|stream| {
+                ftl.alloc_ref().victims(stream).into_iter().map(move |b| (b, stream))
+            })
+            .max_by_key(|&(b, _)| score(ftl.alloc_ref().meta(b), cfg.policy));
+        let Some(victim) = victim else { break };
+        // A parked extent block must not be re-opened as a relocation
+        // target while it is being collected.
+        ftl.alloc_mut().quarantine(victim.0);
+
+        match victim {
+            (block, Stream::Data) => clean_head_block(ftl, index, block, report)?,
+            (block, Stream::Extent) => {
+                if !clean_extent_block(ftl, index, block, report)? {
+                    break; // a body's head record is still buffering
+                }
+            }
+            (block, Stream::Index) => {
+                if !clean_index_block(ftl, index, block, report)? {
+                    // The index could not vouch for this block's live pages;
+                    // leave it alone and stop rather than lose metadata.
+                    break;
+                }
+            }
+        }
+
+        if ftl.alloc_ref().free_blocks_raw() <= raw_before {
+            stagnant += 1;
+            if stagnant >= 2 {
+                break;
+            }
+        } else {
+            stagnant = 0;
+        }
+    }
+    Ok(())
+}
+
+/// Clean a head-stream block: decode every head page's signature info
+/// area, validate each pair against the index, relocate the live ones
+/// (reading their bodies from the extent partition), and erase.
+fn clean_head_block<I: IndexBackend>(
+    ftl: &mut Ftl,
+    index: &mut I,
+    block: u32,
+    report: &mut GcReport,
+) -> Result<(), FtlError> {
+    let programmed = ftl.block_write_ptr(block);
+    let page_size = ftl.geometry().page_size as usize;
+
+    // Pass 1: collect live pairs. Duplicate signatures within a page (an
+    // in-page update) resolve to the newest entry.
+    let mut live: Vec<(rhik_sigs::KeySignature, layout::PairEntry)> = Vec::new();
+    for page in 0..programmed {
+        let ppa = Ppa::new(block, page);
+        let (data, spare) = ftl.read_data_page(ppa)?;
+        report.pages_scanned += 1;
+        let Some(meta) = SpareMeta::decode(&spare) else { continue };
+        if meta.kind != PageKind::Head {
+            continue;
+        }
+        let Some(entries) = layout::decode_head(&data, page_size) else { continue };
+        let mut newest: std::collections::HashMap<u64, layout::PairEntry> = Default::default();
+        for entry in entries {
+            newest.insert(entry.sig.0, entry); // later entries overwrite
+        }
+        for (_, entry) in newest {
+            let valid = match index.lookup(ftl, entry.sig) {
+                Ok(Some(current)) => current == ppa,
+                Ok(None) => false,
+                Err(IndexError::Flash(e)) => return Err(FtlError::Flash(e)),
+                Err(_) => false,
+            };
+            if valid {
+                live.push((entry.sig, entry));
+            } else {
+                report.pairs_discarded += 1;
+            }
+        }
+    }
+
+    // Pass 2: relocate. The old body pages (extent partition) become
+    // stale; the old head bytes vanish with the erase below.
+    for (sig, entry) in live {
+        let old = extent_of(&entry, Ppa::new(block, 0), page_size);
+        relocate_pair(ftl, index, sig, &entry, report)?;
+        if old.cont_start.is_some() {
+            ftl.mark_stale(&old);
+        }
+    }
+
+    ftl.erase_block(block)?;
+    ftl.note_gc_erase();
+    report.data_blocks_erased += 1;
+    Ok(())
+}
+
+/// Clean an extent-stream block: each body page's spare names its owning
+/// signature; the index + head page decide liveness. Live pairs are
+/// relocated wholesale (their old head entries become stale in place).
+///
+/// Returns `false` (skip, stop GC) if any owning head record is still in
+/// the DRAM write buffer — its extent cannot be rewritten consistently
+/// until the buffer flushes.
+fn clean_extent_block<I: IndexBackend>(
+    ftl: &mut Ftl,
+    index: &mut I,
+    block: u32,
+    report: &mut GcReport,
+) -> Result<bool, FtlError> {
+    let programmed = ftl.block_write_ptr(block);
+    let page_size = ftl.geometry().page_size as usize;
+
+    // Owning signatures of the body pages in this block.
+    let mut sigs: Vec<rhik_sigs::KeySignature> = Vec::new();
+    for page in 0..programmed {
+        let (_, spare) = ftl.read_data_page(Ppa::new(block, page))?;
+        report.pages_scanned += 1;
+        if let Some(SpareMeta { kind: PageKind::Cont, sig: Some(sig) }) = SpareMeta::decode(&spare)
+        {
+            if !sigs.contains(&sig) {
+                sigs.push(sig);
+            }
+        }
+    }
+
+    // Resolve each signature to its live pair; relocate the ones whose
+    // current body actually lives in this block.
+    let mut relocate: Vec<(rhik_sigs::KeySignature, Ppa, layout::PairEntry)> = Vec::new();
+    for sig in sigs {
+        if let Some(pending) = ftl.pending_extent(sig) {
+            // The pair's live version is still buffering in DRAM.
+            if pending.cont_start.map(|c| c.block) == Some(block) {
+                return Ok(false); // its body is here: cannot collect yet
+            }
+            // Its body lives elsewhere: whatever this block holds for the
+            // signature is a superseded version.
+            report.pairs_discarded += 1;
+            continue;
+        }
+        let head = match index.lookup(ftl, sig) {
+            Ok(Some(h)) => h,
+            Ok(None) => {
+                report.pairs_discarded += 1;
+                continue;
+            }
+            Err(IndexError::Flash(e)) => return Err(FtlError::Flash(e)),
+            Err(_) => continue,
+        };
+        let (data, _) = ftl.read_data_page(head)?;
+        let Some(entry) = layout::find_in_head(&data, page_size, sig) else {
+            report.pairs_discarded += 1;
+            continue;
+        };
+        match entry.cont_start {
+            Some(c) if c.block == block => relocate.push((sig, head, entry)),
+            _ => report.pairs_discarded += 1, // body superseded elsewhere
+        }
+    }
+
+    for (sig, head, entry) in relocate {
+        // The old head entry goes stale in its (still live) head block.
+        let old = extent_of(&entry, head, page_size);
+        relocate_pair(ftl, index, sig, &entry, report)?;
+        ftl.mark_stale(&old);
+    }
+
+    ftl.erase_block(block)?;
+    ftl.note_gc_erase();
+    report.data_blocks_erased += 1;
+    Ok(true)
+}
+
+/// Reconstruct the on-flash extent a decoded head entry describes.
+fn extent_of(entry: &layout::PairEntry, head: Ppa, page_size: usize) -> crate::ftl::WrittenExtent {
+    let body = (entry.val_total_len - entry.frag_len) as u64;
+    crate::ftl::WrittenExtent {
+        head,
+        cont_start: entry.cont_start,
+        cont_pages: entry.cont_pages(page_size as u32),
+        head_bytes: (layout::RECORD_PREFIX_LEN + entry.key.len() + entry.frag_len as usize
+            + layout::SIG_ENTRY_LEN) as u64,
+        cont_bytes: body,
+    }
+}
+
+/// Read a pair's full value and write it back through the normal store
+/// path, repointing the index.
+fn relocate_pair<I: IndexBackend>(
+    ftl: &mut Ftl,
+    index: &mut I,
+    sig: rhik_sigs::KeySignature,
+    entry: &layout::PairEntry,
+    report: &mut GcReport,
+) -> Result<(), FtlError> {
+    let mut value = entry.value_frag.to_vec();
+    let mut remaining = (entry.val_total_len - entry.frag_len) as usize;
+    if remaining > 0 {
+        let start = entry.cont_start.expect("overflowing entry has a body");
+        let mut i = 0;
+        while remaining > 0 {
+            let (cd, _) = ftl.read_data_page(Ppa::new(start.block, start.page + i))?;
+            let take = remaining.min(cd.len());
+            value.extend_from_slice(&cd[..take]);
+            remaining -= take;
+            i += 1;
+        }
+    }
+
+    let extent = ftl.store_pair(sig, &entry.key, &value, entry.flags)?;
+    match index.insert(ftl, sig, extent.head) {
+        Ok(InsertOutcome::Inserted) | Ok(InsertOutcome::Updated { .. }) => {}
+        Err(IndexError::Flash(e)) => return Err(FtlError::Flash(e)),
+        Err(e) => panic!("GC relocation lost index record: {e}"),
+    }
+    report.pairs_relocated += 1;
+    ftl.note_gc_relocation(1);
+    report.bytes_relocated += extent.bytes();
+    Ok(())
+}
+
+/// Returns false when the block was skipped because the index could not
+/// account for its live pages.
+fn clean_index_block<I: IndexBackend>(
+    ftl: &mut Ftl,
+    index: &mut I,
+    block: u32,
+    report: &mut GcReport,
+) -> Result<bool, FtlError> {
+    let live_pages = index.live_index_pages_in(block);
+    if live_pages.is_empty() && ftl.alloc_ref().meta(block).live_bytes > 0 {
+        return Ok(false);
+    }
+    for (key, old) in live_pages {
+        match index.relocate_index_page(ftl, key, old) {
+            Ok(Some(_new)) => report.index_pages_relocated += 1,
+            Ok(None) => {} // page turned out to be stale after all
+            Err(IndexError::Flash(e)) => return Err(FtlError::Flash(e)),
+            Err(e) => panic!("index page relocation failed: {e}"),
+        }
+    }
+    ftl.erase_block(block)?;
+    ftl.note_gc_erase();
+    report.index_blocks_erased += 1;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftl::FtlConfig;
+    use crate::traits::{IndexStats, InsertOutcome};
+    use rhik_sigs::KeySignature;
+    use std::collections::HashMap;
+
+    /// A DRAM-only reference index for exercising GC in isolation.
+    #[derive(Default)]
+    struct MapIndex {
+        map: HashMap<u64, Ppa>,
+        stats: IndexStats,
+    }
+
+    impl IndexBackend for MapIndex {
+        fn insert(&mut self, _f: &mut Ftl, sig: KeySignature, ppa: Ppa) -> Result<InsertOutcome, IndexError> {
+            match self.map.insert(sig.0, ppa) {
+                Some(old) => Ok(InsertOutcome::Updated { old }),
+                None => Ok(InsertOutcome::Inserted),
+            }
+        }
+        fn lookup(&mut self, _f: &mut Ftl, sig: KeySignature) -> Result<Option<Ppa>, IndexError> {
+            Ok(self.map.get(&sig.0).copied())
+        }
+        fn remove(&mut self, _f: &mut Ftl, sig: KeySignature) -> Result<Option<Ppa>, IndexError> {
+            Ok(self.map.remove(&sig.0))
+        }
+        fn len(&self) -> u64 {
+            self.map.len() as u64
+        }
+        fn capacity(&self) -> Option<u64> {
+            None
+        }
+        fn dram_bytes(&self) -> u64 {
+            (self.map.len() * 16) as u64
+        }
+        fn stats(&self) -> &IndexStats {
+            &self.stats
+        }
+        fn name(&self) -> &'static str {
+            "map"
+        }
+        fn flush(&mut self, _f: &mut Ftl) -> Result<(), IndexError> {
+            Ok(())
+        }
+    }
+
+    fn sig(n: u64) -> KeySignature {
+        KeySignature(n)
+    }
+
+    /// Fill the device with pairs, update half of them (creating stale
+    /// data), then verify GC reclaims blocks and preserves every live pair.
+    #[test]
+    fn gc_reclaims_and_preserves() {
+        let mut ftl = Ftl::new(FtlConfig::tiny());
+        let mut index = MapIndex::default();
+        let mut extents = HashMap::new();
+
+        // Fill until the pool runs low.
+        let mut stored = Vec::new();
+        for i in 0..1000u64 {
+            match ftl.store_pair(sig(i), format!("key{i}").as_bytes(), &[i as u8; 120], 0) {
+                Ok(e) => {
+                    index.insert(&mut ftl, sig(i), e.head).unwrap();
+                    extents.insert(i, e);
+                    stored.push(i);
+                }
+                Err(FtlError::NeedsGc) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!(stored.len() > 20);
+
+        // Invalidate every other pair (as an update/delete would).
+        let mut live_ids = Vec::new();
+        for &i in &stored {
+            if i % 2 == 0 {
+                let e = extents[&i];
+                ftl.mark_stale(&e);
+                ftl.drop_pending(sig(i));
+                index.remove(&mut ftl, sig(i)).unwrap();
+            } else {
+                live_ids.push(i);
+            }
+        }
+
+        let free_before = ftl.free_blocks();
+        let report = run(&mut ftl, &mut index, &GcConfig { low_watermark: 2, high_watermark: 4, ..Default::default() }).unwrap();
+        assert!(report.data_blocks_erased > 0, "report: {report:?}");
+        assert!(report.pairs_discarded > 0);
+        assert!(ftl.free_blocks() > free_before);
+
+        // Every live pair is still reachable, with correct contents.
+        for &i in &live_ids {
+            let head = index.lookup(&mut ftl, sig(i)).unwrap().expect("live pair lost");
+            if Some(head) == ftl.pending_head() {
+                let (k, v) = ftl.pending_pair(sig(i)).expect("pending pair");
+                assert_eq!(&k[..], format!("key{i}").as_bytes());
+                // 120-byte values fit the head page whole.
+                assert_eq!(&v[..], &[i as u8; 120][..]);
+            } else {
+                let (d, _) = ftl.read_data_page(head).unwrap();
+                let e = layout::find_in_head(&d, 512, sig(i)).expect("entry in head page");
+                assert_eq!(&e.key[..], format!("key{i}").as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn gc_on_clean_device_is_a_noop() {
+        let mut ftl = Ftl::new(FtlConfig::tiny());
+        let mut index = MapIndex::default();
+        let report = run(&mut ftl, &mut index, &GcConfig::default()).unwrap();
+        assert_eq!(report, GcReport { ..Default::default() });
+    }
+
+    #[test]
+    fn gc_relocates_multi_page_values() {
+        let mut ftl = Ftl::new(FtlConfig::tiny());
+        let mut index = MapIndex::default();
+
+        // One big live pair and one big stale pair sharing an extent block.
+        let big = vec![0x42u8; 1200];
+        let e1 = ftl.store_pair(sig(1), b"live", &big, 0).unwrap();
+        index.insert(&mut ftl, sig(1), e1.head).unwrap();
+        let e2 = ftl.store_pair(sig(2), b"stale", &big, 0).unwrap();
+        ftl.mark_stale(&e2);
+        ftl.drop_pending(sig(2));
+        ftl.close_data_block().unwrap(); // seal both partitions for GC
+
+        let report = run(&mut ftl, &mut index, &GcConfig { low_watermark: 8, high_watermark: 8, ..Default::default() }).unwrap();
+        assert!(report.pairs_relocated >= 1, "report: {report:?}");
+        assert!(report.data_blocks_erased >= 1);
+
+        // The live pair survives with intact contents.
+        let head = index.lookup(&mut ftl, sig(1)).unwrap().expect("pair lost");
+        if Some(head) == ftl.pending_head() {
+            let e = ftl.pending_extent(sig(1)).unwrap();
+            let frag = ftl.pending_pair(sig(1)).unwrap().1;
+            assert_eq!(frag.len() as u64 + e.cont_bytes, big.len() as u64);
+        } else {
+            let (d, _) = ftl.read_data_page(head).unwrap();
+            let entry = layout::find_in_head(&d, 512, sig(1)).unwrap();
+            assert_eq!(entry.val_total_len as usize, big.len());
+        }
+        // The stale pair is gone.
+        assert_eq!(index.lookup(&mut ftl, sig(2)).unwrap(), None);
+    }
+
+    #[test]
+    fn cost_benefit_prefers_cheap_victims() {
+        use crate::alloc::BlockMeta;
+        // Block A: lots of garbage but also lots of live data to move.
+        let a = BlockMeta { stream: None, live_bytes: 900, stale_bytes: 600, pages_used: 8, sealed: true };
+        // Block B: less garbage, but nearly free to clean.
+        let b = BlockMeta { stream: None, live_bytes: 10, stale_bytes: 500, pages_used: 8, sealed: true };
+        assert!(score(&a, GcPolicy::Greedy) > score(&b, GcPolicy::Greedy));
+        assert!(score(&b, GcPolicy::CostBenefit) > score(&a, GcPolicy::CostBenefit));
+        // Empty block scores zero under both.
+        let empty = BlockMeta { stream: None, live_bytes: 0, stale_bytes: 0, pages_used: 0, sealed: true };
+        assert_eq!(score(&empty, GcPolicy::CostBenefit), 0);
+    }
+
+    #[test]
+    fn both_policies_reclaim_and_preserve() {
+        for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit] {
+            let mut ftl = Ftl::new(FtlConfig::tiny());
+            let mut index = MapIndex::default();
+            let mut stored = Vec::new();
+            for i in 0..1000u64 {
+                match ftl.store_pair(sig(i), format!("key{i}").as_bytes(), &[i as u8; 120], 0) {
+                    Ok(e) => {
+                        index.insert(&mut ftl, sig(i), e.head).unwrap();
+                        stored.push((i, e));
+                    }
+                    Err(FtlError::NeedsGc) => break,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            for (i, e) in &stored {
+                if i % 3 == 0 {
+                    ftl.mark_stale(e);
+                    ftl.drop_pending(sig(*i));
+                    index.remove(&mut ftl, sig(*i)).unwrap();
+                }
+            }
+            let cfg = GcConfig { low_watermark: 2, high_watermark: 4, policy };
+            let report = run(&mut ftl, &mut index, &cfg).unwrap();
+            assert!(report.data_blocks_erased > 0, "{policy:?}: {report:?}");
+            for (i, _) in &stored {
+                if i % 3 != 0 {
+                    assert!(
+                        index.lookup(&mut ftl, sig(*i)).unwrap().is_some(),
+                        "{policy:?} lost key {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn should_run_tracks_watermark() {
+        let ftl = Ftl::new(FtlConfig::tiny());
+        assert!(!should_run(&ftl, &GcConfig { low_watermark: 2, high_watermark: 4, ..Default::default() }));
+        assert!(should_run(&ftl, &GcConfig { low_watermark: 100, high_watermark: 100, ..Default::default() }));
+    }
+}

@@ -1,0 +1,60 @@
+//! Device-level error taxonomy (SNIA KV API-flavoured status codes).
+
+/// Errors a KV command can return to the host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvError {
+    /// `get`/`delete` on a key that is not stored.
+    KeyNotFound,
+    /// The key's 64-bit signature collides with a *different* stored key
+    /// (§VI "Collision Management": "the application needs to generate a
+    /// new key and issue a new I/O request in such instances").
+    KeyCollision,
+    /// The record-layer hash table rejected the key within its hop range
+    /// (§IV-A1's uncorrectable error).
+    KeyRejected,
+    /// Device has no reclaimable space left.
+    DeviceFull,
+    /// The index's fixed capacity is exhausted (baselines only).
+    IndexFull,
+    /// Value exceeds the extent packing limit.
+    ValueTooLarge { len: usize, max: usize },
+    /// Key cannot fit a flash page.
+    KeyTooLarge { len: usize },
+    /// Zero-length keys are not addressable.
+    EmptyKey,
+    /// The installed index cannot serve this operation (e.g. `iterate` on
+    /// a scheme without record scans).
+    Unsupported(&'static str),
+    /// Unrecoverable media error.
+    Media(String),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::KeyNotFound => write!(f, "key not found"),
+            KvError::KeyCollision => write!(f, "key signature collision; choose a different key"),
+            KvError::KeyRejected => write!(f, "key rejected by record-layer collision handling"),
+            KvError::DeviceFull => write!(f, "device full"),
+            KvError::IndexFull => write!(f, "index capacity exhausted"),
+            KvError::ValueTooLarge { len, max } => write!(f, "value {len} B over limit {max} B"),
+            KvError::KeyTooLarge { len } => write!(f, "key {len} B over page limit"),
+            KvError::EmptyKey => write!(f, "empty key"),
+            KvError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            KvError::Media(m) => write!(f, "media error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(KvError::KeyCollision.to_string().contains("collision"));
+        assert!(KvError::ValueTooLarge { len: 10, max: 5 }.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,40 @@
+//! KVSSD device emulator (§IV-C: "we develop an advanced version of the KV
+//! Emulator by extending OpenMPDK KV Emulator [...] imitates the
+//! fundamental hardware primitives of an SSD").
+//!
+//! The device glues together the NAND model, the FTL services, and a
+//! pluggable [`rhik_ftl::IndexBackend`]:
+//!
+//! * [`KvssdDevice`] — the five vendor commands of the Samsung KVSSD
+//!   interface (§II-A): `put`, `get`, `delete`, `exist`, `iterate` — with
+//!   full-key verification against signature collisions, GC triggering,
+//!   and the resize submission-queue stall.
+//! * [`TimingEngine`] — sync and async command timing on the simulated
+//!   clock: sync serializes each command's media ops; async overlaps them
+//!   across flash channels under a queue-depth bound (the emulator's IOPS
+//!   model, §V-B).
+//! * [`DeviceConfig`] — capacity, cache budget, timing profile, GC
+//!   watermarks, index choice.
+//!
+//! Convenience constructors build a device around each index scheme:
+//! [`KvssdDevice::rhik`], [`KvssdDevice::multilevel`],
+//! [`KvssdDevice::simple_hash`], [`KvssdDevice::lsm`].
+
+mod cmd;
+mod config;
+mod device;
+mod shared;
+mod engine;
+mod error;
+mod histogram;
+
+pub use cmd::{Command, CommandResult, IterHandle};
+pub use config::{DeviceConfig, EngineMode};
+pub use device::{DeviceStats, ExistReport, KvssdDevice};
+pub use engine::{CommandTiming, TimingEngine};
+pub use shared::SharedKvssd;
+pub use error::KvError;
+pub use histogram::LatencyHistogram;
+
+/// Result alias for device commands.
+pub type Result<T> = std::result::Result<T, KvError>;

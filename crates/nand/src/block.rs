@@ -1,0 +1,109 @@
+//! Per-erase-block state machine.
+
+/// Lifecycle of an erase block as the array sees it.
+///
+/// `Free → Open → Full → (erase) → Free`. The array only enforces the
+/// physical rules (sequential program, erase-before-reuse); higher-level
+/// notions such as "victim" or "stale" live in the FTL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockState {
+    /// Erased; no page programmed yet.
+    Free,
+    /// Some but not all pages programmed.
+    Open,
+    /// Every page programmed.
+    Full,
+}
+
+/// Bookkeeping for one erase block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Next page expected by the sequential-program rule.
+    write_ptr: u32,
+    pages_per_block: u32,
+    erase_count: u64,
+}
+
+impl Block {
+    pub(crate) fn new(pages_per_block: u32) -> Self {
+        Block { write_ptr: 0, pages_per_block, erase_count: 0 }
+    }
+
+    /// Current lifecycle state.
+    #[inline]
+    pub fn state(&self) -> BlockState {
+        match self.write_ptr {
+            0 => BlockState::Free,
+            p if p == self.pages_per_block => BlockState::Full,
+            _ => BlockState::Open,
+        }
+    }
+
+    /// Next programmable page index (== pages_per_block when full).
+    #[inline]
+    pub fn write_ptr(&self) -> u32 {
+        self.write_ptr
+    }
+
+    /// How many times this block has been erased (wear).
+    #[inline]
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// Pages still programmable in this block.
+    #[inline]
+    pub fn free_pages(&self) -> u32 {
+        self.pages_per_block - self.write_ptr
+    }
+
+    /// Whether `page` has been programmed since the last erase.
+    #[inline]
+    pub fn is_programmed(&self, page: u32) -> bool {
+        page < self.write_ptr
+    }
+
+    pub(crate) fn advance(&mut self) {
+        debug_assert!(self.write_ptr < self.pages_per_block);
+        self.write_ptr += 1;
+    }
+
+    pub(crate) fn erase(&mut self) {
+        self.write_ptr = 0;
+        self.erase_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut b = Block::new(3);
+        assert_eq!(b.state(), BlockState::Free);
+        assert_eq!(b.free_pages(), 3);
+        b.advance();
+        assert_eq!(b.state(), BlockState::Open);
+        assert!(b.is_programmed(0));
+        assert!(!b.is_programmed(1));
+        b.advance();
+        b.advance();
+        assert_eq!(b.state(), BlockState::Full);
+        assert_eq!(b.free_pages(), 0);
+        b.erase();
+        assert_eq!(b.state(), BlockState::Free);
+        assert_eq!(b.erase_count(), 1);
+        assert!(!b.is_programmed(0));
+    }
+
+    #[test]
+    fn erase_count_accumulates() {
+        let mut b = Block::new(1);
+        for i in 1..=5 {
+            b.advance();
+            b.erase();
+            assert_eq!(b.erase_count(), i);
+        }
+    }
+}

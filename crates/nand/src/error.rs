@@ -1,0 +1,81 @@
+//! Flash-level error taxonomy.
+
+use crate::geometry::{BlockId, Ppa};
+
+/// Errors surfaced by the flash array.
+///
+/// Discipline violations ([`NandError::ProgramOutOfOrder`],
+/// [`NandError::OverwriteWithoutErase`], …) indicate FTL bugs; media errors
+/// ([`NandError::ProgramFailed`], [`NandError::ReadFailed`]) are injected by
+/// [`crate::FaultPlan`] to exercise recovery paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NandError {
+    /// Address outside the configured geometry.
+    OutOfRange(Ppa),
+    /// Block id outside the configured geometry.
+    BlockOutOfRange(BlockId),
+    /// Pages within a block must be programmed sequentially.
+    ProgramOutOfOrder { ppa: Ppa, expected_page: u32 },
+    /// A programmed page cannot be reprogrammed before its block is erased.
+    OverwriteWithoutErase(Ppa),
+    /// Payload larger than the page's data area.
+    DataTooLarge { len: usize, page_size: u32 },
+    /// Spare payload larger than the spare area.
+    SpareTooLarge { len: usize, spare_size: u32 },
+    /// Reading a page that was never programmed (or was erased).
+    ReadUnwritten(Ppa),
+    /// Injected media program failure (bad block emulation).
+    ProgramFailed(Ppa),
+    /// Injected media read failure (uncorrectable ECC emulation).
+    ReadFailed(Ppa),
+    /// Erasing a block that still has the array-level open handle (reserved
+    /// for future multi-plane checks; currently unused by the array itself).
+    EraseBusy(BlockId),
+}
+
+impl std::fmt::Display for NandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NandError::OutOfRange(ppa) => write!(f, "address {ppa:?} outside geometry"),
+            NandError::BlockOutOfRange(b) => write!(f, "block {b} outside geometry"),
+            NandError::ProgramOutOfOrder { ppa, expected_page } => {
+                write!(f, "out-of-order program at {ppa:?}, expected page {expected_page}")
+            }
+            NandError::OverwriteWithoutErase(ppa) => {
+                write!(f, "overwrite of programmed page {ppa:?} without erase")
+            }
+            NandError::DataTooLarge { len, page_size } => {
+                write!(f, "data payload {len} B exceeds page data area {page_size} B")
+            }
+            NandError::SpareTooLarge { len, spare_size } => {
+                write!(f, "spare payload {len} B exceeds spare area {spare_size} B")
+            }
+            NandError::ReadUnwritten(ppa) => write!(f, "read of unwritten page {ppa:?}"),
+            NandError::ProgramFailed(ppa) => write!(f, "media program failure at {ppa:?}"),
+            NandError::ReadFailed(ppa) => write!(f, "media read failure at {ppa:?}"),
+            NandError::EraseBusy(b) => write!(f, "erase of busy block {b}"),
+        }
+    }
+}
+
+impl std::error::Error for NandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NandError::ProgramOutOfOrder { ppa: Ppa::new(3, 7), expected_page: 2 };
+        let s = e.to_string();
+        assert!(s.contains("out-of-order"));
+        assert!(s.contains("3:7"));
+        assert!(s.contains("expected page 2"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(NandError::ReadUnwritten(Ppa::new(1, 1)), NandError::ReadUnwritten(Ppa::new(1, 1)));
+        assert_ne!(NandError::ReadUnwritten(Ppa::new(1, 1)), NandError::ReadFailed(Ppa::new(1, 1)));
+    }
+}

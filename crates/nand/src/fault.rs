@@ -1,0 +1,85 @@
+//! Programmable fault injection for failure-handling tests.
+
+use std::collections::HashSet;
+
+use crate::geometry::Ppa;
+
+/// A deterministic fault plan: specific pages fail to program or read.
+///
+/// Faults are *sticky* for reads (an injected read fault keeps failing until
+/// cleared) and *one-shot* for programs (a program fault consumes itself, so
+/// retry-on-next-page logic can be exercised).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    program_faults: HashSet<Ppa>,
+    read_faults: HashSet<Ppa>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arrange for the next program of `ppa` to fail once.
+    pub fn fail_program(&mut self, ppa: Ppa) {
+        self.program_faults.insert(ppa);
+    }
+
+    /// Arrange for reads of `ppa` to fail until [`FaultPlan::clear_read`].
+    pub fn fail_read(&mut self, ppa: Ppa) {
+        self.read_faults.insert(ppa);
+    }
+
+    /// Stop failing reads of `ppa`.
+    pub fn clear_read(&mut self, ppa: Ppa) {
+        self.read_faults.remove(&ppa);
+    }
+
+    /// True (and consumes the fault) if a program of `ppa` should fail.
+    pub(crate) fn take_program_fault(&mut self, ppa: Ppa) -> bool {
+        self.program_faults.remove(&ppa)
+    }
+
+    /// True if reads of `ppa` should fail.
+    pub(crate) fn has_read_fault(&self, ppa: Ppa) -> bool {
+        self.read_faults.contains(&ppa)
+    }
+
+    /// Whether any fault is armed (used to skip the check on the hot path).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.program_faults.is_empty() && self.read_faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_faults_are_one_shot() {
+        let mut plan = FaultPlan::new();
+        let ppa = Ppa::new(1, 2);
+        plan.fail_program(ppa);
+        assert!(plan.take_program_fault(ppa));
+        assert!(!plan.take_program_fault(ppa));
+    }
+
+    #[test]
+    fn read_faults_are_sticky_until_cleared() {
+        let mut plan = FaultPlan::new();
+        let ppa = Ppa::new(0, 0);
+        plan.fail_read(ppa);
+        assert!(plan.has_read_fault(ppa));
+        assert!(plan.has_read_fault(ppa));
+        plan.clear_read(ppa);
+        assert!(!plan.has_read_fault(ppa));
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        let mut plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        plan.fail_read(Ppa::new(0, 1));
+        assert!(!plan.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Flash geometry and physical page addressing.
+
+/// Identifier of an erase block within the array.
+pub type BlockId = u32;
+/// Page index within an erase block.
+pub type PageId = u32;
+
+/// Physical page address: `(block, page)`.
+///
+/// RHIK's index records carry a 5-byte (40-bit) PPA field (§IV-A, Eq. 1
+/// uses `ppa = 5`), so `Ppa` provides a packed 40-bit encoding used by the
+/// record layer and the page spare area. 24 bits of block × 16 bits of page
+/// covers 2^24 blocks × 2^16 pages — far beyond any emulated device.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ppa {
+    pub block: BlockId,
+    pub page: PageId,
+}
+
+impl Ppa {
+    /// Number of bytes a packed PPA occupies on flash (paper's `ppa` term).
+    pub const PACKED_LEN: usize = 5;
+
+    #[inline]
+    pub fn new(block: BlockId, page: PageId) -> Self {
+        Ppa { block, page }
+    }
+
+    /// Pack into a 40-bit integer: `block` in the high 24 bits, `page` in
+    /// the low 16.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        debug_assert!(self.block < (1 << 24), "block id exceeds 24 bits");
+        debug_assert!(self.page < (1 << 16), "page id exceeds 16 bits");
+        ((self.block as u64) << 16) | self.page as u64
+    }
+
+    /// Unpack a 40-bit integer produced by [`Ppa::pack`].
+    #[inline]
+    pub fn unpack(raw: u64) -> Self {
+        debug_assert!(raw < (1 << 40), "packed PPA exceeds 40 bits");
+        Ppa { block: (raw >> 16) as BlockId, page: (raw & 0xffff) as PageId }
+    }
+
+    /// Serialize into 5 little-endian bytes.
+    #[inline]
+    pub fn to_bytes(self) -> [u8; Self::PACKED_LEN] {
+        let raw = self.pack();
+        let b = raw.to_le_bytes();
+        [b[0], b[1], b[2], b[3], b[4]]
+    }
+
+    /// Deserialize from 5 little-endian bytes.
+    #[inline]
+    pub fn from_bytes(bytes: [u8; Self::PACKED_LEN]) -> Self {
+        let mut raw = [0u8; 8];
+        raw[..Self::PACKED_LEN].copy_from_slice(&bytes);
+        Self::unpack(u64::from_le_bytes(raw))
+    }
+}
+
+impl std::fmt::Debug for Ppa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ppa({}:{})", self.block, self.page)
+    }
+}
+
+/// Static shape of the flash array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NandGeometry {
+    /// Number of erase blocks.
+    pub blocks: u32,
+    /// Pages per erase block (paper default: 256).
+    pub pages_per_block: u32,
+    /// Data-area bytes per page (paper default: 32 KiB).
+    pub page_size: u32,
+    /// Spare-area bytes per page (footnote 1: usually 1/32 of the page).
+    pub spare_size: u32,
+    /// Independent channels for async parallelism (blocks are striped
+    /// round-robin across channels).
+    pub channels: u32,
+}
+
+impl NandGeometry {
+    /// The paper's emulator configuration: 256 × 32 KiB pages per block,
+    /// spare = page/32, scaled to `capacity_bytes` of raw flash.
+    pub fn paper_default(capacity_bytes: u64) -> Self {
+        const PAGE: u64 = 32 * 1024;
+        const PPB: u64 = 256;
+        let block_bytes = PAGE * PPB;
+        let blocks = capacity_bytes.div_ceil(block_bytes).max(4) as u32;
+        NandGeometry {
+            blocks,
+            pages_per_block: PPB as u32,
+            page_size: PAGE as u32,
+            spare_size: (PAGE / 32) as u32,
+            channels: 8,
+        }
+    }
+
+    /// A tiny geometry for unit tests (fast, few blocks).
+    pub fn tiny() -> Self {
+        NandGeometry { blocks: 8, pages_per_block: 8, page_size: 512, spare_size: 16, channels: 2 }
+    }
+
+    /// Total number of pages in the array.
+    #[inline]
+    pub fn total_pages(&self) -> u64 {
+        self.blocks as u64 * self.pages_per_block as u64
+    }
+
+    /// Raw data capacity in bytes (excluding spare areas).
+    #[inline]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_size as u64
+    }
+
+    /// Bytes in one erase block's data area.
+    #[inline]
+    pub fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_size as u64
+    }
+
+    /// Channel that owns `block` (round-robin striping).
+    #[inline]
+    pub fn channel_of(&self, block: BlockId) -> u32 {
+        block % self.channels
+    }
+
+    /// Validate a PPA against the geometry.
+    #[inline]
+    pub fn contains(&self, ppa: Ppa) -> bool {
+        ppa.block < self.blocks && ppa.page < self.pages_per_block
+    }
+
+    /// Check basic invariants; returns a human-readable complaint if the
+    /// geometry is unusable.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.blocks == 0 || self.pages_per_block == 0 || self.page_size == 0 {
+            return Err("geometry has a zero dimension".into());
+        }
+        if self.channels == 0 {
+            return Err("geometry needs at least one channel".into());
+        }
+        if self.blocks >= (1 << 24) {
+            return Err("block count exceeds 24-bit PPA field".into());
+        }
+        if self.pages_per_block > (1 << 16) {
+            return Err("pages per block exceeds 16-bit PPA field".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppa_pack_roundtrip() {
+        for (b, p) in [(0, 0), (1, 2), (1 << 23, 65_535), ((1 << 24) - 1, 0)] {
+            let ppa = Ppa::new(b, p);
+            assert_eq!(Ppa::unpack(ppa.pack()), ppa);
+            assert_eq!(Ppa::from_bytes(ppa.to_bytes()), ppa);
+        }
+    }
+
+    #[test]
+    fn ppa_pack_fits_40_bits() {
+        let ppa = Ppa::new((1 << 24) - 1, 65_535);
+        assert!(ppa.pack() < (1u64 << 40));
+    }
+
+    #[test]
+    fn paper_default_matches_section_v() {
+        let g = NandGeometry::paper_default(1 << 30);
+        assert_eq!(g.page_size, 32 * 1024);
+        assert_eq!(g.pages_per_block, 256);
+        assert_eq!(g.spare_size, 1024);
+        assert_eq!(g.spare_size, g.page_size / 32);
+        assert!(g.capacity_bytes() >= 1 << 30);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn capacity_math() {
+        let g = NandGeometry::tiny();
+        assert_eq!(g.total_pages(), 64);
+        assert_eq!(g.capacity_bytes(), 64 * 512);
+        assert_eq!(g.block_bytes(), 8 * 512);
+    }
+
+    #[test]
+    fn channel_striping_covers_all_channels() {
+        let g = NandGeometry::tiny();
+        let mut seen = vec![false; g.channels as usize];
+        for b in 0..g.blocks {
+            seen[g.channel_of(b) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate() {
+        let mut g = NandGeometry::tiny();
+        g.blocks = 0;
+        assert!(g.validate().is_err());
+        let mut g = NandGeometry::tiny();
+        g.channels = 0;
+        assert!(g.validate().is_err());
+        let mut g = NandGeometry::tiny();
+        g.blocks = 1 << 24;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let g = NandGeometry::tiny();
+        assert!(g.contains(Ppa::new(0, 0)));
+        assert!(g.contains(Ppa::new(7, 7)));
+        assert!(!g.contains(Ppa::new(8, 0)));
+        assert!(!g.contains(Ppa::new(0, 8)));
+    }
+}

@@ -1,0 +1,55 @@
+//! Flash operation counters.
+
+/// Cumulative operation/byte counters maintained by the array.
+///
+/// The evaluation harness diffs snapshots of these around code regions to
+/// count, e.g., flash reads per metadata access (Fig. 5b) or GC-induced
+/// write amplification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NandStats {
+    pub page_reads: u64,
+    pub page_programs: u64,
+    pub block_erases: u64,
+    pub bytes_read: u64,
+    pub bytes_programmed: u64,
+    /// Injected media failures observed.
+    pub program_failures: u64,
+    pub read_failures: u64,
+}
+
+impl NandStats {
+    /// Element-wise difference `self - earlier` (panics on counter
+    /// regression, which would indicate state corruption).
+    pub fn since(&self, earlier: &NandStats) -> NandStats {
+        NandStats {
+            page_reads: self.page_reads - earlier.page_reads,
+            page_programs: self.page_programs - earlier.page_programs,
+            block_erases: self.block_erases - earlier.block_erases,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_programmed: self.bytes_programmed - earlier.bytes_programmed,
+            program_failures: self.program_failures - earlier.program_failures,
+            read_failures: self.read_failures - earlier.read_failures,
+        }
+    }
+
+    /// Total media operations of any kind.
+    pub fn total_ops(&self) -> u64 {
+        self.page_reads + self.page_programs + self.block_erases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_diffs_counters() {
+        let early = NandStats { page_reads: 3, page_programs: 1, ..Default::default() };
+        let late = NandStats { page_reads: 10, page_programs: 4, block_erases: 2, ..Default::default() };
+        let d = late.since(&early);
+        assert_eq!(d.page_reads, 7);
+        assert_eq!(d.page_programs, 3);
+        assert_eq!(d.block_erases, 2);
+        assert_eq!(d.total_ops(), 12);
+    }
+}

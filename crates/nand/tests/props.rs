@@ -1,0 +1,127 @@
+//! Property tests: the flash array never violates its own discipline, and
+//! data written is data read, under arbitrary operation sequences.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rhik_nand::{BlockState, NandArray, NandError, NandGeometry, Ppa};
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Program the next page of a block with a payload of given length.
+    Program { block: u8, len: u16 },
+    /// Read an arbitrary page address.
+    Read { block: u8, page: u8 },
+    /// Erase a block.
+    Erase { block: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // tiny() geometry has 512-byte pages; stay within the data area.
+        (any::<u8>(), 0u16..=512).prop_map(|(block, len)| Op::Program { block, len }),
+        (any::<u8>(), any::<u8>()).prop_map(|(block, page)| Op::Read { block, page }),
+        any::<u8>().prop_map(|block| Op::Erase { block }),
+    ]
+}
+
+/// A reference model: per (block, page), the payload we last wrote since the
+/// last erase of the block.
+#[derive(Default)]
+struct Model {
+    written: std::collections::HashMap<(u32, u32), Vec<u8>>,
+    write_ptr: std::collections::HashMap<u32, u32>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn array_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let geometry = NandGeometry::tiny();
+        let mut array = NandArray::new(geometry);
+        let mut model = Model::default();
+        let mut seq: u8 = 0;
+
+        for op in ops {
+            match op {
+                Op::Program { block, len } => {
+                    let block = block as u32 % geometry.blocks;
+                    let ptr = *model.write_ptr.get(&block).unwrap_or(&0);
+                    seq = seq.wrapping_add(1);
+                    let payload = vec![seq; len as usize];
+                    let ppa = Ppa::new(block, ptr);
+                    let res = array.program(ppa, Bytes::from(payload.clone()), Bytes::new());
+                    if ptr >= geometry.pages_per_block {
+                        // Model says the block is full; the array must refuse
+                        // (either out-of-range page or overwrite).
+                        prop_assert!(res.is_err());
+                    } else {
+                        prop_assert!(res.is_ok(), "program failed: {res:?}");
+                        model.written.insert((block, ptr), payload);
+                        model.write_ptr.insert(block, ptr + 1);
+                    }
+                }
+                Op::Read { block, page } => {
+                    let block = block as u32 % geometry.blocks;
+                    let page = page as u32 % geometry.pages_per_block;
+                    let res = array.read(Ppa::new(block, page));
+                    match model.written.get(&(block, page)) {
+                        Some(expected) => {
+                            let (data, _) = res.expect("model says written");
+                            prop_assert_eq!(&data[..], &expected[..]);
+                        }
+                        None => {
+                            prop_assert_eq!(res.unwrap_err(), NandError::ReadUnwritten(Ppa::new(block, page)));
+                        }
+                    }
+                }
+                Op::Erase { block } => {
+                    let block = block as u32 % geometry.blocks;
+                    array.erase(block).unwrap();
+                    model.written.retain(|&(b, _), _| b != block);
+                    model.write_ptr.remove(&block);
+                }
+            }
+        }
+
+        // Invariant: block states agree with the model's write pointers.
+        for b in 0..geometry.blocks {
+            let ptr = *model.write_ptr.get(&b).unwrap_or(&0);
+            let expected = if ptr == 0 {
+                BlockState::Free
+            } else if ptr == geometry.pages_per_block {
+                BlockState::Full
+            } else {
+                BlockState::Open
+            };
+            prop_assert_eq!(array.block_state(b).unwrap(), expected);
+        }
+    }
+
+    /// Stats never go backwards and programs+reads are conserved.
+    #[test]
+    fn stats_monotone(progs in 1usize..20, reads in 0usize..20) {
+        let mut array = NandArray::new(NandGeometry::tiny());
+        let g = *array.geometry();
+        let mut programmed = Vec::new();
+        let mut prev_total = 0;
+        for i in 0..progs {
+            let block = (i as u32 / g.pages_per_block) % g.blocks;
+            let page = i as u32 % g.pages_per_block;
+            if array.program(Ppa::new(block, page), Bytes::from(vec![1u8; 8]), Bytes::new()).is_ok() {
+                programmed.push(Ppa::new(block, page));
+            }
+            let total = array.stats().total_ops();
+            prop_assert!(total >= prev_total);
+            prev_total = total;
+        }
+        for r in 0..reads {
+            if let Some(&ppa) = programmed.get(r % programmed.len().max(1)) {
+                let _ = array.read(ppa);
+            }
+        }
+        let s = array.stats();
+        prop_assert_eq!(s.page_programs as usize, programmed.len());
+        prop_assert!(s.page_reads as usize <= reads);
+    }
+}

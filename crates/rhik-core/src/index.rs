@@ -1,0 +1,944 @@
+//! The RHIK index proper: directory + cached record-layer tables, with the
+//! ≤ 1-flash-read lookup guarantee.
+
+use bytes::Bytes;
+use rhik_ftl::layout::SpareMeta;
+use rhik_ftl::{Ftl, IndexBackend, IndexError, IndexStats, InsertOutcome};
+use rhik_nand::Ppa;
+use rhik_sigs::KeySignature;
+
+use crate::bucket::{RecordTable, TableInsert};
+use crate::config::RhikConfig;
+use crate::directory::Directory;
+
+/// Cache keys with this bit set identify directory snapshot pages rather
+/// than record-layer tables (they share the FTL's index-page namespace for
+/// GC relocation).
+const DIR_PAGE_KEY: u64 = 1 << 63;
+
+/// Cache keys with this bit set identify §VI hyper-local overflow tables.
+pub(crate) const OVERFLOW_KEY: u64 = 1 << 62;
+
+/// The Re-configurable Hash Index (§IV).
+pub struct RhikIndex {
+    cfg: RhikConfig,
+    dir: Directory,
+    /// Records per table (Eq. 1, fixed for the device's page size).
+    records_per_table: u32,
+    len: u64,
+    stats: IndexStats,
+    /// Flash pages of the latest directory snapshot (retired on re-flush).
+    dir_snapshot: Vec<Ppa>,
+    /// Mutations since the last snapshot flush.
+    dirty_mutations: u64,
+    /// Monotonic snapshot sequence (distinguishes flushes at mount time).
+    snapshot_seq: u64,
+    /// A resize hit NeedsGc and was deferred; the device will GC and call
+    /// [`IndexBackend::maintain`].
+    resize_deferred: bool,
+    /// Buckets lost at mount time because GC had reclaimed their
+    /// snapshot-referenced pages (see [`RhikIndex::recover`]).
+    recovery_lost_tables: u64,
+}
+
+impl RhikIndex {
+    /// Build an index for a device with `page_size`-byte flash pages.
+    pub fn new(cfg: RhikConfig, page_size: u32) -> Self {
+        let cfg = cfg.validated();
+        let records_per_table = RhikConfig::records_per_table(page_size);
+        assert!(
+            records_per_table >= cfg.hop_width,
+            "page too small for the configured hop width"
+        );
+        RhikIndex {
+            dir: Directory::new(cfg.initial_dir_bits),
+            cfg,
+            records_per_table,
+            len: 0,
+            stats: IndexStats::default(),
+            dir_snapshot: Vec::new(),
+            dirty_mutations: 0,
+            snapshot_seq: 0,
+            resize_deferred: false,
+            recovery_lost_tables: 0,
+        }
+    }
+
+    /// Rebuild the index from flash after a power loss (§IV-A: "a
+    /// periodically updated persistent copy of these D entries resides on
+    /// flash").
+    ///
+    /// Scans the device for directory-snapshot fragments, reconstructs the
+    /// newest complete snapshot's directory, and re-learns per-table record
+    /// counts by loading every referenced table (the mount-time cost).
+    /// Pairs indexed after the last snapshot flush are lost — the bounded
+    /// loss window the paper's design accepts.
+    pub fn recover(cfg: RhikConfig, ftl: &mut Ftl) -> Result<Self, IndexError> {
+        let cfg = cfg.validated();
+        let page_size = ftl.geometry().page_size;
+        let records_per_table = RhikConfig::records_per_table(page_size);
+
+        // Mount-time scan: find every directory fragment still on flash.
+        use rhik_ftl::layout::{PageKind, SpareMeta};
+        let mut fragments: Vec<(u64, u32, Ppa, Bytes)> = Vec::new(); // (seq, frag, ppa, data)
+        for ppa in ftl.programmed_pages() {
+            let Ok((data, spare)) = ftl.read_data_page(ppa) else { continue };
+            let Some(meta) = SpareMeta::decode(&spare) else { continue };
+            if meta.kind != PageKind::Directory {
+                continue;
+            }
+            if let Some((_bits, _gen, seq, frag)) = Directory::fragment_meta(&data) {
+                fragments.push((seq, frag, ppa, data));
+            }
+        }
+
+        // Newest flush (highest sequence) with a complete, well-formed
+        // fragment set wins.
+        fragments.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut recovered: Option<(Directory, Vec<Ppa>, u64)> = None;
+        let mut i = 0;
+        while i < fragments.len() {
+            let seq = fragments[i].0;
+            let group_end = fragments[i..]
+                .iter()
+                .position(|f| f.0 != seq)
+                .map_or(fragments.len(), |p| i + p);
+            let group = &fragments[i..group_end];
+            let pages: Vec<Bytes> = group.iter().map(|f| f.3.clone()).collect();
+            if let Some(dir) = Directory::from_snapshot_pages(&pages) {
+                recovered = Some((dir, group.iter().map(|f| f.2).collect(), seq));
+                break;
+            }
+            i = group_end;
+        }
+        let (mut dir, dir_snapshot, snapshot_seq) = recovered
+            .unwrap_or_else(|| (Directory::new(cfg.initial_dir_bits), Vec::new(), 0));
+
+        // Re-learn record counts table by table (overflow tables included).
+        //
+        // A snapshot pointer can dangle: between the snapshot flush and the
+        // crash, a table may have been rewritten (retiring the snapshot's
+        // copy) and GC may have erased the retired page. Real firmware pins
+        // checkpoint-referenced pages or replays an OOB scan; the emulator
+        // degrades gracefully — the bucket's records are lost, counted in
+        // the returned index's `recovery_lost_tables` diagnostics — rather
+        // than failing the whole mount.
+        let mut len = 0u64;
+        let mut lost_tables = 0u64;
+        for slot in 0..dir.len() as u32 {
+            if let Some(ppa) = dir.entry(slot).table_ppa {
+                match ftl.read_index_page(ppa) {
+                    Ok(bytes) => {
+                        let table =
+                            RecordTable::from_page(&bytes, records_per_table, cfg.hop_width);
+                        dir.entry_mut(slot).records = table.len();
+                        len += table.len() as u64;
+                    }
+                    Err(_) => {
+                        dir.entry_mut(slot).table_ppa = None;
+                        dir.entry_mut(slot).records = 0;
+                        lost_tables += 1;
+                    }
+                }
+            }
+            if let Some(ppa) = dir.entry(slot).overflow_ppa {
+                match ftl.read_index_page(ppa) {
+                    Ok(bytes) => {
+                        let table =
+                            RecordTable::from_page(&bytes, records_per_table, cfg.hop_width);
+                        dir.entry_mut(slot).overflow_records = table.len();
+                        dir.entry_mut(slot).has_overflow = true;
+                        len += table.len() as u64;
+                    }
+                    Err(_) => {
+                        dir.entry_mut(slot).overflow_ppa = None;
+                        dir.entry_mut(slot).overflow_records = 0;
+                        dir.entry_mut(slot).has_overflow = false;
+                        lost_tables += 1;
+                    }
+                }
+            }
+        }
+
+        let mut idx = RhikIndex {
+            dir,
+            cfg,
+            records_per_table,
+            len,
+            stats: IndexStats::default(),
+            dir_snapshot,
+            dirty_mutations: 0,
+            snapshot_seq,
+            resize_deferred: false,
+            recovery_lost_tables: lost_tables,
+        };
+        // The snapshot pages just consumed may themselves have been retired
+        // (GC churn); re-anchor the persistent copy immediately so the next
+        // crash has a self-consistent mount point.
+        idx.flush_directory(ftl)?;
+        Ok(idx)
+    }
+
+    /// Buckets whose snapshot-referenced table page had already been
+    /// reclaimed when this index was recovered (0 on a clean mount).
+    pub fn recovery_lost_tables(&self) -> u64 {
+        self.recovery_lost_tables
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &RhikConfig {
+        &self.cfg
+    }
+
+    /// Directory accessor (diagnostics, experiments).
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// Records one record-layer table holds (Eq. 1).
+    pub fn records_per_table(&self) -> u32 {
+        self.records_per_table
+    }
+
+    /// Total record capacity of the current configuration.
+    pub fn total_capacity(&self) -> u64 {
+        self.dir.len() as u64 * self.records_per_table as u64
+    }
+
+    /// Global occupancy in [0, 1].
+    pub fn occupancy(&self) -> f64 {
+        self.len as f64 / self.total_capacity() as f64
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut IndexStats {
+        &mut self.stats
+    }
+
+    pub(crate) fn dir_mut(&mut self) -> &mut Directory {
+        &mut self.dir
+    }
+
+    pub(crate) fn set_len(&mut self, len: u64) {
+        self.len = len;
+    }
+
+    /// Load the record-layer table for `slot`, through the DRAM cache.
+    ///
+    /// Returns the table and the number of flash reads performed (0 on a
+    /// cache hit or a never-persisted empty table, 1 otherwise — the
+    /// paper's bound).
+    pub(crate) fn load_table(
+        &mut self,
+        ftl: &mut Ftl,
+        slot: u32,
+    ) -> Result<(RecordTable, u64), IndexError> {
+        let key = self.dir.cache_key(slot);
+        let ppa = self.dir.entry(slot).table_ppa;
+        self.load_any_table(ftl, key, ppa)
+    }
+
+    /// Load `slot`'s hyper-local overflow table (creating an empty one).
+    fn load_overflow(&mut self, ftl: &mut Ftl, slot: u32) -> Result<(RecordTable, u64), IndexError> {
+        let key = OVERFLOW_KEY | self.dir.cache_key(slot);
+        let ppa = self.dir.entry(slot).overflow_ppa;
+        self.load_any_table(ftl, key, ppa)
+    }
+
+    fn load_any_table(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        ppa: Option<Ppa>,
+    ) -> Result<(RecordTable, u64), IndexError> {
+        if let Some(bytes) = ftl.cache().get(key) {
+            return Ok((
+                RecordTable::from_page(&bytes, self.records_per_table, self.cfg.hop_width),
+                0,
+            ));
+        }
+        match ppa {
+            Some(ppa) => {
+                let bytes = ftl.read_index_page(ppa)?;
+                self.stats.metadata_flash_reads += 1;
+                let table =
+                    RecordTable::from_page(&bytes, self.records_per_table, self.cfg.hop_width);
+                self.install_in_cache(ftl, key, bytes, false)?;
+                Ok((table, 1))
+            }
+            None => Ok((RecordTable::new(self.records_per_table, self.cfg.hop_width), 0)),
+        }
+    }
+
+    /// Put a (possibly mutated) table back into the cache as dirty.
+    pub(crate) fn store_table(
+        &mut self,
+        ftl: &mut Ftl,
+        slot: u32,
+        table: &RecordTable,
+    ) -> Result<(), IndexError> {
+        let key = self.dir.cache_key(slot);
+        let page = table.to_page(ftl.geometry().page_size as usize);
+        self.install_in_cache(ftl, key, page, true)
+    }
+
+    /// Put an overflow table back into the cache as dirty.
+    fn store_overflow(
+        &mut self,
+        ftl: &mut Ftl,
+        slot: u32,
+        table: &RecordTable,
+    ) -> Result<(), IndexError> {
+        let key = OVERFLOW_KEY | self.dir.cache_key(slot);
+        let page = table.to_page(ftl.geometry().page_size as usize);
+        let entry = self.dir.entry_mut(slot);
+        entry.has_overflow = true;
+        entry.overflow_records = table.len();
+        self.install_in_cache(ftl, key, page, true)
+    }
+
+    /// Insert into the cache, writing back any dirty evictions.
+    fn install_in_cache(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        bytes: Bytes,
+        dirty: bool,
+    ) -> Result<(), IndexError> {
+        let evicted = ftl.cache().insert(key, bytes, dirty);
+        for ev in evicted {
+            self.write_back(ftl, ev.key, ev.data, ev.dirty)?;
+        }
+        Ok(())
+    }
+
+    /// Persist an evicted page if it is dirty and still belongs to the
+    /// current configuration.
+    fn write_back(&mut self, ftl: &mut Ftl, key: u64, data: Bytes, dirty: bool) -> Result<(), IndexError> {
+        if !dirty || key & DIR_PAGE_KEY != 0 {
+            return Ok(()); // snapshots are written eagerly, never dirty
+        }
+        let is_overflow = key & OVERFLOW_KEY != 0;
+        let key = key & !OVERFLOW_KEY;
+        if !self.dir.is_current_key(key) {
+            return Ok(()); // table from a pre-resize generation: already retired
+        }
+        let slot = Directory::slot_of_key(key);
+        let page_bytes = data.len() as u64;
+        let new_ppa = ftl.write_index_page(data, SpareMeta::index_page())?;
+        self.stats.metadata_flash_programs += 1;
+        let entry = self.dir.entry_mut(slot);
+        let target = if is_overflow { &mut entry.overflow_ppa } else { &mut entry.table_ppa };
+        if let Some(old) = target.replace(new_ppa) {
+            ftl.retire_index_page(old, page_bytes);
+        }
+        Ok(())
+    }
+
+    /// Resize check: called after each insert (§IV-A2 "once the total
+    /// occupancy of RHIK reaches a pre-defined threshold, its resizing
+    /// function is triggered").
+    fn maybe_resize(&mut self, ftl: &mut Ftl) -> Result<(), IndexError> {
+        if self.occupancy() >= self.cfg.occupancy_threshold {
+            match crate::resize::resize(self, ftl) {
+                Ok(()) => self.resize_deferred = false,
+                Err(IndexError::NeedsGc) => {
+                    // Not enough free blocks right now. The record that
+                    // triggered this check is already safely inserted; defer
+                    // the doubling until the device has garbage-collected
+                    // (it polls `maintenance_due` after every command).
+                    self.resize_deferred = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush the directory snapshot if the mutation interval elapsed.
+    fn maybe_flush_directory(&mut self, ftl: &mut Ftl) -> Result<(), IndexError> {
+        self.dirty_mutations += 1;
+        if self.dirty_mutations >= self.cfg.dir_flush_interval {
+            self.flush_directory(ftl)?;
+        }
+        Ok(())
+    }
+
+    /// Write the directory's persistent copy (§IV-A) and retire the old
+    /// snapshot pages.
+    pub fn flush_directory(&mut self, ftl: &mut Ftl) -> Result<(), IndexError> {
+        let page_size = ftl.geometry().page_size as usize;
+        self.snapshot_seq += 1;
+        let pages = self.dir.snapshot_pages(page_size, self.snapshot_seq);
+        let mut new_snapshot = Vec::with_capacity(pages.len());
+        for page in pages {
+            let len = page.len() as u64;
+            let ppa = ftl.write_index_page(page, SpareMeta::directory_page())?;
+            let _ = len;
+            new_snapshot.push(ppa);
+        }
+        self.stats.metadata_flash_programs += new_snapshot.len() as u64;
+        for old in std::mem::replace(&mut self.dir_snapshot, new_snapshot) {
+            ftl.retire_index_page(old, page_size as u64);
+        }
+        self.dirty_mutations = 0;
+        Ok(())
+    }
+
+    /// Flash pages of the current directory snapshot (diagnostics).
+    pub fn dir_snapshot(&self) -> &[Ppa] {
+        &self.dir_snapshot
+    }
+}
+
+impl IndexBackend for RhikIndex {
+    fn insert(&mut self, ftl: &mut Ftl, sig: KeySignature, ppa: Ppa) -> Result<InsertOutcome, IndexError> {
+        self.stats.inserts += 1;
+        let slot = self.dir.slot_of(sig);
+        let (mut table, _reads) = self.load_table(ftl, slot)?;
+
+        // If the bucket has overflowed before, the signature may already
+        // live in the overflow table; updates must land there, not create
+        // a duplicate in the primary.
+        if self.dir.entry(slot).has_overflow && table.lookup(sig).is_none() {
+            let (mut overflow, _) = self.load_overflow(ftl, slot)?;
+            if overflow.lookup(sig).is_some() {
+                let TableInsert::Updated { old } = overflow.insert(sig, ppa) else {
+                    unreachable!("lookup said present");
+                };
+                self.store_overflow(ftl, slot, &overflow)?;
+                self.maybe_flush_directory(ftl)?;
+                return Ok(InsertOutcome::Updated { old });
+            }
+        }
+
+        let outcome = match table.insert(sig, ppa) {
+            TableInsert::Inserted => {
+                self.store_table(ftl, slot, &table)?;
+                self.dir.entry_mut(slot).records = table.len();
+                self.len += 1;
+                InsertOutcome::Inserted
+            }
+            TableInsert::Updated { old } => {
+                self.store_table(ftl, slot, &table)?;
+                InsertOutcome::Updated { old }
+            }
+            TableInsert::Full if self.cfg.hyper_local => {
+                // §VI hyper-local scaling: absorb the reject in a
+                // per-bucket overflow table instead of aborting.
+                let (mut overflow, _) = self.load_overflow(ftl, slot)?;
+                match overflow.insert(sig, ppa) {
+                    TableInsert::Inserted => {
+                        self.store_overflow(ftl, slot, &overflow)?;
+                        self.len += 1;
+                        InsertOutcome::Inserted
+                    }
+                    TableInsert::Updated { old } => {
+                        self.store_overflow(ftl, slot, &overflow)?;
+                        InsertOutcome::Updated { old }
+                    }
+                    TableInsert::Full => {
+                        self.stats.insert_aborts += 1;
+                        return Err(IndexError::TableFull { table: slot as u64 });
+                    }
+                }
+            }
+            TableInsert::Full => {
+                self.stats.insert_aborts += 1;
+                return Err(IndexError::TableFull { table: slot as u64 });
+            }
+        };
+        self.maybe_resize(ftl)?;
+        self.maybe_flush_directory(ftl)?;
+        Ok(outcome)
+    }
+
+    fn lookup(&mut self, ftl: &mut Ftl, sig: KeySignature) -> Result<Option<Ppa>, IndexError> {
+        self.stats.lookups += 1;
+        let slot = self.dir.slot_of(sig);
+        let (table, mut reads) = self.load_table(ftl, slot)?;
+        debug_assert!(reads <= 1, "primary lookup exceeded one flash read");
+        if let Some(hit) = table.lookup(sig) {
+            self.stats.note_lookup_reads(reads);
+            return Ok(Some(hit));
+        }
+        // Overflowed buckets may need a second read — the documented cost
+        // of hyper-local scaling (resize migration may also create overflow
+        // tables as a survival measure, so this is checked unconditionally).
+        let mut hit = None;
+        if self.dir.entry(slot).has_overflow {
+            let (overflow, r2) = self.load_overflow(ftl, slot)?;
+            reads += r2;
+            hit = overflow.lookup(sig);
+        }
+        self.stats.note_lookup_reads(reads);
+        Ok(hit)
+    }
+
+    fn remove(&mut self, ftl: &mut Ftl, sig: KeySignature) -> Result<Option<Ppa>, IndexError> {
+        self.stats.removes += 1;
+        let slot = self.dir.slot_of(sig);
+        let (mut table, _) = self.load_table(ftl, slot)?;
+        let mut removed = table.remove(sig);
+        if removed.is_some() {
+            self.store_table(ftl, slot, &table)?;
+            self.dir.entry_mut(slot).records = table.len();
+        } else if self.dir.entry(slot).has_overflow {
+            let (mut overflow, _) = self.load_overflow(ftl, slot)?;
+            removed = overflow.remove(sig);
+            if removed.is_some() {
+                self.store_overflow(ftl, slot, &overflow)?;
+            }
+        }
+        if removed.is_some() {
+            self.len -= 1;
+            self.maybe_flush_directory(ftl)?;
+        }
+        Ok(removed)
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn capacity(&self) -> Option<u64> {
+        Some(self.total_capacity())
+    }
+
+    fn dram_bytes(&self) -> u64 {
+        self.dir.dram_bytes()
+    }
+
+    fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "rhik"
+    }
+
+    fn flush(&mut self, ftl: &mut Ftl) -> Result<(), IndexError> {
+        // Persist every dirty cached table, then the directory snapshot.
+        let dirty = ftl.cache().drain_dirty();
+        for ev in dirty {
+            self.write_back(ftl, ev.key, ev.data, true)?;
+        }
+        self.flush_directory(ftl)
+    }
+
+    fn live_index_pages_in(&self, block: u32) -> Vec<(u64, Ppa)> {
+        let mut pages = Vec::new();
+        for slot in 0..self.dir.len() as u32 {
+            let e = self.dir.entry(slot);
+            if let Some(ppa) = e.table_ppa {
+                if ppa.block == block {
+                    pages.push((self.dir.cache_key(slot), ppa));
+                }
+            }
+            if let Some(ppa) = e.overflow_ppa {
+                if ppa.block == block {
+                    pages.push((OVERFLOW_KEY | self.dir.cache_key(slot), ppa));
+                }
+            }
+        }
+        for (i, &ppa) in self.dir_snapshot.iter().enumerate() {
+            if ppa.block == block {
+                pages.push((DIR_PAGE_KEY | i as u64, ppa));
+            }
+        }
+        pages
+    }
+
+    fn maintenance_due(&self) -> bool {
+        self.resize_deferred || self.occupancy() >= self.cfg.occupancy_threshold
+    }
+
+    fn maintain(&mut self, ftl: &mut Ftl) -> Result<(), IndexError> {
+        self.maybe_resize(ftl)?;
+        if self.resize_deferred {
+            return Err(IndexError::NeedsGc);
+        }
+        Ok(())
+    }
+
+    fn scan_records(
+        &mut self,
+        ftl: &mut Ftl,
+        visit: &mut dyn FnMut(KeySignature, Ppa),
+    ) -> Result<(), IndexError> {
+        for slot in 0..self.dir.len() as u32 {
+            if self.dir.entry(slot).records > 0 {
+                let (table, _) = self.load_table(ftl, slot)?;
+                for (sig, ppa) in table.iter() {
+                    visit(sig, ppa);
+                }
+            }
+            if self.dir.entry(slot).overflow_records > 0 {
+                let (overflow, _) = self.load_overflow(ftl, slot)?;
+                for (sig, ppa) in overflow.iter() {
+                    visit(sig, ppa);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn relocate_index_page(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        old: Ppa,
+    ) -> Result<Option<Ppa>, IndexError> {
+        let page_size = ftl.geometry().page_size as u64;
+        if key & DIR_PAGE_KEY != 0 {
+            // A directory snapshot fragment: rewrite the whole snapshot
+            // (it is small and this is rare).
+            if self.dir_snapshot.contains(&old) {
+                self.flush_directory(ftl)?;
+                return Ok(self.dir_snapshot.first().copied());
+            }
+            return Ok(None);
+        }
+        let is_overflow = key & OVERFLOW_KEY != 0;
+        let key = key & !OVERFLOW_KEY;
+        if !self.dir.is_current_key(key) {
+            return Ok(None);
+        }
+        let slot = Directory::slot_of_key(key);
+        let current = if is_overflow {
+            self.dir.entry(slot).overflow_ppa
+        } else {
+            self.dir.entry(slot).table_ppa
+        };
+        if current != Some(old) {
+            return Ok(None); // already moved elsewhere
+        }
+        let bytes = ftl.read_index_page(old)?;
+        self.stats.metadata_flash_reads += 1;
+        let new_ppa = ftl.write_index_page(bytes, SpareMeta::index_page())?;
+        self.stats.metadata_flash_programs += 1;
+        let entry = self.dir.entry_mut(slot);
+        if is_overflow {
+            entry.overflow_ppa = Some(new_ppa);
+        } else {
+            entry.table_ppa = Some(new_ppa);
+        }
+        ftl.retire_index_page(old, page_size);
+        Ok(Some(new_ppa))
+    }
+}
+
+impl std::fmt::Debug for RhikIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RhikIndex")
+            .field("keys", &self.len)
+            .field("dir_bits", &self.dir.bits())
+            .field("tables", &self.dir.len())
+            .field("records_per_table", &self.records_per_table)
+            .field("occupancy", &format!("{:.3}", self.occupancy()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhik_ftl::FtlConfig;
+
+    fn setup() -> (Ftl, RhikIndex) {
+        setup_with_blocks(8)
+    }
+
+    /// Larger device for index-churn-heavy tests (no GC runs inside these
+    /// tests, so retired metadata pages are never reclaimed).
+    fn setup_with_blocks(blocks: u32) -> (Ftl, RhikIndex) {
+        let ftl = Ftl::new(FtlConfig {
+            geometry: rhik_nand::NandGeometry {
+                blocks,
+                pages_per_block: 8,
+                page_size: 512,
+                spare_size: 16,
+                channels: 2,
+            },
+            ..FtlConfig::tiny()
+        });
+        let idx = RhikIndex::new(
+            RhikConfig { initial_dir_bits: 1, dir_flush_interval: 1_000_000, hop_width: 16, occupancy_threshold: 0.6, ..Default::default() },
+            512,
+        );
+        (ftl, idx)
+    }
+
+    fn sig(n: u64) -> KeySignature {
+        // splitmix64: well-mixed bits, standing in for real murmur output.
+        let mut z = n.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        KeySignature(z ^ (z >> 31))
+    }
+
+    #[test]
+    fn insert_lookup_remove_cycle() {
+        let (mut ftl, mut idx) = setup();
+        let p = Ppa::new(1, 2);
+        assert_eq!(idx.insert(&mut ftl, sig(0xabc), p).unwrap(), InsertOutcome::Inserted);
+        assert_eq!(idx.lookup(&mut ftl, sig(0xabc)).unwrap(), Some(p));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.remove(&mut ftl, sig(0xabc)).unwrap(), Some(p));
+        assert_eq!(idx.lookup(&mut ftl, sig(0xabc)).unwrap(), None);
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn update_reports_old_location() {
+        let (mut ftl, mut idx) = setup();
+        idx.insert(&mut ftl, sig(7), Ppa::new(0, 1)).unwrap();
+        let out = idx.insert(&mut ftl, sig(7), Ppa::new(0, 2)).unwrap();
+        assert_eq!(out, InsertOutcome::Updated { old: Ppa::new(0, 1) });
+        assert_eq!(idx.len(), 1, "updates do not grow the index");
+        assert_eq!(idx.lookup(&mut ftl, sig(7)).unwrap(), Some(Ppa::new(0, 2)));
+    }
+
+    #[test]
+    fn lookups_never_exceed_one_flash_read() {
+        let (mut ftl, mut idx) = setup_with_blocks(512);
+        // Insert enough keys to spill tables to flash (cache is 4 KiB = 8
+        // tables of 512 B; dir starts at 2 tables but resizes up).
+        for i in 0..400u64 {
+            idx.insert(&mut ftl, sig(i), Ppa::new(0, (i % 8) as u32)).unwrap();
+        }
+        // Force write-back so tables live on flash, then drop the cache.
+        idx.flush(&mut ftl).unwrap();
+        for i in 0..400u64 {
+            let s = sig(i);
+            assert!(idx.lookup(&mut ftl, s).unwrap().is_some(), "key {i} lost");
+        }
+        let st = idx.stats();
+        assert!(st.pct_lookups_within(1) >= 100.0 - 1e-9, "max-1-read violated");
+    }
+
+    #[test]
+    fn occupancy_triggers_resize() {
+        let (mut ftl, mut idx) = setup();
+        let cap0 = idx.total_capacity();
+        let bits0 = idx.directory().bits();
+        let mut i = 0u64;
+        while idx.directory().bits() == bits0 {
+            idx.insert(&mut ftl, sig(i ^ 0xAAAA_0000), Ppa::new(0, 0)).unwrap();
+            i += 1;
+            assert!(i < 10_000, "resize never triggered");
+        }
+        assert_eq!(idx.directory().bits(), bits0 + 1);
+        assert_eq!(idx.total_capacity(), cap0 * 2);
+        // Every key survives the migration.
+        for k in 0..i {
+            let s = sig(k ^ 0xAAAA_0000);
+            assert!(idx.lookup(&mut ftl, s).unwrap().is_some(), "key {k} lost in resize");
+        }
+        assert_eq!(idx.stats().resizes.len(), 1);
+        let ev = idx.stats().resizes[0];
+        assert!(ev.keys_before > 0);
+        assert!(ev.flash_programs > 0);
+    }
+
+    #[test]
+    fn many_keys_many_resizes() {
+        let (mut ftl, mut idx) = setup_with_blocks(2048);
+        let n = 1500u64;
+        for i in 0..n {
+            idx.insert(&mut ftl, sig(i ^ 0xBBBB_0000), Ppa::new(0, 0)).unwrap();
+        }
+        assert_eq!(idx.len(), n);
+        assert!(idx.stats().resizes.len() >= 3, "resizes: {}", idx.stats().resizes.len());
+        assert!(idx.occupancy() < idx.config().occupancy_threshold);
+        for i in 0..n {
+            let s = sig(i ^ 0xBBBB_0000);
+            assert!(idx.lookup(&mut ftl, s).unwrap().is_some(), "key {i} lost");
+        }
+    }
+
+    #[test]
+    fn contains_is_signature_membership() {
+        let (mut ftl, mut idx) = setup();
+        idx.insert(&mut ftl, sig(1), Ppa::new(0, 0)).unwrap();
+        assert!(idx.contains(&mut ftl, sig(1)).unwrap());
+        assert!(!idx.contains(&mut ftl, sig(2)).unwrap());
+    }
+
+    #[test]
+    fn flush_persists_tables_and_directory() {
+        let (mut ftl, mut idx) = setup();
+        for i in 0..50u64 {
+            idx.insert(&mut ftl, sig(i.wrapping_add(5_000_000)), Ppa::new(0, 0)).unwrap();
+        }
+        idx.flush(&mut ftl).unwrap();
+        assert!(!idx.dir_snapshot().is_empty());
+        // All tables with records have a persistent location.
+        for slot in 0..idx.directory().len() as u32 {
+            let e = idx.directory().entry(slot);
+            if e.records > 0 {
+                assert!(e.table_ppa.is_some(), "slot {slot} not persisted");
+            }
+        }
+        // The snapshot round-trips through flash bytes.
+        let mut pages = Vec::new();
+        for &ppa in idx.dir_snapshot() {
+            pages.push(ftl.read_index_page(ppa).unwrap());
+        }
+        let rebuilt = Directory::from_snapshot_pages(&pages).unwrap();
+        assert_eq!(rebuilt.bits(), idx.directory().bits());
+    }
+
+    #[test]
+    fn live_pages_reported_per_block() {
+        let (mut ftl, mut idx) = setup();
+        for i in 0..100u64 {
+            idx.insert(&mut ftl, sig(i.wrapping_add(6_000_000)), Ppa::new(0, 0)).unwrap();
+        }
+        idx.flush(&mut ftl).unwrap();
+        let mut total = 0;
+        for b in 0..ftl.geometry().blocks {
+            total += idx.live_index_pages_in(b).len();
+        }
+        let persisted_tables = (0..idx.directory().len() as u32)
+            .filter(|&s| idx.directory().entry(s).table_ppa.is_some())
+            .count();
+        assert_eq!(total, persisted_tables + idx.dir_snapshot().len());
+    }
+
+    #[test]
+    fn relocation_moves_table_and_preserves_lookups() {
+        let (mut ftl, mut idx) = setup();
+        for i in 0..60u64 {
+            idx.insert(&mut ftl, sig(i.wrapping_add(7_000_000)), Ppa::new(0, 0)).unwrap();
+        }
+        idx.flush(&mut ftl).unwrap();
+        let slot = (0..idx.directory().len() as u32)
+            .find(|&s| idx.directory().entry(s).table_ppa.is_some())
+            .unwrap();
+        let old = idx.directory().entry(slot).table_ppa.unwrap();
+        let key = idx.directory().cache_key(slot);
+        // Drop the cached copy so relocation reads from flash.
+        ftl.cache().remove(key);
+        let new = idx.relocate_index_page(&mut ftl, key, old).unwrap().unwrap();
+        assert_ne!(new, old);
+        assert_eq!(idx.directory().entry(slot).table_ppa, Some(new));
+        // Stale relocation requests are ignored.
+        assert_eq!(idx.relocate_index_page(&mut ftl, key, old).unwrap(), None);
+    }
+
+    #[test]
+    fn stale_generation_cache_entries_are_not_written_back() {
+        let (mut ftl, mut idx) = setup();
+        let mut i = 0u64;
+        let bits0 = idx.directory().bits();
+        while idx.directory().bits() == bits0 {
+            idx.insert(&mut ftl, sig(i ^ 0xCCCC_0000), Ppa::new(0, 0)).unwrap();
+            i += 1;
+        }
+        // After resize the cache may still hold old-generation pages; a
+        // flush must not resurrect them.
+        let tables_before = (0..idx.directory().len() as u32)
+            .filter_map(|s| idx.directory().entry(s).table_ppa)
+            .collect::<Vec<_>>();
+        idx.flush(&mut ftl).unwrap();
+        for ppa in tables_before {
+            // Old pointers may have been superseded but never dangle into
+            // erased blocks (GC hasn't run here).
+            let _ = ftl.read_index_page(ppa).unwrap();
+        }
+    }
+
+    #[test]
+    fn hyper_local_absorbs_table_full() {
+        // Tiny tables (R=30, hop 4) + threshold 1.0 so the global resize
+        // never rescues a locally-full bucket: without hyper-local this
+        // aborts, with it every insert lands.
+        let mk = |hyper_local: bool| {
+            RhikIndex::new(
+                RhikConfig {
+                    initial_dir_bits: 0,
+                    hop_width: 4,
+                    occupancy_threshold: 1.0,
+                    dir_flush_interval: 1_000_000,
+                    hyper_local,
+                    ..Default::default()
+                },
+                512,
+            )
+        };
+        // Baseline: find a fill level where the paper design aborts.
+        let mut ftl = Ftl::new(FtlConfig::tiny());
+        let mut plain = mk(false);
+        let mut abort_at = None;
+        for i in 0..30u64 {
+            if plain.insert(&mut ftl, sig(i), Ppa::new(0, 0)).is_err() {
+                abort_at = Some(i);
+                break;
+            }
+        }
+        let abort_at = abort_at.expect("hop width 4 must abort before 30 inserts");
+
+        // Hyper-local: same stream sails past the abort point.
+        let mut ftl = Ftl::new(FtlConfig::tiny());
+        let mut hl = mk(true);
+        for i in 0..=abort_at {
+            hl.insert(&mut ftl, sig(i), Ppa::new(0, 0))
+                .unwrap_or_else(|e| panic!("hyper-local aborted at {i}: {e}"));
+        }
+        assert_eq!(hl.len(), abort_at + 1);
+        // Every key — primary or overflow — resolves, updates and removals
+        // included.
+        for i in 0..=abort_at {
+            assert!(hl.lookup(&mut ftl, sig(i)).unwrap().is_some(), "key {i} lost");
+        }
+        hl.insert(&mut ftl, sig(0), Ppa::new(1, 1)).unwrap();
+        assert_eq!(hl.lookup(&mut ftl, sig(0)).unwrap(), Some(Ppa::new(1, 1)));
+        assert_eq!(hl.remove(&mut ftl, sig(abort_at)).unwrap(), Some(Ppa::new(0, 0)));
+        assert_eq!(hl.len(), abort_at);
+    }
+
+    #[test]
+    fn hyper_local_overflow_dissolves_on_resize() {
+        let mut ftl = Ftl::new(FtlConfig {
+            geometry: rhik_nand::NandGeometry {
+                blocks: 256,
+                pages_per_block: 8,
+                page_size: 512,
+                spare_size: 16,
+                channels: 2,
+            },
+            ..FtlConfig::tiny()
+        });
+        let mut idx = RhikIndex::new(
+            RhikConfig {
+                initial_dir_bits: 0,
+                hop_width: 4, // aborts early → overflow tables form
+                occupancy_threshold: 0.9,
+                dir_flush_interval: 1_000_000,
+                hyper_local: true,
+                ..Default::default()
+            },
+            512,
+        );
+        let n = 400u64;
+        for i in 0..n {
+            idx.insert(&mut ftl, sig(i), Ppa::new(0, 0)).unwrap();
+            if idx.maintenance_due() {
+                idx.maintain(&mut ftl).unwrap();
+            }
+        }
+        assert!(idx.stats().resizes.len() >= 3);
+        assert_eq!(idx.len(), n);
+        for i in 0..n {
+            assert!(idx.lookup(&mut ftl, sig(i)).unwrap().is_some(), "key {i} lost");
+        }
+    }
+
+    #[test]
+    fn dram_bytes_is_directory_only() {
+        let (_, idx) = setup();
+        assert_eq!(idx.dram_bytes(), idx.directory().dram_bytes());
+        assert_eq!(idx.name(), "rhik");
+        assert_eq!(idx.capacity(), Some(idx.total_capacity()));
+    }
+}

@@ -1,0 +1,298 @@
+//! Index re-configuration (§IV-A2).
+//!
+//! "Every time while resizing, a new index is initialized with double the
+//! capacity of the current active index. [...] Our key to achieving faster
+//! migration lies in the fact that we store the 64-bit key signatures
+//! inside the hash indexes in the secondary layer. We reuse these key
+//! signatures to rearrange the records in the new index quickly. The KV
+//! pairs stored in the device are not accessed."
+//!
+//! The migration streams: each old table splits into exactly two successor
+//! tables (low-bit extension), which are written to flash as they fill, so
+//! peak DRAM is two tables regardless of index size. Old table pages are
+//! marked stale for the garbage collector afterwards. The device holds its
+//! submission queue during the migration (§IV-A2); the recorded
+//! [`ResizeEvent`] carries both CPU and simulated-media time so Fig. 7 can
+//! report the resizing-time growth rate.
+
+use rhik_ftl::layout::SpareMeta;
+use rhik_ftl::{Ftl, IndexBackend, IndexError, ResizeEvent};
+use rhik_nand::NandOp;
+
+use crate::bucket::{RecordTable, TableInsert};
+use crate::directory::Directory;
+use crate::index::RhikIndex;
+
+/// Double the index capacity, migrating all records by stored signature.
+pub(crate) fn resize(idx: &mut RhikIndex, ftl: &mut Ftl) -> Result<(), IndexError> {
+    let t0 = std::time::Instant::now();
+    let keys_before = idx.len();
+    let stats_before = ftl.stats();
+
+    // ---- pre-flight: make sure the whole migration fits the free pool so
+    // we never fail halfway with a half-built directory.
+    let old_tables = idx.directory().len() as u64;
+    let page_size = ftl.geometry().page_size as usize;
+    let snapshot_pages = idx.directory().snapshot_pages(page_size, 0).len() as u64 * 2;
+    let overflow_tables = (0..idx.directory().len() as u32)
+        .filter(|&s| idx.directory().entry(s).has_overflow)
+        .count() as u64;
+    // Worst case each split target also needs a fresh overflow table.
+    let pages_needed = 4 * old_tables + overflow_tables + snapshot_pages + 1;
+    let ppb = ftl.geometry().pages_per_block as u64;
+    if (ftl.free_blocks() as u64) * ppb < pages_needed {
+        return Err(IndexError::NeedsGc);
+    }
+
+    let records_per_table = idx.records_per_table();
+    let hop_width = idx.config().hop_width;
+    let old_dir: Directory = idx.dir_mut().begin_doubling();
+    let old_bits = old_dir.bits();
+
+    let mut migrated = 0u64;
+    for slot in 0..old_dir.len() as u32 {
+        // Fetch the old table (and its hyper-local overflow, if any):
+        // cache first (old-generation keys), flash next.
+        let fetch = |ftl: &mut Ftl, idx: &mut RhikIndex, cache_key: u64, ppa: Option<rhik_nand::Ppa>| -> Result<Option<RecordTable>, IndexError> {
+            if let Some(ev) = ftl.cache().remove(cache_key) {
+                return Ok(Some(RecordTable::from_page(&ev.data, records_per_table, hop_width)));
+            }
+            match ppa {
+                Some(ppa) => {
+                    let bytes = ftl.read_index_page(ppa)?;
+                    idx.stats_mut().metadata_flash_reads += 1;
+                    Ok(Some(RecordTable::from_page(&bytes, records_per_table, hop_width)))
+                }
+                None => Ok(None),
+            }
+        };
+        let old_key = old_dir.cache_key(slot);
+        let entry = *old_dir.entry(slot);
+        let table = fetch(ftl, idx, old_key, entry.table_ppa)?;
+        let overflow = if entry.has_overflow {
+            fetch(ftl, idx, crate::index::OVERFLOW_KEY | old_key, entry.overflow_ppa)?
+        } else {
+            None
+        };
+        if table.is_none() && overflow.is_none() {
+            debug_assert_eq!(entry.total_records(), 0);
+            continue;
+        }
+
+        // Split by the new low bit, re-homing every record by signature.
+        // Overflow records fold back into the halved primaries where they
+        // fit; if hopscotch clustering rejects a record mid-migration, it
+        // goes to a fresh overflow table for the target slot — the resize
+        // must never fail half-done.
+        let (lo_slot, hi_slot) = Directory::split_targets(slot, old_bits);
+        let mut lo = RecordTable::new(records_per_table, hop_width);
+        let mut hi = RecordTable::new(records_per_table, hop_width);
+        let mut lo_ovf: Option<RecordTable> = None;
+        let mut hi_ovf: Option<RecordTable> = None;
+        for (sig, ppa) in table.iter().flat_map(|t| t.iter()).chain(overflow.iter().flat_map(|t| t.iter())) {
+            let target_slot = idx.directory().slot_of(sig);
+            debug_assert!(target_slot == lo_slot || target_slot == hi_slot);
+            let (target, target_ovf) = if target_slot == lo_slot {
+                (&mut lo, &mut lo_ovf)
+            } else {
+                (&mut hi, &mut hi_ovf)
+            };
+            match target.insert(sig, ppa) {
+                TableInsert::Inserted => migrated += 1,
+                TableInsert::Updated { .. } => unreachable!("signatures unique within a table"),
+                TableInsert::Full => {
+                    let ovf = target_ovf
+                        .get_or_insert_with(|| RecordTable::new(records_per_table, hop_width));
+                    match ovf.insert(sig, ppa) {
+                        TableInsert::Inserted => migrated += 1,
+                        TableInsert::Updated { .. } => {
+                            unreachable!("signatures unique within a bucket")
+                        }
+                        TableInsert::Full => {
+                            // Primary and a whole fresh overflow both full
+                            // within hop range: statistically unreachable
+                            // (the overflow is at most half a table); a
+                            // half-done resize is unrecoverable, so fail
+                            // loudly rather than corrupt.
+                            panic!(
+                                "resize migration overflowed twice at slot {target_slot};                                  hop width {hop_width} cannot sustain this distribution"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Persist the successors immediately (streamed migration).
+        for (new_slot, new_table, new_ovf) in [(lo_slot, lo, lo_ovf), (hi_slot, hi, hi_ovf)] {
+            if !new_table.is_empty() {
+                let page = new_table.to_page(page_size);
+                let ppa = ftl.write_index_page(page, SpareMeta::index_page())?;
+                idx.stats_mut().metadata_flash_programs += 1;
+                let entry = idx.dir_mut().entry_mut(new_slot);
+                entry.table_ppa = Some(ppa);
+                entry.records = new_table.len();
+            }
+            if let Some(ovf) = new_ovf {
+                let page = ovf.to_page(page_size);
+                let ppa = ftl.write_index_page(page, SpareMeta::index_page())?;
+                idx.stats_mut().metadata_flash_programs += 1;
+                let entry = idx.dir_mut().entry_mut(new_slot);
+                entry.overflow_ppa = Some(ppa);
+                entry.overflow_records = ovf.len();
+                entry.has_overflow = true;
+            }
+        }
+
+        // Retire the old pages for the garbage collector ("the flash pages
+        // containing the old index records are marked stale", §IV-A2).
+        for old_ppa in [entry.table_ppa, entry.overflow_ppa].into_iter().flatten() {
+            ftl.retire_index_page(old_ppa, page_size as u64);
+        }
+    }
+    debug_assert_eq!(migrated, keys_before, "resize lost records");
+    idx.set_len(migrated);
+
+    // Persist the new directory (the paper keeps a periodically-updated
+    // copy; after a resize the old snapshot describes a dead configuration).
+    idx.flush_directory(ftl)?;
+
+    // ---- instrumentation for Fig. 7.
+    let stats_after = ftl.stats();
+    let flash_reads = stats_after.index_page_reads - stats_before.index_page_reads;
+    let flash_programs = stats_after.index_page_programs - stats_before.index_page_programs;
+    let lat = &ftl.profile().latency;
+    let page_bytes = ftl.geometry().page_size;
+    let zero = rhik_nand::Ppa::new(0, 0);
+    let media_ns = flash_reads * lat.duration_ns(&NandOp::Read { ppa: zero, bytes: page_bytes })
+        + flash_programs * lat.duration_ns(&NandOp::Program { ppa: zero, bytes: page_bytes });
+    idx.stats_mut().resizes.push(ResizeEvent {
+        keys_before,
+        tables_before: old_tables,
+        flash_reads,
+        flash_programs,
+        cpu_ns: t0.elapsed().as_nanos() as u64,
+        media_ns,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RhikConfig;
+    use rhik_ftl::{FtlConfig, IndexBackend};
+    use rhik_nand::Ppa;
+    use rhik_sigs::KeySignature;
+
+    fn sig(n: u64) -> KeySignature {
+        let mut z = n.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        KeySignature(z ^ (z >> 31))
+    }
+
+    fn grown_index(keys: u64) -> (Ftl, RhikIndex) {
+        let mut ftl = Ftl::new(FtlConfig {
+            geometry: rhik_nand::NandGeometry {
+                blocks: 64,
+                pages_per_block: 16,
+                page_size: 512,
+                spare_size: 16,
+                channels: 2,
+            },
+            ..FtlConfig::tiny()
+        });
+        let mut idx = RhikIndex::new(
+            RhikConfig { initial_dir_bits: 0, dir_flush_interval: 1_000_000, hop_width: 16, occupancy_threshold: 0.6, ..Default::default() },
+            512,
+        );
+        for i in 0..keys {
+            idx.insert(&mut ftl, sig(i), Ppa::new(0, 0)).unwrap();
+        }
+        (ftl, idx)
+    }
+
+    #[test]
+    fn resize_preserves_every_record() {
+        let (mut ftl, mut idx) = grown_index(500);
+        assert!(idx.stats().resizes.len() >= 4, "several doublings happened");
+        for i in 0..500 {
+            assert!(idx.lookup(&mut ftl, sig(i)).unwrap().is_some(), "key {i} lost");
+        }
+        assert_eq!(idx.len(), 500);
+    }
+
+    #[test]
+    fn resize_never_reads_kv_data() {
+        // Migration must only touch index pages: data-page read count stays
+        // zero in an index-only workload.
+        let (ftl, idx) = grown_index(300);
+        assert!(idx.stats().resizes.len() >= 3);
+        assert_eq!(ftl.stats().data_page_reads, 0);
+    }
+
+    #[test]
+    fn resize_events_scale_linearly() {
+        let (_ftl, idx) = grown_index(800);
+        let events = &idx.stats().resizes;
+        assert!(events.len() >= 4);
+        // Table count doubles event over event...
+        for w in events.windows(2) {
+            assert_eq!(w[1].tables_before, w[0].tables_before * 2);
+        }
+        // ...and media work grows proportionally with the index, i.e. the
+        // rate of change of resize cost stays bounded (Fig. 7's claim).
+        for w in events.windows(2) {
+            let grow = w[1].media_ns as f64 / w[0].media_ns.max(1) as f64;
+            assert!(grow <= 4.0, "resize cost exploded: {grow}");
+        }
+    }
+
+    #[test]
+    fn old_pages_marked_stale() {
+        let (ftl, idx) = grown_index(600);
+        assert!(idx.stats().resizes.len() >= 3);
+        // The superseded tables and snapshots appear as stale bytes on the
+        // index stream.
+        assert!(ftl.total_stale_bytes() > 0);
+    }
+
+    #[test]
+    fn resize_precheck_defers_to_maintenance() {
+        // A device too small for the doubled index must defer the resize —
+        // directory untouched, record still inserted, maintenance flagged.
+        let mut ftl = Ftl::new(FtlConfig::tiny()); // 8 blocks x 8 pages
+        let mut idx = RhikIndex::new(
+            RhikConfig { initial_dir_bits: 0, dir_flush_interval: 1_000_000, hop_width: 16, occupancy_threshold: 0.6, ..Default::default() },
+            512,
+        );
+        // Consume nearly all flash with data.
+        let mut i = 0u64;
+        while ftl.store_pair(KeySignature(i), b"k", &[0u8; 400], 0).is_ok() {
+            i += 1;
+        }
+        let _ = i;
+        let bits_before = idx.directory().bits();
+        // Insert past the threshold: records land, resize defers.
+        let mut inserted = 0u64;
+        for k in 0..25u64 {
+            match idx.insert(&mut ftl, sig(k), Ppa::new(0, 0)) {
+                Ok(_) => inserted += 1,
+                Err(IndexError::TableFull { .. }) => break,
+                Err(IndexError::NeedsGc) => break, // metadata write itself failed
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(inserted >= 18, "inserted {inserted}");
+        if idx.maintenance_due() {
+            // Deferred resize: directory untouched until maintain succeeds.
+            assert_eq!(idx.directory().bits(), bits_before);
+            assert_eq!(idx.maintain(&mut ftl).unwrap_err(), IndexError::NeedsGc);
+        }
+        // Every inserted record is still reachable.
+        for k in 0..inserted {
+            assert!(idx.lookup(&mut ftl, sig(k)).unwrap().is_some(), "key {k} lost");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Birthday-bound collision estimators.
+//!
+//! §IV-A3 of the paper notes that as index occupancy reaches millions of
+//! entries, the probability of a collision in the 64-bit global signature
+//! space rises (the classic birthday problem, the paper's reference \[15\]).
+//! These estimators back the Fig. 8a analysis and the membership-checking
+//! docs: they predict how many signature collisions a workload of `n` keys
+//! should see, independent of key size — which is exactly the "different key
+//! sizes show similar collision trends" claim.
+
+/// Probability that at least one pair among `n` uniformly-hashed keys
+/// collides in a `bits`-wide signature space.
+///
+/// Uses the standard approximation `1 - exp(-n(n-1) / 2^(bits+1))`, accurate
+/// for the regimes the paper evaluates (n up to ~10^8, 64-bit space).
+pub fn collision_probability(n: u64, bits: u32) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let space = (bits as f64).exp2();
+    let exponent = -(n * (n - 1.0)) / (2.0 * space);
+    1.0 - exponent.exp()
+}
+
+/// Expected number of colliding *pairs* among `n` keys in a `bits`-wide
+/// space: `C(n,2) / 2^bits`.
+pub fn expected_collisions(n: u64, bits: u32) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let space = (bits as f64).exp2();
+    n * (n - 1.0) / (2.0 * space)
+}
+
+/// Expected *percentage* of keys involved in at least one signature
+/// collision — the y-axis of Fig. 8a. Each colliding pair involves two keys,
+/// so for the sparse regime this is `2 * expected_collisions / n * 100`.
+pub fn expected_collision_pct(n: u64, bits: u32) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    100.0 * 2.0 * expected_collisions(n, bits) / n as f64
+}
+
+/// Number of keys at which the collision probability reaches `p`
+/// (inverse birthday bound): `n ≈ sqrt(2^(bits+1) * ln(1/(1-p)))`.
+pub fn keys_for_probability(p: f64, bits: u32) -> u64 {
+    assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+    if p == 0.0 {
+        return 1;
+    }
+    let space = (bits as f64).exp2();
+    (2.0 * space * (1.0 / (1.0 - p)).ln()).sqrt() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_keys_never_collide() {
+        assert_eq!(collision_probability(0, 64), 0.0);
+        assert_eq!(collision_probability(1, 64), 0.0);
+        assert_eq!(expected_collisions(1, 64), 0.0);
+        assert_eq!(expected_collision_pct(0, 64), 0.0);
+    }
+
+    #[test]
+    fn classic_birthday_paradox() {
+        // 23 people, 365 "days" ≈ space of ~8.51 bits. Use the exact-space
+        // variant by checking the 32-bit analogue instead: ~77,000 keys give
+        // ~50% probability in a 32-bit space (sqrt(2^33 * ln 2) ≈ 77163).
+        let n = keys_for_probability(0.5, 32);
+        assert!((70_000..85_000).contains(&n), "n = {n}");
+        let p = collision_probability(n, 32);
+        assert!((0.45..0.55).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn sixty_four_bit_space_is_roomy() {
+        // 100 M keys in a 64-bit space: expected pairs ≈ n^2 / 2^65 ≈ 2.7e-4.
+        let e = expected_collisions(100_000_000, 64);
+        assert!((2.0e-4..4.0e-4).contains(&e), "e = {e}");
+        // Collision percentage stays far below 1% — the Fig. 8a regime.
+        assert!(expected_collision_pct(100_000_000, 64) < 1.0);
+    }
+
+    #[test]
+    fn monotone_in_n_and_antitone_in_bits() {
+        assert!(collision_probability(1_000, 32) < collision_probability(10_000, 32));
+        assert!(collision_probability(10_000, 48) < collision_probability(10_000, 32));
+        assert!(expected_collisions(10_000, 128) < expected_collisions(10_000, 64));
+    }
+
+    #[test]
+    fn probability_saturates() {
+        let p = collision_probability(10_000_000, 32);
+        assert!(p > 0.999999, "p = {p}");
+        assert!(p <= 1.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Signature newtypes and the runtime-selectable hasher.
+
+use crate::{fnv1a_64, murmur2_64a, murmur3_x64_128};
+
+/// A fixed-size key signature — the key's identity inside the index.
+///
+/// The paper uses 64-bit signatures by default; the width is configurable at
+/// index initialization (§IV-A). Narrower widths are modelled by masking,
+/// which is how the `ablation_sig_bits` experiment sweeps 32/48/64 bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeySignature(pub u64);
+
+impl KeySignature {
+    /// The low `bits` of the signature, used by the directory layer's
+    /// variable hash function ("D least significant bits", §IV-A).
+    #[inline]
+    pub fn low_bits(self, bits: u32) -> u64 {
+        debug_assert!(bits <= 64);
+        if bits == 64 {
+            self.0
+        } else {
+            self.0 & ((1u64 << bits) - 1)
+        }
+    }
+
+    /// The remaining high bits, used by the record layer's fixed hash
+    /// function so directory selection and in-table placement stay
+    /// independent.
+    #[inline]
+    pub fn high_bits(self, skip: u32) -> u64 {
+        debug_assert!(skip <= 64);
+        if skip == 64 {
+            0
+        } else {
+            self.0 >> skip
+        }
+    }
+
+    /// Truncate the signature to `bits` of resolution (ablation support).
+    #[inline]
+    pub fn truncated(self, bits: u32) -> KeySignature {
+        KeySignature(self.low_bits(bits))
+    }
+}
+
+impl std::fmt::Debug for KeySignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sig({:#018x})", self.0)
+    }
+}
+
+/// A 128-bit signature — §IV-A3's "higher resolution hashing" option that
+/// makes full-key re-verification unnecessary in practice.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Signature128 {
+    pub hi: u64,
+    pub lo: u64,
+}
+
+impl Signature128 {
+    /// Fold to a 64-bit signature (used when a 128-bit hasher feeds a 64-bit
+    /// index configuration).
+    #[inline]
+    pub fn fold64(self) -> KeySignature {
+        KeySignature(self.hi ^ self.lo.rotate_left(32))
+    }
+}
+
+/// Runtime-selectable signature hasher.
+///
+/// `Murmur2 { seed }` is the paper's default. The enum keeps the device
+/// emulator and the benches generic over the hash function without dynamic
+/// dispatch on the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SigHasher {
+    /// MurmurHash64A (paper default).
+    Murmur2 { seed: u64 },
+    /// MurmurHash3 x64/128 folded to 64 bits.
+    Murmur3Folded { seed: u64 },
+    /// FNV-1a (weak; ablations only).
+    Fnv1a { seed: u64 },
+    /// §VI iterator support: 4-byte-prefix + 4-byte-suffix hashing. Keys
+    /// sharing a prefix share their signature's high 32 bits, so prefix
+    /// `iterate` can filter candidates without reading them from flash.
+    /// Weaker than Murmur2 (32 effective bits per half) — the device's
+    /// full-key verification absorbs the extra collisions.
+    PrefixSuffix { seed: u64 },
+}
+
+impl Default for SigHasher {
+    fn default() -> Self {
+        SigHasher::Murmur2 { seed: crate::DEFAULT_SEED }
+    }
+}
+
+impl SigHasher {
+    /// Compute the 64-bit signature of `key`.
+    #[inline]
+    pub fn sign(&self, key: &[u8]) -> KeySignature {
+        match *self {
+            SigHasher::Murmur2 { seed } => KeySignature(murmur2_64a(key, seed)),
+            SigHasher::Murmur3Folded { seed } => {
+                let (h1, h2) = murmur3_x64_128(key, seed);
+                Signature128 { hi: h1, lo: h2 }.fold64()
+            }
+            SigHasher::Fnv1a { seed } => KeySignature(fnv1a_64(key, seed)),
+            SigHasher::PrefixSuffix { seed } => prefix_suffix_signature(key, seed),
+        }
+    }
+
+    /// High 32 bits every key with the given 4-byte prefix maps to under
+    /// [`SigHasher::PrefixSuffix`]; `None` for other hashers.
+    pub fn prefix_bucket(&self, prefix: &[u8]) -> Option<u32> {
+        match *self {
+            SigHasher::PrefixSuffix { seed } => {
+                let p = &prefix[..prefix.len().min(4)];
+                Some(murmur2_64a(p, seed) as u32)
+            }
+            _ => None,
+        }
+    }
+
+    /// Compute the full 128-bit signature of `key` (always via Murmur3, as
+    /// the paper's 128-bit option prescribes).
+    #[inline]
+    pub fn sign128(&self, key: &[u8]) -> Signature128 {
+        let seed = match *self {
+            SigHasher::Murmur2 { seed }
+            | SigHasher::Murmur3Folded { seed }
+            | SigHasher::Fnv1a { seed }
+            | SigHasher::PrefixSuffix { seed } => seed,
+        };
+        let (h1, h2) = murmur3_x64_128(key, seed);
+        Signature128 { hi: h1, lo: h2 }
+    }
+}
+
+/// The iterator-support signature from §VI: hash the first 4 bytes and last
+/// 4 bytes of the key separately so that keys sharing a prefix land in
+/// adjacent signature ranges and prefix `iterate` can be served by range.
+///
+/// Keys shorter than 4 bytes use the whole key for both halves.
+#[inline]
+pub fn prefix_suffix_signature(key: &[u8], seed: u64) -> KeySignature {
+    let n = key.len();
+    let prefix = &key[..n.min(4)];
+    let suffix = if n >= 4 { &key[n - 4..] } else { key };
+    let hp = murmur2_64a(prefix, seed) as u32;
+    let hs = murmur2_64a(suffix, seed ^ 0x9e37_79b9_7f4a_7c15) as u32;
+    KeySignature(((hp as u64) << 32) | hs as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_high_bits_partition() {
+        let s = KeySignature(0xdead_beef_cafe_f00d);
+        for bits in [0u32, 1, 8, 20, 63, 64] {
+            let lo = s.low_bits(bits);
+            let hi = s.high_bits(bits);
+            if bits == 64 {
+                assert_eq!(lo, s.0);
+                assert_eq!(hi, 0);
+            } else {
+                assert_eq!((hi << bits) | lo, s.0);
+            }
+        }
+    }
+
+    #[test]
+    fn default_hasher_is_murmur2() {
+        let h = SigHasher::default();
+        assert_eq!(h.sign(b"k"), KeySignature(murmur2_64a(b"k", crate::DEFAULT_SEED)));
+    }
+
+    #[test]
+    fn hashers_disagree() {
+        let key = b"disagreement";
+        let a = SigHasher::Murmur2 { seed: 1 }.sign(key);
+        let b = SigHasher::Murmur3Folded { seed: 1 }.sign(key);
+        let c = SigHasher::Fnv1a { seed: 1 }.sign(key);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn sign128_fold_matches_folded_hasher() {
+        let key = b"fold-check";
+        let folded = SigHasher::Murmur3Folded { seed: 5 }.sign(key);
+        let full = SigHasher::Murmur3Folded { seed: 5 }.sign128(key);
+        assert_eq!(folded, full.fold64());
+    }
+
+    #[test]
+    fn prefix_signature_groups_shared_prefixes() {
+        let a = prefix_suffix_signature(b"user00012345", 0);
+        let b = prefix_suffix_signature(b"user00098765", 0);
+        let c = prefix_suffix_signature(b"blob00012345", 0);
+        // Same 4-byte prefix → same high 32 bits.
+        assert_eq!(a.0 >> 32, b.0 >> 32);
+        assert_ne!(a.0 >> 32, c.0 >> 32);
+        // Different suffixes still separate a and b.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn short_keys_get_signatures() {
+        for k in [&b""[..], b"a", b"ab", b"abc", b"abcd"] {
+            let _ = prefix_suffix_signature(k, 1);
+        }
+        assert_ne!(
+            prefix_suffix_signature(b"ab", 1),
+            prefix_suffix_signature(b"ac", 1)
+        );
+    }
+
+    #[test]
+    fn prefix_suffix_hasher_buckets() {
+        let h = SigHasher::PrefixSuffix { seed: 3 };
+        let a = h.sign(b"user00012345");
+        let b = h.sign(b"user00098765");
+        let c = h.sign(b"blob00012345");
+        let bucket = h.prefix_bucket(b"user").unwrap();
+        assert_eq!((a.0 >> 32) as u32, bucket);
+        assert_eq!((b.0 >> 32) as u32, bucket);
+        assert_ne!((c.0 >> 32) as u32, bucket);
+        // Other hashers expose no bucket.
+        assert_eq!(SigHasher::default().prefix_bucket(b"user"), None);
+    }
+
+    #[test]
+    fn truncated_masks_high_bits() {
+        let s = KeySignature(u64::MAX);
+        assert_eq!(s.truncated(32).0, u32::MAX as u64);
+        assert_eq!(s.truncated(64), s);
+    }
+}

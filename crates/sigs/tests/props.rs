@@ -1,0 +1,101 @@
+//! Property tests for the signature hashes.
+
+use proptest::prelude::*;
+use rhik_sigs::{fnv1a_64, murmur2_64a, murmur3_x64_128, prefix_suffix_signature, SigHasher};
+
+proptest! {
+    /// Hashing is a pure function of (bytes, seed).
+    #[test]
+    fn murmur2_deterministic(key in proptest::collection::vec(any::<u8>(), 0..256), seed in any::<u64>()) {
+        prop_assert_eq!(murmur2_64a(&key, seed), murmur2_64a(&key, seed));
+    }
+
+    /// A clone of the byte content hashes identically regardless of the
+    /// allocation it lives in.
+    #[test]
+    fn murmur2_content_only(key in proptest::collection::vec(any::<u8>(), 0..256), seed in any::<u64>()) {
+        let copy = key.clone();
+        prop_assert_eq!(murmur2_64a(&key, seed), murmur2_64a(&copy, seed));
+    }
+
+    /// Appending a byte changes the hash (no trivial length-extension
+    /// collisions) for arbitrary inputs. A true collision here is a ~2^-64
+    /// event; treat any hit as a bug.
+    #[test]
+    fn murmur2_extension_sensitive(key in proptest::collection::vec(any::<u8>(), 0..128), b in any::<u8>()) {
+        let mut ext = key.clone();
+        ext.push(b);
+        prop_assert_ne!(murmur2_64a(&key, 7), murmur2_64a(&ext, 7));
+    }
+
+    #[test]
+    fn murmur3_deterministic(key in proptest::collection::vec(any::<u8>(), 0..256), seed in any::<u64>()) {
+        prop_assert_eq!(murmur3_x64_128(&key, seed), murmur3_x64_128(&key, seed));
+    }
+
+    #[test]
+    fn fnv_deterministic(key in proptest::collection::vec(any::<u8>(), 0..256), seed in any::<u64>()) {
+        prop_assert_eq!(fnv1a_64(&key, seed), fnv1a_64(&key, seed));
+    }
+
+    /// All hasher variants produce stable signatures through the enum.
+    #[test]
+    fn sighasher_consistent(key in proptest::collection::vec(any::<u8>(), 0..64), seed in any::<u64>()) {
+        for hasher in [
+            SigHasher::Murmur2 { seed },
+            SigHasher::Murmur3Folded { seed },
+            SigHasher::Fnv1a { seed },
+        ] {
+            prop_assert_eq!(hasher.sign(&key), hasher.sign(&key));
+            let s128 = hasher.sign128(&key);
+            prop_assert_eq!(s128, hasher.sign128(&key));
+        }
+    }
+
+    /// low_bits/high_bits round-trip the full signature for any split point.
+    #[test]
+    fn bit_partition_roundtrip(raw in any::<u64>(), bits in 0u32..64) {
+        let s = rhik_sigs::KeySignature(raw);
+        prop_assert_eq!((s.high_bits(bits) << bits) | s.low_bits(bits), raw);
+    }
+
+    /// Prefix-suffix signatures: equal 4-byte prefixes → equal high halves.
+    #[test]
+    fn prefix_signature_prefix_stable(
+        prefix in proptest::array::uniform4(any::<u8>()),
+        tail_a in proptest::collection::vec(any::<u8>(), 1..32),
+        tail_b in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let mut a = prefix.to_vec();
+        a.extend_from_slice(&tail_a);
+        let mut b = prefix.to_vec();
+        b.extend_from_slice(&tail_b);
+        let sa = prefix_suffix_signature(&a, 11);
+        let sb = prefix_suffix_signature(&b, 11);
+        prop_assert_eq!(sa.0 >> 32, sb.0 >> 32);
+    }
+}
+
+/// Empirical collision-rate sanity: hashing 200k distinct keys must produce
+/// zero 64-bit collisions (expected ≈ 1e-9) and a near-uniform bucket spread.
+#[test]
+fn empirical_uniformity_murmur2() {
+    use std::collections::HashSet;
+    const N: usize = 200_000;
+    const BUCKETS: usize = 64;
+    let mut seen = HashSet::with_capacity(N);
+    let mut counts = [0usize; BUCKETS];
+    for i in 0..N {
+        let key = format!("uniformity-key-{i:08}");
+        let h = murmur2_64a(key.as_bytes(), 0);
+        assert!(seen.insert(h), "64-bit collision at {i}");
+        counts[(h % BUCKETS as u64) as usize] += 1;
+    }
+    let expected = N / BUCKETS;
+    for (b, &c) in counts.iter().enumerate() {
+        assert!(
+            (expected * 8 / 10..=expected * 12 / 10).contains(&c),
+            "bucket {b} count {c} deviates from {expected}"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! KVBench-style workload driver, generic over the device's index.
+
+use rhik_ftl::IndexBackend;
+use rhik_kvssd::{KvError, KvssdDevice};
+
+use crate::ibm::TraceOp;
+use crate::keygen::{KeyStream, Keygen};
+
+/// Operation mix for generated workloads.
+#[derive(Clone, Copy, Debug)]
+pub struct OpMix {
+    pub put_fraction: f64,
+    pub get_fraction: f64,
+    pub delete_fraction: f64,
+}
+
+impl OpMix {
+    pub fn write_only() -> Self {
+        OpMix { put_fraction: 1.0, get_fraction: 0.0, delete_fraction: 0.0 }
+    }
+
+    pub fn read_only() -> Self {
+        OpMix { put_fraction: 0.0, get_fraction: 1.0, delete_fraction: 0.0 }
+    }
+
+    pub fn mixed(put: f64, get: f64, delete: f64) -> Self {
+        let mix = OpMix { put_fraction: put, get_fraction: get, delete_fraction: delete };
+        assert!((mix.put_fraction + mix.get_fraction + mix.delete_fraction - 1.0).abs() < 1e-9);
+        mix
+    }
+}
+
+/// What a run accomplished, in simulated time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    pub ops: u64,
+    pub puts: u64,
+    pub gets: u64,
+    pub deletes: u64,
+    pub errors: u64,
+    pub bytes_moved: u64,
+    /// Simulated nanoseconds the run occupied on the device clock.
+    pub sim_ns: u64,
+}
+
+impl RunStats {
+    /// Throughput in bytes per simulated second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            0.0
+        } else {
+            self.bytes_moved as f64 * 1e9 / self.sim_ns as f64
+        }
+    }
+
+    /// Operations per simulated second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.sim_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.sim_ns as f64
+        }
+    }
+}
+
+/// Drives a device with generated or synthesized workloads.
+pub struct WorkloadDriver;
+
+impl WorkloadDriver {
+    /// Sequential fill: `count` puts of `value_len`-byte values (the
+    /// Fig. 6 write workloads). Returns stats over exactly this phase.
+    pub fn fill<I: IndexBackend>(
+        device: &mut KvssdDevice<I>,
+        keygen: &mut Keygen,
+        count: u64,
+        value_len: usize,
+    ) -> Result<RunStats, KvError> {
+        let start_ns = (device.elapsed_secs() * 1e9) as u64;
+        let mut stats = RunStats::default();
+        let value = vec![0x5au8; value_len];
+        for _ in 0..count {
+            let key = keygen.next_key();
+            match device.put(&key, &value) {
+                Ok(()) => {
+                    stats.puts += 1;
+                    stats.bytes_moved += (key.len() + value.len()) as u64;
+                }
+                Err(KvError::KeyCollision) | Err(KvError::KeyRejected) => stats.errors += 1,
+                Err(e) => return Err(e),
+            }
+            stats.ops += 1;
+        }
+        stats.sim_ns = (device.elapsed_secs() * 1e9) as u64 - start_ns;
+        Ok(stats)
+    }
+
+    /// Read back `count` keys drawn from `keygen` (the Fig. 6 read
+    /// workloads; run after a fill with an identically-seeded generator).
+    pub fn read<I: IndexBackend>(
+        device: &mut KvssdDevice<I>,
+        keygen: &mut Keygen,
+        count: u64,
+    ) -> Result<RunStats, KvError> {
+        let start_ns = (device.elapsed_secs() * 1e9) as u64;
+        let mut stats = RunStats::default();
+        for _ in 0..count {
+            let key = keygen.next_key();
+            match device.get(&key) {
+                Ok(Some(v)) => {
+                    stats.gets += 1;
+                    stats.bytes_moved += (key.len() + v.len()) as u64;
+                }
+                Ok(None) => stats.errors += 1,
+                Err(e) => return Err(e),
+            }
+            stats.ops += 1;
+        }
+        stats.sim_ns = (device.elapsed_secs() * 1e9) as u64 - start_ns;
+        Ok(stats)
+    }
+
+    /// Run `count` operations drawn from `mix` over a `population` of
+    /// sequential keys (puts overwrite, gets/deletes hit random members).
+    pub fn run_mix<I: IndexBackend>(
+        device: &mut KvssdDevice<I>,
+        mix: &OpMix,
+        population: u64,
+        count: u64,
+        value_len: usize,
+        seed: u64,
+    ) -> Result<RunStats, KvError> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let keygen = Keygen::new(KeyStream::Sequential, 16, seed);
+        let value = vec![0x6du8; value_len];
+        let start_ns = (device.elapsed_secs() * 1e9) as u64;
+        let mut stats = RunStats::default();
+
+        for _ in 0..count {
+            stats.ops += 1;
+            let key = keygen.key_for(rng.gen_range(0..population));
+            let dice: f64 = rng.gen();
+            if dice < mix.put_fraction {
+                match device.put(&key, &value) {
+                    Ok(()) => {
+                        stats.puts += 1;
+                        stats.bytes_moved += (key.len() + value.len()) as u64;
+                    }
+                    Err(KvError::KeyCollision) | Err(KvError::KeyRejected) => stats.errors += 1,
+                    Err(e) => return Err(e),
+                }
+            } else if dice < mix.put_fraction + mix.get_fraction {
+                match device.get(&key) {
+                    Ok(Some(v)) => {
+                        stats.gets += 1;
+                        stats.bytes_moved += (key.len() + v.len()) as u64;
+                    }
+                    Ok(None) => stats.gets += 1, // miss: population not yet filled
+                    Err(e) => return Err(e),
+                }
+            } else {
+                match device.delete(&key) {
+                    Ok(()) => stats.deletes += 1,
+                    Err(KvError::KeyNotFound) => stats.deletes += 1, // already gone
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        stats.sim_ns = (device.elapsed_secs() * 1e9) as u64 - start_ns;
+        Ok(stats)
+    }
+
+    /// Replay a synthesized trace (the Fig. 5 IBM clusters).
+    pub fn replay<I: IndexBackend>(
+        device: &mut KvssdDevice<I>,
+        trace: &[TraceOp],
+    ) -> Result<RunStats, KvError> {
+        let start_ns = (device.elapsed_secs() * 1e9) as u64;
+        let mut stats = RunStats::default();
+        for op in trace {
+            match op {
+                TraceOp::Put { key, value_len } => {
+                    let value = vec![0xa5u8; *value_len];
+                    match device.put(key, &value) {
+                        Ok(()) => {
+                            stats.puts += 1;
+                            stats.bytes_moved += (key.len() + value_len) as u64;
+                        }
+                        Err(KvError::KeyCollision) | Err(KvError::KeyRejected) => {
+                            stats.errors += 1
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                TraceOp::Get { key } => match device.get(key) {
+                    Ok(Some(v)) => {
+                        stats.gets += 1;
+                        stats.bytes_moved += (key.len() + v.len()) as u64;
+                    }
+                    Ok(None) => stats.errors += 1,
+                    Err(e) => return Err(e),
+                },
+            }
+            stats.ops += 1;
+        }
+        stats.sim_ns = (device.elapsed_secs() * 1e9) as u64 - start_ns;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ibm;
+    use rhik_kvssd::DeviceConfig;
+
+    #[test]
+    fn fill_then_read_roundtrip() {
+        let mut dev = KvssdDevice::rhik(
+            DeviceConfig::small().with_profile(rhik_nand::DeviceProfile::kvemu_like()),
+        );
+        let mut w = Keygen::new(KeyStream::Sequential, 16, 1);
+        let fill = WorkloadDriver::fill(&mut dev, &mut w, 200, 512).unwrap();
+        assert_eq!(fill.puts, 200);
+        assert_eq!(fill.errors, 0);
+        assert!(fill.sim_ns > 0);
+        assert!(fill.bytes_per_sec() > 0.0);
+
+        let mut r = Keygen::new(KeyStream::Sequential, 16, 1);
+        let read = WorkloadDriver::read(&mut dev, &mut r, 200).unwrap();
+        assert_eq!(read.gets, 200);
+        assert_eq!(read.errors, 0);
+        assert!(read.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn replay_ibm_cluster() {
+        let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+        let cluster = &ibm::clusters()[1]; // 022: small index
+        let (trace, population) = cluster.synthesize(16 * 1024, 17, 500, 0.0005, 7);
+        let stats = WorkloadDriver::replay(&mut dev, &trace).unwrap();
+        assert_eq!(stats.ops as usize, trace.len());
+        assert!(stats.puts >= population);
+        assert!(stats.gets > 0);
+        assert_eq!(stats.errors, 0, "trace replay errors: {stats:?}");
+    }
+
+    #[test]
+    fn run_mix_respects_fractions() {
+        let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+        // Warm the population first so gets mostly hit.
+        let mut g = Keygen::new(KeyStream::Sequential, 16, 3);
+        WorkloadDriver::fill(&mut dev, &mut g, 200, 64).unwrap();
+        let mix = OpMix::mixed(0.3, 0.6, 0.1);
+        let stats = WorkloadDriver::run_mix(&mut dev, &mix, 200, 2_000, 64, 3).unwrap();
+        assert_eq!(stats.ops, 2_000);
+        let put_frac = stats.puts as f64 / stats.ops as f64;
+        let get_frac = stats.gets as f64 / stats.ops as f64;
+        let del_frac = stats.deletes as f64 / stats.ops as f64;
+        assert!((put_frac - 0.3).abs() < 0.05, "puts {put_frac}");
+        assert!((get_frac - 0.6).abs() < 0.05, "gets {get_frac}");
+        assert!((del_frac - 0.1).abs() < 0.05, "deletes {del_frac}");
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn mix_fractions_validate() {
+        let m = OpMix::mixed(0.5, 0.4, 0.1);
+        assert!((m.put_fraction - 0.5).abs() < 1e-12);
+        let _ = OpMix::write_only();
+        let _ = OpMix::read_only();
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_mix_rejected() {
+        OpMix::mixed(0.5, 0.4, 0.5);
+    }
+}

@@ -1,0 +1,248 @@
+//! Key stream generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipfian sampler over `{0, 1, …, n-1}` with skew `theta` ∈ (0, 1).
+///
+/// Uses the closed-form approximation of Gray et al. ("Quickly generating
+/// billion-record synthetic databases", SIGMOD '94), so no O(n) table is
+/// needed and `n` can be huge. `theta → 0` approaches uniform; the classic
+/// YCSB default is 0.99.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfSampler {
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfSampler { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    /// Exact zeta for small n, Euler–Maclaurin approximation for large n —
+    /// keeps construction O(1)-ish for billion-key domains.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        const EXACT: u64 = 1_000_000;
+        if n <= EXACT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // ∫_{EXACT}^{n} x^-theta dx
+            let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Draw one rank (0 = hottest).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// The key-ordering disciplines the paper's workloads use.
+#[derive(Clone, Debug)]
+pub enum KeyStream {
+    /// `k` = 0, 1, 2, … (the Fig. 6 "sequential workloads").
+    Sequential,
+    /// Uniform over a fixed population.
+    Uniform { population: u64 },
+    /// Zipfian over a fixed population.
+    Zipf { population: u64, theta: f64 },
+}
+
+/// Deterministic generator of fixed-size keys.
+///
+/// Keys are rendered as `"<prefix><id padded to width>"` and padded with
+/// `#` to exactly `key_size` bytes, matching KVBench's fixed-key-size
+/// setup (Fig. 6 uses 16 B keys; Fig. 8a contrasts 16 B and 128 B).
+pub struct Keygen {
+    stream: KeyStream,
+    key_size: usize,
+    prefix: Vec<u8>,
+    rng: StdRng,
+    zipf: Option<ZipfSampler>,
+    next_seq: u64,
+}
+
+impl Keygen {
+    pub fn new(stream: KeyStream, key_size: usize, seed: u64) -> Self {
+        Self::with_prefix(stream, key_size, seed, b"k")
+    }
+
+    pub fn with_prefix(stream: KeyStream, key_size: usize, seed: u64, prefix: &[u8]) -> Self {
+        assert!(key_size >= prefix.len() + 12, "key too small for prefix + 12-digit id");
+        let zipf = match &stream {
+            KeyStream::Zipf { population, theta } => Some(ZipfSampler::new(*population, *theta)),
+            _ => None,
+        };
+        Keygen {
+            stream,
+            key_size,
+            prefix: prefix.to_vec(),
+            rng: StdRng::seed_from_u64(seed),
+            zipf,
+            next_seq: 0,
+        }
+    }
+
+    /// Render the key for a given id.
+    pub fn key_for(&self, id: u64) -> Vec<u8> {
+        let mut key = Vec::with_capacity(self.key_size);
+        key.extend_from_slice(&self.prefix);
+        key.extend_from_slice(format!("{id:012}").as_bytes());
+        while key.len() < self.key_size {
+            key.push(b'#');
+        }
+        key
+    }
+
+    /// Produce the next key in the stream.
+    pub fn next_key(&mut self) -> Vec<u8> {
+        let id = match &self.stream {
+            KeyStream::Sequential => {
+                let id = self.next_seq;
+                self.next_seq += 1;
+                id
+            }
+            KeyStream::Uniform { population } => self.rng.gen_range(0..*population),
+            KeyStream::Zipf { .. } => {
+                self.zipf.as_ref().expect("constructed with stream").sample(&mut self.rng)
+            }
+        };
+        self.key_for(id)
+    }
+
+    pub fn key_size(&self) -> usize {
+        self.key_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_keys_are_distinct_and_sized() {
+        let mut g = Keygen::new(KeyStream::Sequential, 16, 1);
+        let a = g.next_key();
+        let b = g.next_key();
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 16);
+        assert_ne!(a, b);
+        assert_eq!(a, g.key_for(0));
+        assert_eq!(b, g.key_for(1));
+    }
+
+    #[test]
+    fn key_sizes_honored() {
+        for size in [16, 32, 128] {
+            let mut g = Keygen::new(KeyStream::Sequential, size, 1);
+            assert_eq!(g.next_key().len(), size);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key too small")]
+    fn tiny_keys_rejected() {
+        Keygen::new(KeyStream::Sequential, 8, 1);
+    }
+
+    #[test]
+    fn uniform_covers_population() {
+        let mut g = Keygen::new(KeyStream::Uniform { population: 10 }, 16, 42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(g.next_key());
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Keygen::new(KeyStream::Uniform { population: 1000 }, 16, 7);
+        let mut b = Keygen::new(KeyStream::Uniform { population: 1000 }, 16, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_key(), b.next_key());
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = ZipfSampler::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = std::collections::HashMap::new();
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let r = z.sample(&mut rng);
+            assert!(r < 10_000);
+            *counts.entry(r).or_insert(0usize) += 1;
+        }
+        // Rank 0 should dominate: ~1/zeta(n) of all draws (≈10% here),
+        // vastly above uniform (0.01%).
+        let hottest = counts[&0];
+        assert!(hottest > N / 50, "rank 0 drawn {hottest} times");
+        // And the tail is long: many distinct ranks appear.
+        assert!(counts.len() > 1_000, "only {} distinct ranks", counts.len());
+    }
+
+    #[test]
+    fn zipf_low_theta_is_flat() {
+        let z = ZipfSampler::new(1_000, 0.01);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut hot = 0usize;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) == 0 {
+                hot += 1;
+            }
+        }
+        // Near-uniform: rank 0 ≈ N/1000, allow wide slack.
+        assert!(hot < N / 100, "theta≈0 too skewed: {hot}");
+    }
+
+    #[test]
+    fn zipf_zeta_approximation_continuous() {
+        // The approximate zeta must be close to exact at the switch point.
+        let below = ZipfSampler::zeta(1_000_000, 0.9);
+        let above = ZipfSampler::zeta(1_000_001, 0.9);
+        assert!((above - below).abs() / below < 1e-6);
+    }
+
+    #[test]
+    fn prefix_appears_in_keys() {
+        let mut g = Keygen::with_prefix(KeyStream::Sequential, 24, 1, b"user:");
+        let k = g.next_key();
+        assert!(k.starts_with(b"user:"));
+        assert_eq!(k.len(), 24);
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload substrate: key/value generators, published request-size
+//! distributions, synthetic IBM COS trace clusters, and a KVBench-style
+//! driver.
+//!
+//! The paper evaluates RHIK with (a) KVBench-style sequential workloads of
+//! fixed value sizes (Fig. 6), (b) replayed IBM Cloud Object Store KV
+//! traces (Fig. 5), and (c) the published Baidu Atlas and Facebook
+//! Memcached ETC request-size distributions (Table I). We rebuild all
+//! three:
+//!
+//! * [`keygen`] — sequential / uniform / Zipfian key streams (own Zipf
+//!   sampler, no external dependency beyond `rand`),
+//! * [`distributions`] — Table I's histograms and the implied key-count
+//!   math for a 4 TB device,
+//! * [`ibm`] — synthetic stand-ins for the eight IBM COS clusters used in
+//!   Fig. 5, parameterized by the property that experiment actually
+//!   exercises: index footprint relative to a fixed FTL cache budget
+//!   (see DESIGN.md "Substitutions"),
+//! * [`driver`] — a KVBench-style op driver generic over the device's
+//!   index backend.
+
+pub mod distributions;
+pub mod driver;
+pub mod ibm;
+pub mod keygen;
+pub mod ycsb;
+
+pub use driver::{OpMix, RunStats, WorkloadDriver};
+pub use keygen::{KeyStream, Keygen, ZipfSampler};
+pub use ycsb::{YcsbConfig, YcsbPreset};

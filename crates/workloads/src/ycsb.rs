@@ -1,0 +1,251 @@
+//! YCSB-style core workload presets.
+//!
+//! The paper's discussion (§VI) frames KVSSDs as NoSQL substrates; YCSB's
+//! core workloads are the de-facto way to exercise such stores. Each
+//! preset follows the published mix (Cooper et al., SoCC '10):
+//!
+//! | preset | mix | distribution |
+//! |---|---|---|
+//! | A | 50 % read / 50 % update | Zipfian |
+//! | B | 95 % read / 5 % update | Zipfian |
+//! | C | 100 % read | Zipfian |
+//! | D | 95 % read / 5 % insert | latest |
+//! | E | 95 % scan / 5 % insert | Zipfian (scan length ≤ 100) |
+//! | F | 50 % read / 50 % read-modify-write | Zipfian |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rhik_ftl::IndexBackend;
+use rhik_kvssd::{KvError, KvssdDevice};
+
+use crate::driver::RunStats;
+use crate::keygen::ZipfSampler;
+
+/// The six core presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum YcsbPreset {
+    A,
+    B,
+    C,
+    D,
+    E,
+    F,
+}
+
+impl YcsbPreset {
+    pub fn all() -> [YcsbPreset; 6] {
+        [YcsbPreset::A, YcsbPreset::B, YcsbPreset::C, YcsbPreset::D, YcsbPreset::E, YcsbPreset::F]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            YcsbPreset::A => "A (update heavy)",
+            YcsbPreset::B => "B (read mostly)",
+            YcsbPreset::C => "C (read only)",
+            YcsbPreset::D => "D (read latest)",
+            YcsbPreset::E => "E (short scans)",
+            YcsbPreset::F => "F (read-modify-write)",
+        }
+    }
+}
+
+/// YCSB run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct YcsbConfig {
+    /// Records loaded before the measured phase.
+    pub records: u64,
+    /// Operations in the measured phase.
+    pub operations: u64,
+    /// Value size in bytes (YCSB default is 10 × 100 B fields; pick one).
+    pub value_bytes: usize,
+    /// Zipfian skew for A/B/C/E/F.
+    pub theta: f64,
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig { records: 5_000, operations: 10_000, value_bytes: 1_000, theta: 0.99, seed: 42 }
+    }
+}
+
+fn record_key(id: u64) -> Vec<u8> {
+    format!("user{id:019}").into_bytes()
+}
+
+/// YCSB decouples popularity from insertion order by hashing the Zipf rank
+/// onto the key space (FNV in the reference implementation). Without this,
+/// level-structured indexes would keep every hot key in their first,
+/// always-cached level purely by load order.
+fn scatter(rank: u64, records: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in rank.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h % records
+}
+
+/// Run one preset against a device. Returns the measured-phase stats.
+pub fn run<I: IndexBackend>(
+    device: &mut KvssdDevice<I>,
+    preset: YcsbPreset,
+    cfg: &YcsbConfig,
+) -> Result<RunStats, KvError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let value = vec![0x59u8; cfg.value_bytes];
+
+    // Load phase (not measured).
+    for id in 0..cfg.records {
+        device.put(&record_key(id), &value)?;
+    }
+
+    let zipf = ZipfSampler::new(cfg.records, cfg.theta);
+    let mut inserted = cfg.records;
+    let start_ns = (device.elapsed_secs() * 1e9) as u64;
+    let mut stats = RunStats::default();
+
+    for _ in 0..cfg.operations {
+        stats.ops += 1;
+        match preset {
+            YcsbPreset::A | YcsbPreset::B | YcsbPreset::C => {
+                let read_fraction = match preset {
+                    YcsbPreset::A => 0.5,
+                    YcsbPreset::B => 0.95,
+                    _ => 1.0,
+                };
+                let key = record_key(scatter(zipf.sample(&mut rng), cfg.records));
+                if rng.gen::<f64>() < read_fraction {
+                    match device.get(&key)? {
+                        Some(v) => {
+                            stats.gets += 1;
+                            stats.bytes_moved += v.len() as u64;
+                        }
+                        None => stats.errors += 1,
+                    }
+                } else {
+                    device.put(&key, &value)?;
+                    stats.puts += 1;
+                    stats.bytes_moved += value.len() as u64;
+                }
+            }
+            YcsbPreset::D => {
+                if rng.gen::<f64>() < 0.95 {
+                    // Read latest: skew toward recently inserted ids.
+                    let back = zipf.sample(&mut rng).min(inserted - 1);
+                    let key = record_key(inserted - 1 - back);
+                    match device.get(&key)? {
+                        Some(v) => {
+                            stats.gets += 1;
+                            stats.bytes_moved += v.len() as u64;
+                        }
+                        None => stats.errors += 1,
+                    }
+                } else {
+                    device.put(&record_key(inserted), &value)?;
+                    inserted += 1;
+                    stats.puts += 1;
+                    stats.bytes_moved += value.len() as u64;
+                }
+            }
+            YcsbPreset::E => {
+                if rng.gen::<f64>() < 0.95 {
+                    // Short scan: iterate is unordered in a hash index, so
+                    // model the scan as `len` point reads from the zipf
+                    // start (the hash-index cost of YCSB-E, which is
+                    // exactly why LSM designs exist — §VI discussion).
+                    let len = rng.gen_range(1..=100u64);
+                    let start = scatter(zipf.sample(&mut rng), cfg.records);
+                    for i in 0..len {
+                        let key = record_key((start + i) % cfg.records);
+                        if let Some(v) = device.get(&key)? {
+                            stats.bytes_moved += v.len() as u64;
+                        }
+                    }
+                    stats.gets += 1;
+                } else {
+                    device.put(&record_key(inserted), &value)?;
+                    inserted += 1;
+                    stats.puts += 1;
+                }
+            }
+            YcsbPreset::F => {
+                let key = record_key(scatter(zipf.sample(&mut rng), cfg.records));
+                if rng.gen::<f64>() < 0.5 {
+                    match device.get(&key)? {
+                        Some(v) => {
+                            stats.gets += 1;
+                            stats.bytes_moved += v.len() as u64;
+                        }
+                        None => stats.errors += 1,
+                    }
+                } else {
+                    // Read-modify-write.
+                    match device.get(&key)? {
+                        Some(old) => {
+                            let mut v = old.to_vec();
+                            if !v.is_empty() {
+                                v[0] = v[0].wrapping_add(1);
+                            }
+                            device.put(&key, &v)?;
+                            stats.gets += 1;
+                            stats.puts += 1;
+                            stats.bytes_moved += 2 * v.len() as u64;
+                        }
+                        None => stats.errors += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    stats.sim_ns = (device.elapsed_secs() * 1e9) as u64 - start_ns;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhik_kvssd::DeviceConfig;
+
+    fn small() -> YcsbConfig {
+        YcsbConfig { records: 300, operations: 600, value_bytes: 128, ..Default::default() }
+    }
+
+    #[test]
+    fn all_presets_run_clean_on_rhik() {
+        for preset in YcsbPreset::all() {
+            let mut dev = KvssdDevice::rhik(
+                DeviceConfig::small().with_profile(rhik_nand::DeviceProfile::kvemu_like()),
+            );
+            let stats = run(&mut dev, preset, &small()).unwrap_or_else(|e| {
+                panic!("preset {} failed: {e}", preset.name())
+            });
+            assert_eq!(stats.ops, 600, "{}", preset.name());
+            assert_eq!(stats.errors, 0, "{}: {stats:?}", preset.name());
+            assert!(stats.sim_ns > 0);
+        }
+    }
+
+    #[test]
+    fn preset_mixes_have_expected_shape() {
+        let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+        let a = run(&mut dev, YcsbPreset::A, &small()).unwrap();
+        // ~50/50 split.
+        let put_frac = a.puts as f64 / a.ops as f64;
+        assert!((0.4..0.6).contains(&put_frac), "A put fraction {put_frac}");
+
+        let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+        let c = run(&mut dev, YcsbPreset::C, &small()).unwrap();
+        assert_eq!(c.puts, 0, "C is read-only");
+        assert_eq!(c.gets, c.ops);
+    }
+
+    #[test]
+    fn d_inserts_and_reads_latest() {
+        let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+        let d = run(&mut dev, YcsbPreset::D, &small()).unwrap();
+        assert!(d.puts > 0, "D inserts ~5%");
+        assert!(d.puts < d.ops / 10);
+        assert_eq!(d.errors, 0);
+    }
+}

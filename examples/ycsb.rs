@@ -1,0 +1,51 @@
+//! Run the six YCSB core workloads against a RHIK device and the
+//! multi-level baseline, side by side.
+//!
+//! ```sh
+//! cargo run --release --example ycsb
+//! ```
+
+use rhik::baseline::MultiLevelConfig;
+use rhik::kvssd::{DeviceConfig, KvssdDevice};
+use rhik::nand::DeviceProfile;
+use rhik::workloads::ycsb::{self, YcsbConfig, YcsbPreset};
+
+fn device_config() -> DeviceConfig {
+    let mut cfg = DeviceConfig::small().with_profile(DeviceProfile::kvemu_like()).with_async(16);
+    cfg.cache_budget_bytes = 32 * 1024; // tight cache: index behaviour matters
+    cfg
+}
+
+fn main() {
+    let cfg = YcsbConfig { records: 10_000, operations: 8_000, value_bytes: 512, ..Default::default() };
+
+    println!("YCSB core workloads — {} records, {} ops, {}B values\n", cfg.records, cfg.operations, cfg.value_bytes);
+    println!("{:<24} {:>14} {:>14} {:>8}", "preset", "rhik kops/s", "multilevel kops/s", "speedup");
+    println!("{}", "-".repeat(64));
+
+    for preset in YcsbPreset::all() {
+        let mut rhik_dev = KvssdDevice::rhik(device_config());
+        let r = ycsb::run(&mut rhik_dev, preset, &cfg).expect("rhik run");
+
+        let mut ml_dev = KvssdDevice::multilevel(
+            device_config(),
+            MultiLevelConfig { initial_bits: 2, max_levels: 8, hop_width: 32 },
+        );
+        let m = ycsb::run(&mut ml_dev, preset, &cfg).expect("multilevel run");
+
+        println!(
+            "{:<24} {:>14.1} {:>14.1} {:>8.2}x",
+            preset.name(),
+            r.ops_per_sec() / 1e3,
+            m.ops_per_sec() / 1e3,
+            r.ops_per_sec() / m.ops_per_sec().max(1e-9),
+        );
+    }
+
+    println!("\nAt this scale the multi-level index needs 4+ levels, so its lookups");
+    println!("pay several flash reads while RHIK stays at one. Right after a");
+    println!("doubling RHIK's tables are half-empty (space traded for the read");
+    println!("bound), so small working sets can favor the baseline — the");
+    println!("crossover the paper's Fig. 5 regimes capture. Scans (E) remain the");
+    println!("hash-index weak spot the §VI discussion acknowledges.");
+}

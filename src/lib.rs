@@ -1,0 +1,37 @@
+//! # RHIK — Re-configurable Hash-based Indexing for KVSSD
+//!
+//! Facade crate for the full-system reproduction of *"RHIK:
+//! Re-configurable Hash-based Indexing for KVSSD"* (HPDC 2023). It
+//! re-exports every subsystem so examples and downstream users need a
+//! single dependency:
+//!
+//! * [`nand`] — deterministic NAND flash array model,
+//! * [`ftl`] — FTL services: data layout, allocator, cache, GC,
+//! * [`sigs`] — key signature hashing (MurmurHash2 et al.),
+//! * [`index`] — the RHIK two-level re-configurable hash index,
+//! * [`baseline`] — Samsung-style multi-level hash, NVMKV-style fixed hash,
+//!   and PinK-style LSM baselines,
+//! * [`kvssd`] — the KVSSD device emulator (SNIA-style command set,
+//!   sync/async engines, GC and resize integration),
+//! * [`workloads`] — key generators, trace synthesizers, and the
+//!   KVBench-style driver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rhik::kvssd::{DeviceConfig, KvssdDevice};
+//!
+//! let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+//! dev.put(b"hello", b"world").unwrap();
+//! assert_eq!(&dev.get(b"hello").unwrap().unwrap()[..], b"world");
+//! dev.delete(b"hello").unwrap();
+//! assert!(dev.get(b"hello").unwrap().is_none());
+//! ```
+
+pub use rhik_baseline as baseline;
+pub use rhik_core as index;
+pub use rhik_ftl as ftl;
+pub use rhik_kvssd as kvssd;
+pub use rhik_nand as nand;
+pub use rhik_sigs as sigs;
+pub use rhik_workloads as workloads;

@@ -1,0 +1,145 @@
+//! Device-level property test: a RHIK KVSSD behaves exactly like a
+//! `HashMap<Vec<u8>, Vec<u8>>` under arbitrary put/get/delete/exist
+//! interleavings — through write buffering, GC, resizes, and flushes.
+
+use proptest::prelude::*;
+use rhik::ftl::IndexBackend;
+use rhik::kvssd::{DeviceConfig, KvError, KvssdDevice};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put { key: u16, len: u16 },
+    Get { key: u16 },
+    Delete { key: u16 },
+    Exist { key: u16 },
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), 0u16..3000).prop_map(|(key, len)| Op::Put { key, len }),
+        3 => any::<u16>().prop_map(|key| Op::Get { key }),
+        2 => any::<u16>().prop_map(|key| Op::Delete { key }),
+        1 => any::<u16>().prop_map(|key| Op::Exist { key }),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn key_bytes(key: u16) -> Vec<u8> {
+    format!("prop-key-{key:05}").into_bytes()
+}
+
+/// Deterministic value derived from (key, len) so matches are meaningful.
+fn value_bytes(key: u16, len: u16) -> Vec<u8> {
+    (0..len).map(|i| (key as u32 + i as u32) as u8).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn device_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put { key, len } => {
+                    let k = key_bytes(key);
+                    let v = value_bytes(key, len);
+                    match dev.put(&k, &v) {
+                        Ok(()) => {
+                            model.insert(k, v);
+                        }
+                        // Legitimate aborts leave prior state intact.
+                        Err(KvError::KeyRejected) | Err(KvError::KeyCollision) => {}
+                        Err(e) => prop_assert!(false, "put failed: {e}"),
+                    }
+                }
+                Op::Get { key } => {
+                    let k = key_bytes(key);
+                    let got = dev.get(&k).unwrap();
+                    let got = got.as_deref();
+                    prop_assert_eq!(
+                        got,
+                        model.get(&k).map(Vec::as_slice),
+                        "get({}) mismatch", String::from_utf8_lossy(&k)
+                    );
+                }
+                Op::Delete { key } => {
+                    let k = key_bytes(key);
+                    match dev.delete(&k) {
+                        Ok(()) => {
+                            prop_assert!(model.remove(&k).is_some(), "deleted a ghost");
+                        }
+                        Err(KvError::KeyNotFound) => {
+                            prop_assert!(!model.contains_key(&k));
+                        }
+                        Err(e) => prop_assert!(false, "delete failed: {e}"),
+                    }
+                }
+                Op::Exist { key } => {
+                    let k = key_bytes(key);
+                    let report = dev.exist(&k).unwrap();
+                    // Signature membership has false positives but never
+                    // false negatives.
+                    if model.contains_key(&k) {
+                        prop_assert!(report.probably_exists, "false negative");
+                    }
+                }
+                Op::Flush => dev.flush().unwrap(),
+            }
+            prop_assert_eq!(dev.key_count(), model.len() as u64);
+        }
+
+        // Final audit, plus invariants.
+        for (k, v) in &model {
+            let got = dev.get(k).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+        prop_assert!(dev.index().stats().pct_lookups_within(1) > 100.0 - 1e-9);
+    }
+}
+
+// Same model check through a crash in the middle.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn device_matches_hashmap_across_crash(
+        before in proptest::collection::vec((any::<u16>(), 0u16..1500), 1..80),
+        after in proptest::collection::vec((any::<u16>(), 0u16..1500), 1..80),
+    ) {
+        let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for (key, len) in before {
+            let (k, v) = (key_bytes(key), value_bytes(key, len));
+            if dev.put(&k, &v).is_ok() {
+                model.insert(k, v);
+            }
+        }
+        dev.flush().unwrap();
+
+        let (mut ftl, _) = dev.into_parts();
+        ftl.simulate_power_loss();
+        let mut dev = KvssdDevice::recover_rhik(DeviceConfig::small(), ftl).unwrap();
+
+        // Everything flushed must be there.
+        for (k, v) in &model {
+            let got = dev.get(k).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+        // The recovered device keeps serving writes correctly.
+        for (key, len) in after {
+            let (k, v) = (key_bytes(key), value_bytes(key, len));
+            if dev.put(&k, &v).is_ok() {
+                model.insert(k, v);
+            }
+        }
+        for (k, v) in &model {
+            let got = dev.get(k).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: full device stacks under realistic use.
+
+use rhik::baseline::{LsmConfig, MultiLevelConfig};
+use rhik::ftl::IndexBackend;
+use rhik::kvssd::{DeviceConfig, KvError, KvssdDevice};
+use rhik::nand::DeviceProfile;
+use rhik::workloads::driver::WorkloadDriver;
+use rhik::workloads::keygen::{KeyStream, Keygen};
+
+/// Every index scheme serves the same workload with identical results.
+#[test]
+fn all_schemes_agree_on_contents() {
+    let cfg = DeviceConfig::small();
+    let mut rhik = KvssdDevice::rhik(cfg);
+    let mut ml = KvssdDevice::multilevel(cfg, MultiLevelConfig { initial_bits: 2, max_levels: 8, hop_width: 32 });
+    let mut lsm = KvssdDevice::lsm(cfg, LsmConfig::default());
+
+    for i in 0..800u64 {
+        let key = format!("it-{i:06}");
+        let value = format!("value-{}", i * 7);
+        rhik.put(key.as_bytes(), value.as_bytes()).unwrap();
+        ml.put(key.as_bytes(), value.as_bytes()).unwrap();
+        lsm.put(key.as_bytes(), value.as_bytes()).unwrap();
+    }
+    // Delete a band, update another.
+    for i in 100..200u64 {
+        let key = format!("it-{i:06}");
+        rhik.delete(key.as_bytes()).unwrap();
+        ml.delete(key.as_bytes()).unwrap();
+        lsm.delete(key.as_bytes()).unwrap();
+    }
+    for i in 300..400u64 {
+        let key = format!("it-{i:06}");
+        rhik.put(key.as_bytes(), b"updated").unwrap();
+        ml.put(key.as_bytes(), b"updated").unwrap();
+        lsm.put(key.as_bytes(), b"updated").unwrap();
+    }
+
+    for i in 0..800u64 {
+        let key = format!("it-{i:06}");
+        let expected: Option<Vec<u8>> = if (100..200).contains(&i) {
+            None
+        } else if (300..400).contains(&i) {
+            Some(b"updated".to_vec())
+        } else {
+            Some(format!("value-{}", i * 7).into_bytes())
+        };
+        for (dev_name, got) in [
+            ("rhik", rhik.get(key.as_bytes()).unwrap()),
+            ("multilevel", ml.get(key.as_bytes()).unwrap()),
+            ("lsm", lsm.get(key.as_bytes()).unwrap()),
+        ] {
+            assert_eq!(
+                got.map(|b| b.to_vec()),
+                expected,
+                "{dev_name} disagrees on key {key}"
+            );
+        }
+    }
+    assert_eq!(rhik.key_count(), 700);
+    assert_eq!(ml.key_count(), 700);
+    assert_eq!(lsm.key_count(), 700);
+}
+
+/// RHIK's headline guarantee holds end-to-end, across resizes, GC, and a
+/// cold cache.
+#[test]
+fn rhik_one_flash_read_guarantee_end_to_end() {
+    let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+    for i in 0..3_000u64 {
+        dev.put(format!("guar-{i:08}").as_bytes(), &[1u8; 256]).unwrap();
+    }
+    dev.flush().unwrap();
+    assert!(!dev.index().stats().resizes.is_empty(), "resizes happened");
+
+    for i in 0..3_000u64 {
+        assert!(dev.get(format!("guar-{i:08}").as_bytes()).unwrap().is_some());
+    }
+    let pct = dev.index().stats().pct_lookups_within(1);
+    assert!(pct > 100.0 - 1e-9, "≤1-read guarantee violated: {pct}%");
+}
+
+/// Mixed sequential/zipfian traffic through the driver, with timing.
+#[test]
+fn driver_workloads_complete_with_timing() {
+    let mut dev = KvssdDevice::rhik(
+        DeviceConfig::small().with_profile(DeviceProfile::kvemu_like()).with_async(16),
+    );
+    let mut fill_gen = Keygen::new(KeyStream::Sequential, 16, 11);
+    let fill = WorkloadDriver::fill(&mut dev, &mut fill_gen, 500, 2048).unwrap();
+    assert_eq!(fill.puts, 500);
+    assert!(fill.sim_ns > 0);
+
+    let mut zipf_gen = Keygen::new(KeyStream::Zipf { population: 500, theta: 0.9 }, 16, 12);
+    let read = WorkloadDriver::read(&mut dev, &mut zipf_gen, 1_000).unwrap();
+    assert_eq!(read.gets + read.errors, 1_000);
+    assert_eq!(read.errors, 0, "zipf draws stay within the filled population");
+    assert!(read.bytes_per_sec() > 0.0);
+}
+
+/// Async mode outruns sync mode on the same workload (Fig. 6's split).
+#[test]
+fn async_beats_sync_throughput() {
+    let value = vec![0u8; 16 * 1024];
+    let run = |cfg: DeviceConfig| {
+        let mut dev = KvssdDevice::rhik(cfg);
+        for i in 0..200u64 {
+            dev.put(format!("t-{i:06}").as_bytes(), &value).unwrap();
+        }
+        dev.elapsed_secs()
+    };
+    let sync_cfg = DeviceConfig::small().with_profile(DeviceProfile::kvemu_like());
+    let async_cfg = sync_cfg.with_async(32);
+    let sync_time = run(sync_cfg);
+    let async_time = run(async_cfg);
+    assert!(
+        async_time < sync_time * 0.8,
+        "async {async_time}s not faster than sync {sync_time}s"
+    );
+}
+
+/// Media faults surface as clean errors, not corruption or panics.
+#[test]
+fn injected_read_fault_is_contained() {
+    let mut dev = KvssdDevice::rhik(DeviceConfig::small());
+    dev.put(b"victim", &[9u8; 6000]).unwrap();
+    dev.flush().unwrap(); // seal the victim's head page
+    dev.put(b"bystander", b"fine").unwrap();
+    dev.flush().unwrap();
+
+    // Find the victim's head page via the index and poison it.
+    let head = dev.locate(b"victim").unwrap().unwrap();
+    assert_ne!(Some(head), dev.locate(b"bystander").unwrap(), "distinct head pages");
+    dev.ftl_mut().faults_mut().fail_read(head);
+
+    match dev.get(b"victim") {
+        Err(KvError::Media(_)) => {}
+        other => panic!("expected media error, got {other:?}"),
+    }
+    // Other keys unaffected; clearing the fault restores the victim.
+    assert_eq!(&dev.get(b"bystander").unwrap().unwrap()[..], b"fine");
+    dev.ftl_mut().faults_mut().clear_read(head);
+    assert_eq!(dev.get(b"victim").unwrap().unwrap().len(), 6000);
+}
