@@ -146,7 +146,11 @@ impl LsmIndex {
     }
 
     /// Read a run page through the cache; returns (records, flash reads).
-    fn read_run_page(&mut self, ftl: &mut Ftl, ppa: Ppa) -> Result<(Vec<(u64, u64)>, u64), IndexError> {
+    fn read_run_page(
+        &mut self,
+        ftl: &mut Ftl,
+        ppa: Ppa,
+    ) -> Result<(Vec<(u64, u64)>, u64), IndexError> {
         let key = Self::cache_key(ppa);
         if let Some(bytes) = ftl.cache().get(key) {
             return Ok((decode_run_page(&bytes), 0));
@@ -161,7 +165,13 @@ impl LsmIndex {
     }
 
     /// Probe a single run for `sig`.
-    fn probe_run(&mut self, ftl: &mut Ftl, level: usize, run: usize, sig: u64) -> Result<(Option<Option<Ppa>>, u64), IndexError> {
+    fn probe_run(
+        &mut self,
+        ftl: &mut Ftl,
+        level: usize,
+        run: usize,
+        sig: u64,
+    ) -> Result<(Option<Option<Ppa>>, u64), IndexError> {
         let Some(page_idx) = self.levels[level][run].page_for(sig) else {
             return Ok((None, 0));
         };
@@ -204,11 +214,8 @@ impl LsmIndex {
         if self.memtable.is_empty() {
             return Ok(());
         }
-        let records: Vec<(u64, u64)> = self
-            .memtable
-            .iter()
-            .map(|(&sig, v)| (sig, v.map_or(TOMBSTONE, Ppa::pack)))
-            .collect();
+        let records: Vec<(u64, u64)> =
+            self.memtable.iter().map(|(&sig, v)| (sig, v.map_or(TOMBSTONE, Ppa::pack))).collect();
         self.memtable.clear();
         let run = self.write_run(ftl, &records)?;
         if self.levels.is_empty() {
@@ -265,10 +272,8 @@ impl LsmIndex {
                 self.retire_run(ftl, run);
             }
             let is_last = level + 1 >= self.cfg.max_levels;
-            let records: Vec<(u64, u64)> = merged
-                .into_iter()
-                .filter(|&(_, raw)| !(is_last && raw == TOMBSTONE))
-                .collect();
+            let records: Vec<(u64, u64)> =
+                merged.into_iter().filter(|&(_, raw)| !(is_last && raw == TOMBSTONE)).collect();
             if self.levels.len() <= level + 1 {
                 self.levels.push(Vec::new());
             }
@@ -283,7 +288,12 @@ impl LsmIndex {
 }
 
 impl IndexBackend for LsmIndex {
-    fn insert(&mut self, ftl: &mut Ftl, sig: KeySignature, ppa: Ppa) -> Result<InsertOutcome, IndexError> {
+    fn insert(
+        &mut self,
+        ftl: &mut Ftl,
+        sig: KeySignature,
+        ppa: Ppa,
+    ) -> Result<InsertOutcome, IndexError> {
         self.stats.inserts += 1;
         // LSM must query to distinguish insert from update (the binary
         // search overhead §II-B complains about).
@@ -396,7 +406,12 @@ impl IndexBackend for LsmIndex {
             .collect()
     }
 
-    fn relocate_index_page(&mut self, ftl: &mut Ftl, key: u64, old: Ppa) -> Result<Option<Ppa>, IndexError> {
+    fn relocate_index_page(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        old: Ppa,
+    ) -> Result<Option<Ppa>, IndexError> {
         if key != Self::cache_key(old) {
             return Ok(None);
         }
@@ -449,10 +464,17 @@ mod tests {
 
     fn setup() -> (Ftl, LsmIndex) {
         let ftl = Ftl::new(FtlConfig {
-            geometry: NandGeometry { blocks: 512, pages_per_block: 8, page_size: 512, spare_size: 16, channels: 2 },
+            geometry: NandGeometry {
+                blocks: 512,
+                pages_per_block: 8,
+                page_size: 512,
+                spare_size: 16,
+                channels: 2,
+            },
             ..FtlConfig::tiny()
         });
-        let idx = LsmIndex::new(LsmConfig { memtable_records: 32, max_runs_per_level: 3, max_levels: 4 });
+        let idx =
+            LsmIndex::new(LsmConfig { memtable_records: 32, max_runs_per_level: 3, max_levels: 4 });
         (ftl, idx)
     }
 

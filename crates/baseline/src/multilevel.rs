@@ -43,11 +43,7 @@ struct Level {
 
 impl Level {
     fn new(bits: u32) -> Self {
-        Level {
-            bits,
-            tables: vec![None; 1 << bits],
-            records: vec![0; 1 << bits],
-        }
+        Level { bits, tables: vec![None; 1 << bits], records: vec![0; 1 << bits] }
     }
 
     fn slot_of(&self, sig: KeySignature) -> u32 {
@@ -107,13 +103,17 @@ impl MultiLevelIndex {
     ) -> Result<(RecordTable, u64), IndexError> {
         let key = Self::cache_key(level, slot);
         if let Some(bytes) = ftl.cache().get(key) {
-            return Ok((RecordTable::from_page(&bytes, self.records_per_table, self.cfg.hop_width), 0));
+            return Ok((
+                RecordTable::from_page(&bytes, self.records_per_table, self.cfg.hop_width),
+                0,
+            ));
         }
         match self.levels[level].tables[slot as usize] {
             Some(ppa) => {
                 let bytes = ftl.read_index_page(ppa)?;
                 self.stats.metadata_flash_reads += 1;
-                let table = RecordTable::from_page(&bytes, self.records_per_table, self.cfg.hop_width);
+                let table =
+                    RecordTable::from_page(&bytes, self.records_per_table, self.cfg.hop_width);
                 self.install(ftl, key, bytes, false)?;
                 Ok((table, 1))
             }
@@ -134,7 +134,13 @@ impl MultiLevelIndex {
         self.install(ftl, key, page, true)
     }
 
-    fn install(&mut self, ftl: &mut Ftl, key: u64, bytes: bytes::Bytes, dirty: bool) -> Result<(), IndexError> {
+    fn install(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        bytes: bytes::Bytes,
+        dirty: bool,
+    ) -> Result<(), IndexError> {
         let evicted = ftl.cache().insert(key, bytes, dirty);
         for ev in evicted {
             self.write_back(ftl, ev.key, ev.data, ev.dirty)?;
@@ -142,7 +148,13 @@ impl MultiLevelIndex {
         Ok(())
     }
 
-    fn write_back(&mut self, ftl: &mut Ftl, key: u64, data: bytes::Bytes, dirty: bool) -> Result<(), IndexError> {
+    fn write_back(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        data: bytes::Bytes,
+        dirty: bool,
+    ) -> Result<(), IndexError> {
         if !dirty {
             return Ok(());
         }
@@ -162,7 +174,12 @@ impl MultiLevelIndex {
 }
 
 impl IndexBackend for MultiLevelIndex {
-    fn insert(&mut self, ftl: &mut Ftl, sig: KeySignature, ppa: Ppa) -> Result<InsertOutcome, IndexError> {
+    fn insert(
+        &mut self,
+        ftl: &mut Ftl,
+        sig: KeySignature,
+        ppa: Ppa,
+    ) -> Result<InsertOutcome, IndexError> {
         self.stats.inserts += 1;
 
         // Pass 1: if the signature exists in any level, update in place.
@@ -315,7 +332,12 @@ impl IndexBackend for MultiLevelIndex {
         out
     }
 
-    fn relocate_index_page(&mut self, ftl: &mut Ftl, key: u64, old: Ppa) -> Result<Option<Ppa>, IndexError> {
+    fn relocate_index_page(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        old: Ppa,
+    ) -> Result<Option<Ppa>, IndexError> {
         let level = ((key >> 40) - 1) as usize;
         let slot = (key & 0xff_ffff_ffff) as usize;
         if level >= self.levels.len()
@@ -359,7 +381,13 @@ mod tests {
 
     fn setup(blocks: u32) -> (Ftl, MultiLevelIndex) {
         let ftl = Ftl::new(FtlConfig {
-            geometry: NandGeometry { blocks, pages_per_block: 8, page_size: 512, spare_size: 16, channels: 2 },
+            geometry: NandGeometry {
+                blocks,
+                pages_per_block: 8,
+                page_size: 512,
+                spare_size: 16,
+                channels: 2,
+            },
             ..FtlConfig::tiny()
         });
         let idx = MultiLevelIndex::new(

@@ -63,13 +63,24 @@ impl SimpleHashIndex {
         }
     }
 
-    fn store_table(&mut self, ftl: &mut Ftl, slot: u32, table: &RecordTable) -> Result<(), IndexError> {
+    fn store_table(
+        &mut self,
+        ftl: &mut Ftl,
+        slot: u32,
+        table: &RecordTable,
+    ) -> Result<(), IndexError> {
         self.records[slot as usize] = table.len();
         let page = table.to_page(ftl.geometry().page_size as usize);
         self.install(ftl, Self::cache_key(slot), page, true)
     }
 
-    fn install(&mut self, ftl: &mut Ftl, key: u64, bytes: bytes::Bytes, dirty: bool) -> Result<(), IndexError> {
+    fn install(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        bytes: bytes::Bytes,
+        dirty: bool,
+    ) -> Result<(), IndexError> {
         let evicted = ftl.cache().insert(key, bytes, dirty);
         for ev in evicted {
             self.write_back(ftl, ev.key, ev.data, ev.dirty)?;
@@ -77,7 +88,13 @@ impl SimpleHashIndex {
         Ok(())
     }
 
-    fn write_back(&mut self, ftl: &mut Ftl, key: u64, data: bytes::Bytes, dirty: bool) -> Result<(), IndexError> {
+    fn write_back(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        data: bytes::Bytes,
+        dirty: bool,
+    ) -> Result<(), IndexError> {
         if !dirty {
             return Ok(());
         }
@@ -96,7 +113,12 @@ impl SimpleHashIndex {
 }
 
 impl IndexBackend for SimpleHashIndex {
-    fn insert(&mut self, ftl: &mut Ftl, sig: KeySignature, ppa: Ppa) -> Result<InsertOutcome, IndexError> {
+    fn insert(
+        &mut self,
+        ftl: &mut Ftl,
+        sig: KeySignature,
+        ppa: Ppa,
+    ) -> Result<InsertOutcome, IndexError> {
         self.stats.inserts += 1;
         let slot = self.slot_of(sig);
         let (mut table, _) = self.load_table(ftl, slot)?;
@@ -192,7 +214,12 @@ impl IndexBackend for SimpleHashIndex {
             .collect()
     }
 
-    fn relocate_index_page(&mut self, ftl: &mut Ftl, key: u64, old: Ppa) -> Result<Option<Ppa>, IndexError> {
+    fn relocate_index_page(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        old: Ppa,
+    ) -> Result<Option<Ppa>, IndexError> {
         let slot = (key & 0xffff_ffff) as usize;
         if slot >= self.tables.len() || self.tables[slot] != Some(old) {
             return Ok(None);
@@ -223,7 +250,13 @@ mod tests {
 
     fn setup() -> (Ftl, SimpleHashIndex) {
         let ftl = Ftl::new(FtlConfig {
-            geometry: NandGeometry { blocks: 128, pages_per_block: 8, page_size: 512, spare_size: 16, channels: 2 },
+            geometry: NandGeometry {
+                blocks: 128,
+                pages_per_block: 8,
+                page_size: 512,
+                spare_size: 16,
+                channels: 2,
+            },
             ..FtlConfig::tiny()
         });
         (ftl, SimpleHashIndex::new(2, 16, 512))
@@ -259,7 +292,10 @@ mod tests {
         }
         assert!(capped, "never capped; stored {stored}");
         assert!(stored <= idx.capacity().unwrap());
-        assert!(stored as f64 >= idx.capacity().unwrap() as f64 * 0.5, "cap hit too early: {stored}");
+        assert!(
+            stored as f64 >= idx.capacity().unwrap() as f64 * 0.5,
+            "cap hit too early: {stored}"
+        );
         // Existing keys remain intact after the failure.
         for i in 0..stored / 2 {
             assert!(idx.lookup(&mut ftl, mix(i)).unwrap().is_some());

@@ -49,10 +49,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 /// Drive any index against the model; returns false if the index reported
 /// a capacity limit (legitimate for the capped baselines).
-fn check_against_model<I: IndexBackend>(
-    mut idx: I,
-    ops: &[Op],
-) -> Result<(), TestCaseError> {
+fn check_against_model<I: IndexBackend>(mut idx: I, ops: &[Op]) -> Result<(), TestCaseError> {
     let mut ftl = big_ftl();
     let mut model: HashMap<u64, Ppa> = HashMap::new();
     for op in ops {
@@ -70,12 +67,14 @@ fn check_against_model<I: IndexBackend>(
             }
             Op::Remove(k) => {
                 let sig = KeySignature(mix(*k as u64));
-                let got = idx.remove(&mut ftl, sig).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+                let got =
+                    idx.remove(&mut ftl, sig).map_err(|e| TestCaseError::fail(format!("{e}")))?;
                 prop_assert_eq!(got, model.remove(&sig.0));
             }
             Op::Lookup(k) => {
                 let sig = KeySignature(mix(*k as u64));
-                let got = idx.lookup(&mut ftl, sig).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+                let got =
+                    idx.lookup(&mut ftl, sig).map_err(|e| TestCaseError::fail(format!("{e}")))?;
                 prop_assert_eq!(got, model.get(&sig.0).copied());
             }
             Op::Flush => idx.flush(&mut ftl).map_err(|e| TestCaseError::fail(format!("{e}")))?,

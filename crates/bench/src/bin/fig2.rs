@@ -44,7 +44,10 @@ fn main() {
     };
 
     let panels = [
-        Panel { label: "(a) few keys, large values", value_bytes: scale.pick(128 << 10, 512 << 10) },
+        Panel {
+            label: "(a) few keys, large values",
+            value_bytes: scale.pick(128 << 10, 512 << 10),
+        },
         Panel { label: "(b) more keys", value_bytes: scale.pick(32 << 10, 64 << 10) },
         Panel { label: "(c) many keys", value_bytes: scale.pick(4 << 10, 4 << 10) },
         Panel { label: "(d) key-count extreme", value_bytes: scale.pick(192, 192) },
@@ -105,19 +108,24 @@ fn main() {
         }
 
         let peak = series.iter().map(|s| s.1).fold(0.0f64, f64::max);
-        println!("{} — {} keys, value {}", panel.label, dev.key_count(), fmt_bytes(panel.value_bytes as u64));
-        let growth: Vec<String> = dev
-            .index()
-            .growth_points()
-            .iter()
-            .map(|k| format!("{k}"))
-            .collect();
+        println!(
+            "{} — {} keys, value {}",
+            panel.label,
+            dev.key_count(),
+            fmt_bytes(panel.value_bytes as u64)
+        );
+        let growth: Vec<String> =
+            dev.index().growth_points().iter().map(|k| format!("{k}")).collect();
         println!(
             "  index: {} levels (growth at keys: {})",
             dev.index().level_count(),
             if growth.is_empty() { "none".to_string() } else { growth.join(", ") }
         );
-        let mut rows = vec![vec!["utilization".to_string(), "write MB/s (sim)".to_string(), "normalized".to_string()]];
+        let mut rows = vec![vec![
+            "utilization".to_string(),
+            "write MB/s (sim)".to_string(),
+            "normalized".to_string(),
+        ]];
         for (u, mbps) in &series {
             rows.push(vec![
                 format!("{:.0}%", u * 100.0),
@@ -139,6 +147,9 @@ fn main() {
     }
 
     println!("shape check: panel (a) should stay near 1.0 to the end; panels (b)-(d)");
-    println!("should sag progressively harder as the index outgrows the {} cache.", fmt_bytes(cache_budget as u64));
+    println!(
+        "should sag progressively harder as the index outgrows the {} cache.",
+        fmt_bytes(cache_budget as u64)
+    );
     rhik_bench::emit_json("fig2", &serde_json::json!({ "panels": emitted }));
 }

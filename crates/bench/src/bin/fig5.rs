@@ -64,8 +64,7 @@ fn main() {
 
     let mut results = Vec::new();
     for cluster in ibm::clusters() {
-        let (load, population) =
-            cluster.synthesize(cache_budget as u64, 17, 0, value_scale, 42);
+        let (load, population) = cluster.synthesize(cache_budget as u64, 17, 0, value_scale, 42);
         let (run, _) = cluster.synthesize(cache_budget as u64, 17, ops, value_scale, 43);
         let run_tail = &run[population as usize..];
 
@@ -129,14 +128,15 @@ fn main() {
 
 /// Δ percentile of lookups needing at most `max_reads` flash reads
 /// between two index-stats snapshots.
-fn pct_within(before: &rhik_ftl::IndexStats, after: &rhik_ftl::IndexStats, max_reads: usize) -> f64 {
+fn pct_within(
+    before: &rhik_ftl::IndexStats,
+    after: &rhik_ftl::IndexStats,
+    max_reads: usize,
+) -> f64 {
     let mut within = 0u64;
     let mut total = 0u64;
-    for (i, (&a, &b)) in after
-        .reads_per_lookup_histo
-        .iter()
-        .zip(before.reads_per_lookup_histo.iter())
-        .enumerate()
+    for (i, (&a, &b)) in
+        after.reads_per_lookup_histo.iter().zip(before.reads_per_lookup_histo.iter()).enumerate()
     {
         let d = a - b;
         total += d;

@@ -68,7 +68,13 @@ fn device_config(sys: System, engine: EngineMode, scale: Scale) -> DeviceConfig 
 }
 
 /// Run write-then-read at one value size; returns (write MB/s, read MB/s).
-fn run_cell(sys: System, engine: EngineMode, value_bytes: usize, total_bytes: u64, scale: Scale) -> (f64, f64) {
+fn run_cell(
+    sys: System,
+    engine: EngineMode,
+    value_bytes: usize,
+    total_bytes: u64,
+    scale: Scale,
+) -> (f64, f64) {
     let count = (total_bytes / value_bytes as u64).max(16);
     let cfg = device_config(sys, engine, scale);
 
@@ -102,8 +108,18 @@ fn main() {
 
     let mut emitted = Vec::new();
     for (panel, engine, sizes, is_write) in [
-        ("(a) async writes", EngineMode::Async { queue_depth: 32 }, [4 << 10, 64 << 10, 256 << 10, 1 << 20], true),
-        ("(b) async reads", EngineMode::Async { queue_depth: 32 }, [4 << 10, 64 << 10, 256 << 10, 1 << 20], false),
+        (
+            "(a) async writes",
+            EngineMode::Async { queue_depth: 32 },
+            [4 << 10, 64 << 10, 256 << 10, 1 << 20],
+            true,
+        ),
+        (
+            "(b) async reads",
+            EngineMode::Async { queue_depth: 32 },
+            [4 << 10, 64 << 10, 256 << 10, 1 << 20],
+            false,
+        ),
         ("(c) sync writes", EngineMode::Sync, [4 << 10, 32 << 10, 256 << 10, 1 << 20], true),
         ("(d) sync reads", EngineMode::Sync, [4 << 10, 32 << 10, 256 << 10, 1 << 20], false),
     ] {

@@ -37,8 +37,7 @@ fn keygen(id: u64, key_size: usize) -> Vec<u8> {
 fn panel_a(scale: Scale) {
     let records_per_table = RhikConfig::records_per_table(32 * 1024); // 1927
     let total_keys: u64 = scale.pick(2_000_000, 20_000_000);
-    let checkpoints: Vec<u64> =
-        (1..=10).map(|i| total_keys / 10 * i).collect();
+    let checkpoints: Vec<u64> = (1..=10).map(|i| total_keys / 10 * i).collect();
     let hasher = SigHasher::default();
 
     println!("=== Fig. 8a: collision trend vs key size ===\n");
@@ -53,8 +52,7 @@ fn panel_a(scale: Scale) {
     for (ki, key_size) in [16usize, 128].into_iter().enumerate() {
         // Track home-slot occupancy across the table population an index of
         // this size would have (tables sized per Eq. 1, count per Eq. 2).
-        let tables = (total_keys as usize).div_ceil(records_per_table as usize)
-            .next_power_of_two();
+        let tables = (total_keys as usize).div_ceil(records_per_table as usize).next_power_of_two();
         let mut occupied = vec![false; tables * records_per_table as usize];
         let probe_table = RecordTable::new(records_per_table, 32);
         let mut collisions = 0u64;
@@ -86,11 +84,8 @@ fn panel_a(scale: Scale) {
     }
     print!("{}", render_table(&rows));
 
-    let divergence: f64 = results[0]
-        .iter()
-        .zip(&results[1])
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
+    let divergence: f64 =
+        results[0].iter().zip(&results[1]).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
     println!(
         "\nmax divergence between the two key sizes: {divergence:.3} pp — \
          {} (paper: different key sizes show similar collision trends)\n",
@@ -101,8 +96,8 @@ fn panel_a(scale: Scale) {
         "fig8a",
         &serde_json::json!({
             "checkpoints": checkpoints,
-            "collision_pct_16B": results[0],
-            "collision_pct_128B": results[1],
+            "collision_pct_16B": results[0].clone(),
+            "collision_pct_128B": results[1].clone(),
             "max_divergence_pp": divergence,
         }),
     );
@@ -192,7 +187,7 @@ fn panel_b(scale: Scale) {
             "records_per_table": records,
             "key_axis": key_axis,
             "aborts_pct": {
-                "60": series[0], "70": series[1], "80": series[2], "90": series[3],
+                "60": series[0].clone(), "70": series[1].clone(), "80": series[2].clone(), "90": series[3].clone(),
             },
         }),
     );

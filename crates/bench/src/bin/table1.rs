@@ -10,9 +10,7 @@
 //! ```
 
 use rhik_bench::render_table;
-use rhik_workloads::distributions::{
-    keys_for_avg_size, rocksdb_avg_pair_bytes, SizeDistribution,
-};
+use rhik_workloads::distributions::{keys_for_avg_size, rocksdb_avg_pair_bytes, SizeDistribution};
 
 const FOUR_TB: u64 = 4 * 1000 * 1000 * 1000 * 1000;
 const PM983_MAX_KEYS: u64 = 3_100_000_000;
@@ -81,10 +79,7 @@ fn main() {
     let (bd_lo, bd_hi) = baidu.implied_key_range(FOUR_TB);
     let (pfb_lo, pfb_hi) = fb.paper_reported_key_range();
     let (pbd_lo, pbd_hi) = baidu.paper_reported_key_range();
-    println!(
-        "\nPM983 observed key ceiling: {} keys (§III).",
-        human(PM983_MAX_KEYS)
-    );
+    println!("\nPM983 observed key ceiling: {} keys (§III).", human(PM983_MAX_KEYS));
     println!(
         "Baidu Atlas fits: paper {}-{}, our estimate {}-{}.",
         human(pbd_lo),

@@ -1,9 +1,9 @@
 //! Shared scaffolding for the experiment harness.
 //!
-//! One binary per paper table/figure lives in `src/bin/`; Criterion
-//! micro-benches live in `benches/`. This library provides the common
-//! pieces: an aligned table printer, scaled experiment presets, and JSON
-//! result emission so EXPERIMENTS.md numbers are regenerable.
+//! One binary per paper table/figure lives in `src/bin/`. This library
+//! provides the common pieces: an aligned table printer, scaled experiment
+//! presets, and JSON result emission so EXPERIMENTS.md numbers are
+//! regenerable.
 
 use std::fmt::Write as _;
 

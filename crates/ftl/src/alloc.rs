@@ -148,7 +148,11 @@ impl BlockAllocator {
     /// Hand out the next page of `stream`'s open block, opening a new block
     /// from the free pool when needed. `allow_reserve` lets metadata writes
     /// dip into the GC reserve so index write-backs cannot fail mid-flight.
-    pub fn next_page(&mut self, stream: Stream, allow_reserve: bool) -> Result<rhik_nand::Ppa, NeedsGc> {
+    pub fn next_page(
+        &mut self,
+        stream: Stream,
+        allow_reserve: bool,
+    ) -> Result<rhik_nand::Ppa, NeedsGc> {
         let ppb = self.geometry.pages_per_block;
         loop {
             let open = *self.open_slot(stream);
@@ -186,7 +190,11 @@ impl BlockAllocator {
     /// unprogrammed pages: reuse the current block if it qualifies, else
     /// park it and reopen the roomiest parked block that fits, else pull a
     /// fresh block from the free pool. No tail pages are ever wasted.
-    pub fn open_extent_block_with_room(&mut self, pages_needed: u32, allow_reserve: bool) -> Result<(), NeedsGc> {
+    pub fn open_extent_block_with_room(
+        &mut self,
+        pages_needed: u32,
+        allow_reserve: bool,
+    ) -> Result<(), NeedsGc> {
         let ppb = self.geometry.pages_per_block;
         debug_assert!(pages_needed <= ppb, "extent larger than an erase block");
         if let Some(b) = self.open_extent {
@@ -328,7 +336,7 @@ mod tests {
     #[test]
     fn reserve_is_protected_until_gc_mode() {
         let mut a = alloc(); // 8 blocks, 2 reserved
-        // Exhaust the 6 allocatable blocks.
+                             // Exhaust the 6 allocatable blocks.
         for _ in 0..6 * 8 {
             a.next_page(Stream::Data, false).unwrap();
         }

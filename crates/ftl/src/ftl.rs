@@ -259,7 +259,13 @@ impl Ftl {
         });
     }
 
-    fn program(&mut self, ppa: Ppa, data: Bytes, spare: SpareMeta, is_index: bool) -> Result<(), FtlError> {
+    fn program(
+        &mut self,
+        ppa: Ppa,
+        data: Bytes,
+        spare: SpareMeta,
+        is_index: bool,
+    ) -> Result<(), FtlError> {
         let bytes = data.len() as u32;
         self.nand.program(ppa, data, spare.encode())?;
         self.charge(NandOp::Program { ppa, bytes });

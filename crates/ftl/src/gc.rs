@@ -294,7 +294,9 @@ fn extent_of(entry: &layout::PairEntry, head: Ppa, page_size: usize) -> crate::f
         head,
         cont_start: entry.cont_start,
         cont_pages: entry.cont_pages(page_size as u32),
-        head_bytes: (layout::RECORD_PREFIX_LEN + entry.key.len() + entry.frag_len as usize
+        head_bytes: (layout::RECORD_PREFIX_LEN
+            + entry.key.len()
+            + entry.frag_len as usize
             + layout::SIG_ENTRY_LEN) as u64,
         cont_bytes: body,
     }
@@ -377,7 +379,12 @@ mod tests {
     }
 
     impl IndexBackend for MapIndex {
-        fn insert(&mut self, _f: &mut Ftl, sig: KeySignature, ppa: Ppa) -> Result<InsertOutcome, IndexError> {
+        fn insert(
+            &mut self,
+            _f: &mut Ftl,
+            sig: KeySignature,
+            ppa: Ppa,
+        ) -> Result<InsertOutcome, IndexError> {
             match self.map.insert(sig.0, ppa) {
                 Some(old) => Ok(InsertOutcome::Updated { old }),
                 None => Ok(InsertOutcome::Inserted),
@@ -450,7 +457,12 @@ mod tests {
         }
 
         let free_before = ftl.free_blocks();
-        let report = run(&mut ftl, &mut index, &GcConfig { low_watermark: 2, high_watermark: 4, ..Default::default() }).unwrap();
+        let report = run(
+            &mut ftl,
+            &mut index,
+            &GcConfig { low_watermark: 2, high_watermark: 4, ..Default::default() },
+        )
+        .unwrap();
         assert!(report.data_blocks_erased > 0, "report: {report:?}");
         assert!(report.pairs_discarded > 0);
         assert!(ftl.free_blocks() > free_before);
@@ -493,7 +505,12 @@ mod tests {
         ftl.drop_pending(sig(2));
         ftl.close_data_block().unwrap(); // seal both partitions for GC
 
-        let report = run(&mut ftl, &mut index, &GcConfig { low_watermark: 8, high_watermark: 8, ..Default::default() }).unwrap();
+        let report = run(
+            &mut ftl,
+            &mut index,
+            &GcConfig { low_watermark: 8, high_watermark: 8, ..Default::default() },
+        )
+        .unwrap();
         assert!(report.pairs_relocated >= 1, "report: {report:?}");
         assert!(report.data_blocks_erased >= 1);
 
@@ -516,13 +533,26 @@ mod tests {
     fn cost_benefit_prefers_cheap_victims() {
         use crate::alloc::BlockMeta;
         // Block A: lots of garbage but also lots of live data to move.
-        let a = BlockMeta { stream: None, live_bytes: 900, stale_bytes: 600, pages_used: 8, sealed: true };
+        let a = BlockMeta {
+            stream: None,
+            live_bytes: 900,
+            stale_bytes: 600,
+            pages_used: 8,
+            sealed: true,
+        };
         // Block B: less garbage, but nearly free to clean.
-        let b = BlockMeta { stream: None, live_bytes: 10, stale_bytes: 500, pages_used: 8, sealed: true };
+        let b = BlockMeta {
+            stream: None,
+            live_bytes: 10,
+            stale_bytes: 500,
+            pages_used: 8,
+            sealed: true,
+        };
         assert!(score(&a, GcPolicy::Greedy) > score(&b, GcPolicy::Greedy));
         assert!(score(&b, GcPolicy::CostBenefit) > score(&a, GcPolicy::CostBenefit));
         // Empty block scores zero under both.
-        let empty = BlockMeta { stream: None, live_bytes: 0, stale_bytes: 0, pages_used: 0, sealed: true };
+        let empty =
+            BlockMeta { stream: None, live_bytes: 0, stale_bytes: 0, pages_used: 0, sealed: true };
         assert_eq!(score(&empty, GcPolicy::CostBenefit), 0);
     }
 
@@ -566,7 +596,13 @@ mod tests {
     #[test]
     fn should_run_tracks_watermark() {
         let ftl = Ftl::new(FtlConfig::tiny());
-        assert!(!should_run(&ftl, &GcConfig { low_watermark: 2, high_watermark: 4, ..Default::default() }));
-        assert!(should_run(&ftl, &GcConfig { low_watermark: 100, high_watermark: 100, ..Default::default() }));
+        assert!(!should_run(
+            &ftl,
+            &GcConfig { low_watermark: 2, high_watermark: 4, ..Default::default() }
+        ));
+        assert!(should_run(
+            &ftl,
+            &GcConfig { low_watermark: 100, high_watermark: 100, ..Default::default() }
+        ));
     }
 }

@@ -218,10 +218,9 @@ impl PageBuilder {
     /// write path for small pairs use this; overflowing values go through
     /// [`PageBuilder::append_pair_with_frag`] with an extent address.
     pub fn append_pair(&mut self, sig: KeySignature, key: &[u8], value: &[u8], flags: u8) -> usize {
-        let frag = value.len().min(
-            self.free_bytes()
-                .saturating_sub(RECORD_PREFIX_LEN + key.len() + SIG_ENTRY_LEN),
-        );
+        let frag = value
+            .len()
+            .min(self.free_bytes().saturating_sub(RECORD_PREFIX_LEN + key.len() + SIG_ENTRY_LEN));
         let cont = if frag < value.len() {
             // Tests exercising raw truncation use a placeholder address.
             Some(Ppa::new(0, 0))

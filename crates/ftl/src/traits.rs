@@ -146,8 +146,12 @@ impl IndexStats {
 /// statistics see exactly what the index does.
 pub trait IndexBackend {
     /// Insert or update the record for `sig`.
-    fn insert(&mut self, ftl: &mut Ftl, sig: KeySignature, ppa: Ppa)
-        -> Result<InsertOutcome, IndexError>;
+    fn insert(
+        &mut self,
+        ftl: &mut Ftl,
+        sig: KeySignature,
+        ppa: Ppa,
+    ) -> Result<InsertOutcome, IndexError>;
 
     /// Find the KV-pair head page for `sig` (at most the scheme's bounded
     /// number of flash reads).

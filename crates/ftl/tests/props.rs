@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use rhik_ftl::layout::{self, PageBuilder};
-use rhik_ftl::{gc, Ftl, FtlConfig, FtlError, GcConfig, IndexBackend, IndexError, IndexStats, InsertOutcome};
+use rhik_ftl::{
+    gc, Ftl, FtlConfig, FtlError, GcConfig, IndexBackend, IndexError, IndexStats, InsertOutcome,
+};
 use rhik_nand::{NandGeometry, Ppa};
 use rhik_sigs::KeySignature;
 use std::collections::HashMap;
@@ -24,7 +26,12 @@ struct MapIndex {
 }
 
 impl IndexBackend for MapIndex {
-    fn insert(&mut self, _f: &mut Ftl, sig: KeySignature, ppa: Ppa) -> Result<InsertOutcome, IndexError> {
+    fn insert(
+        &mut self,
+        _f: &mut Ftl,
+        sig: KeySignature,
+        ppa: Ppa,
+    ) -> Result<InsertOutcome, IndexError> {
         match self.map.insert(sig.0, ppa) {
             Some(old) => Ok(InsertOutcome::Updated { old }),
             None => Ok(InsertOutcome::Inserted),

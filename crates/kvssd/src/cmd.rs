@@ -154,9 +154,8 @@ mod tests {
     #[test]
     fn batching_amortizes_command_overhead() {
         let run = |batched: bool| {
-            let mut dev = KvssdDevice::rhik(
-                DeviceConfig::small().with_profile(DeviceProfile::kvemu_like()),
-            );
+            let mut dev =
+                KvssdDevice::rhik(DeviceConfig::small().with_profile(DeviceProfile::kvemu_like()));
             let cmds: Vec<Command> = (0..64u64)
                 .map(|i| Command::Put {
                     key: format!("batch-{i:04}").into_bytes(),

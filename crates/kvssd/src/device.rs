@@ -75,8 +75,7 @@ impl KvssdDevice<RhikIndex> {
     /// on-flash directory snapshot; anything indexed after the last
     /// metadata flush is lost.
     pub fn recover_rhik(cfg: DeviceConfig, mut ftl: Ftl) -> Result<Self> {
-        let index = RhikIndex::recover(cfg.rhik, &mut ftl)
-            .map_err(Self::map_index_err)?;
+        let index = RhikIndex::recover(cfg.rhik, &mut ftl).map_err(Self::map_index_err)?;
         let engine = TimingEngine::new(cfg.engine, cfg.profile, cfg.geometry.channels);
         Ok(KvssdDevice {
             ftl,
@@ -120,7 +119,17 @@ impl<I: IndexBackend> KvssdDevice<I> {
     pub fn with_index(cfg: DeviceConfig, index: I) -> Self {
         let ftl = Ftl::new(cfg.ftl_config());
         let engine = TimingEngine::new(cfg.engine, cfg.profile, cfg.geometry.channels);
-        KvssdDevice { ftl, index, hasher: cfg.hasher, engine, gc_cfg: cfg.gc, stats: DeviceStats::default(), iter_sessions: Vec::new(), put_latencies: crate::LatencyHistogram::new(), get_latencies: crate::LatencyHistogram::new() }
+        KvssdDevice {
+            ftl,
+            index,
+            hasher: cfg.hasher,
+            engine,
+            gc_cfg: cfg.gc,
+            stats: DeviceStats::default(),
+            iter_sessions: Vec::new(),
+            put_latencies: crate::LatencyHistogram::new(),
+            get_latencies: crate::LatencyHistogram::new(),
+        }
     }
 
     // ------------------------------------------------------------ plumbing
@@ -244,7 +253,11 @@ impl<I: IndexBackend> KvssdDevice<I> {
     /// Read the full pair stored at `head` for `sig` (write buffer aware).
     /// Returns the key, value, and the pair's on-flash extent (for
     /// staleness accounting on update/delete).
-    fn read_pair(&mut self, sig: KeySignature, head: Ppa) -> Result<Option<(Bytes, Bytes, WrittenExtent)>> {
+    fn read_pair(
+        &mut self,
+        sig: KeySignature,
+        head: Ppa,
+    ) -> Result<Option<(Bytes, Bytes, WrittenExtent)>> {
         if Some(head) == self.ftl.pending_head() {
             if let (Some((k, frag)), Some(extent)) =
                 (self.ftl.pending_pair(sig), self.ftl.pending_extent(sig))
@@ -537,10 +550,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
         &self.hasher
     }
 
-    pub(crate) fn scan_for_iterate(
-        &mut self,
-        out: &mut Vec<(KeySignature, Ppa)>,
-    ) -> Result<()> {
+    pub(crate) fn scan_for_iterate(&mut self, out: &mut Vec<(KeySignature, Ppa)>) -> Result<()> {
         self.stats.iterates += 1;
         self.index
             .scan_records(&mut self.ftl, &mut |sig, ppa| out.push((sig, ppa)))
@@ -573,10 +583,9 @@ impl<I: IndexBackend> KvssdDevice<I> {
         handle: crate::cmd::IterHandle,
     ) -> Result<Option<(KeySignature, Ppa, Vec<u8>)>> {
         match self.iter_sessions.get(handle.0) {
-            Some(Some(s)) => Ok(s
-                .candidates
-                .get(s.pos)
-                .map(|&(sig, ppa)| (sig, ppa, s.prefix.clone()))),
+            Some(Some(s)) => {
+                Ok(s.candidates.get(s.pos).map(|&(sig, ppa)| (sig, ppa, s.prefix.clone())))
+            }
             _ => Err(KvError::Unsupported("iterator handle not open")),
         }
     }
@@ -921,7 +930,10 @@ mod tests {
     #[test]
     fn baseline_devices_work_too() {
         let cfg = DeviceConfig::small();
-        let mut ml = KvssdDevice::multilevel(cfg, MultiLevelConfig { initial_bits: 1, max_levels: 8, hop_width: 16 });
+        let mut ml = KvssdDevice::multilevel(
+            cfg,
+            MultiLevelConfig { initial_bits: 1, max_levels: 8, hop_width: 16 },
+        );
         let mut sh = KvssdDevice::simple_hash(cfg, 4, 16);
         let mut lsm = KvssdDevice::lsm(cfg, LsmConfig::default());
         for i in 0..200u64 {

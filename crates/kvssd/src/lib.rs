@@ -23,18 +23,18 @@
 mod cmd;
 mod config;
 mod device;
-mod shared;
 mod engine;
 mod error;
 mod histogram;
+mod shared;
 
 pub use cmd::{Command, CommandResult, IterHandle};
 pub use config::{DeviceConfig, EngineMode};
 pub use device::{DeviceStats, ExistReport, KvssdDevice};
 pub use engine::{CommandTiming, TimingEngine};
-pub use shared::SharedKvssd;
 pub use error::KvError;
 pub use histogram::LatencyHistogram;
+pub use shared::SharedKvssd;
 
 /// Result alias for device commands.
 pub type Result<T> = std::result::Result<T, KvError>;

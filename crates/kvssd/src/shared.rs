@@ -7,10 +7,9 @@
 //! engine still sees one serialized command stream, exactly like commands
 //! interleaving on the device's submission queue.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 use rhik_ftl::IndexBackend;
 
 use crate::device::{DeviceStats, ExistReport, KvssdDevice};
@@ -33,43 +32,49 @@ impl<I: IndexBackend + Send> SharedKvssd<I> {
         SharedKvssd { inner: Arc::new(Mutex::new(device)) }
     }
 
+    /// Take the submission-queue lock. A panicked writer leaves the device
+    /// in a command boundary at worst, so poisoning is not fatal here.
+    fn lock(&self) -> MutexGuard<'_, KvssdDevice<I>> {
+        self.inner.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.inner.lock().put(key, value)
+        self.lock().put(key, value)
     }
 
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        self.inner.lock().get(key)
+        self.lock().get(key)
     }
 
     pub fn delete(&self, key: &[u8]) -> Result<()> {
-        self.inner.lock().delete(key)
+        self.lock().delete(key)
     }
 
     pub fn exist(&self, key: &[u8]) -> Result<ExistReport> {
-        self.inner.lock().exist(key)
+        self.lock().exist(key)
     }
 
     pub fn flush(&self) -> Result<()> {
-        self.inner.lock().flush()
+        self.lock().flush()
     }
 
     pub fn stats(&self) -> DeviceStats {
-        self.inner.lock().stats()
+        self.lock().stats()
     }
 
     pub fn key_count(&self) -> u64 {
-        self.inner.lock().key_count()
+        self.lock().key_count()
     }
 
     /// Run `f` with exclusive access to the device (diagnostics, bulk ops).
     pub fn with_device<R>(&self, f: impl FnOnce(&mut KvssdDevice<I>) -> R) -> R {
-        f(&mut self.inner.lock())
+        f(&mut self.lock())
     }
 
     /// Unwrap the device if this is the last handle.
     pub fn try_into_inner(self) -> std::result::Result<KvssdDevice<I>, Self> {
         match Arc::try_unwrap(self.inner) {
-            Ok(mutex) => Ok(mutex.into_inner()),
+            Ok(mutex) => Ok(mutex.into_inner().unwrap_or_else(|poison| poison.into_inner())),
             Err(inner) => Err(SharedKvssd { inner }),
         }
     }
@@ -96,10 +101,10 @@ mod tests {
         const THREADS: u64 = 4;
         const PER_THREAD: u64 = 300;
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..THREADS {
                 let handle = dev.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in 0..PER_THREAD {
                         let key = format!("t{t}-{i:05}");
                         handle.put(key.as_bytes(), format!("v{t}-{i}").as_bytes()).unwrap();
@@ -109,8 +114,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .expect("threads");
+        });
 
         assert_eq!(dev.key_count(), THREADS * PER_THREAD);
         // Every thread's data is visible from the main thread.
@@ -131,31 +135,30 @@ mod tests {
         for i in 0..200u64 {
             dev.put(format!("base-{i:04}").as_bytes(), b"seed").unwrap();
         }
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             // Writer thread overwrites; deleter removes odd keys; readers
             // verify values are always one of the legal states.
             let w = dev.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for i in (0..200u64).step_by(2) {
                     w.put(format!("base-{i:04}").as_bytes(), b"updated").unwrap();
                 }
             });
             let d = dev.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for i in (1..200u64).step_by(2) {
                     let _ = d.delete(format!("base-{i:04}").as_bytes());
                 }
             });
             let r = dev.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for i in 0..200u64 {
                     if let Some(v) = r.get(format!("base-{i:04}").as_bytes()).unwrap() {
                         assert!(&v[..] == b"seed" || &v[..] == b"updated");
                     }
                 }
             });
-        })
-        .expect("threads");
+        });
 
         // Final state: evens updated, odds gone.
         for i in 0..200u64 {

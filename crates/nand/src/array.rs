@@ -95,10 +95,16 @@ impl NandArray {
             return Err(NandError::OutOfRange(ppa));
         }
         if data.len() > self.geometry.page_size as usize {
-            return Err(NandError::DataTooLarge { len: data.len(), page_size: self.geometry.page_size });
+            return Err(NandError::DataTooLarge {
+                len: data.len(),
+                page_size: self.geometry.page_size,
+            });
         }
         if spare.len() > self.geometry.spare_size as usize {
-            return Err(NandError::SpareTooLarge { len: spare.len(), spare_size: self.geometry.spare_size });
+            return Err(NandError::SpareTooLarge {
+                len: spare.len(),
+                spare_size: self.geometry.spare_size,
+            });
         }
         let block = &self.blocks[ppa.block as usize];
         if block.is_programmed(ppa.page) {
@@ -173,11 +179,7 @@ impl NandArray {
 
     /// Bytes of live payload currently held (host-memory accounting).
     pub fn resident_bytes(&self) -> u64 {
-        self.pages
-            .iter()
-            .flatten()
-            .map(|s| (s.data.len() + s.spare.len()) as u64)
-            .sum()
+        self.pages.iter().flatten().map(|s| (s.data.len() + s.spare.len()) as u64).sum()
     }
 }
 
@@ -229,7 +231,10 @@ mod tests {
         let mut a = array();
         let ppa = Ppa::new(2, 0);
         a.program(ppa, bytes(b"v1"), Bytes::new()).unwrap();
-        assert_eq!(a.program(ppa, bytes(b"v2"), Bytes::new()).unwrap_err(), NandError::OverwriteWithoutErase(ppa));
+        assert_eq!(
+            a.program(ppa, bytes(b"v2"), Bytes::new()).unwrap_err(),
+            NandError::OverwriteWithoutErase(ppa)
+        );
         a.erase(2).unwrap();
         a.program(ppa, bytes(b"v2"), Bytes::new()).unwrap();
         let (d, _) = a.read(ppa).unwrap();
@@ -293,7 +298,10 @@ mod tests {
         let mut a = array();
         let ppa = Ppa::new(0, 0);
         a.faults_mut().fail_program(ppa);
-        assert_eq!(a.program(ppa, bytes(b"x"), Bytes::new()).unwrap_err(), NandError::ProgramFailed(ppa));
+        assert_eq!(
+            a.program(ppa, bytes(b"x"), Bytes::new()).unwrap_err(),
+            NandError::ProgramFailed(ppa)
+        );
         assert_eq!(a.stats().program_failures, 1);
         // Page consumed: next program goes to page 1 and succeeds.
         a.program(Ppa::new(0, 1), bytes(b"x"), Bytes::new()).unwrap();

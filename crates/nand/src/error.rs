@@ -75,7 +75,10 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(NandError::ReadUnwritten(Ppa::new(1, 1)), NandError::ReadUnwritten(Ppa::new(1, 1)));
+        assert_eq!(
+            NandError::ReadUnwritten(Ppa::new(1, 1)),
+            NandError::ReadUnwritten(Ppa::new(1, 1))
+        );
         assert_ne!(NandError::ReadUnwritten(Ppa::new(1, 1)), NandError::ReadFailed(Ppa::new(1, 1)));
     }
 }

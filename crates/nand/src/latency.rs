@@ -25,7 +25,9 @@ impl NandOp {
     #[inline]
     pub fn channel(&self, geometry: &NandGeometry) -> u32 {
         match *self {
-            NandOp::Read { ppa, .. } | NandOp::Program { ppa, .. } => geometry.channel_of(ppa.block),
+            NandOp::Read { ppa, .. } | NandOp::Program { ppa, .. } => {
+                geometry.channel_of(ppa.block)
+            }
             NandOp::Erase { block } => geometry.channel_of(block),
         }
     }

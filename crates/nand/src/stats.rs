@@ -45,7 +45,8 @@ mod tests {
     #[test]
     fn since_diffs_counters() {
         let early = NandStats { page_reads: 3, page_programs: 1, ..Default::default() };
-        let late = NandStats { page_reads: 10, page_programs: 4, block_erases: 2, ..Default::default() };
+        let late =
+            NandStats { page_reads: 10, page_programs: 4, block_erases: 2, ..Default::default() };
         let d = late.since(&early);
         assert_eq!(d.page_reads, 7);
         assert_eq!(d.page_programs, 3);

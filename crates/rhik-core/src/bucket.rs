@@ -21,7 +21,9 @@ use crate::record::IndexRecord;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TableInsert {
     Inserted,
-    Updated { old: Ppa },
+    Updated {
+        old: Ppa,
+    },
     /// No slot reachable within the hop width — the paper's uncorrectable
     /// abort. The table is left unchanged.
     Full,
@@ -41,11 +43,7 @@ impl RecordTable {
         assert!(records > 0, "table needs at least one slot");
         assert!((1..=32).contains(&hop_width), "hop width must be 1..=32");
         assert!(hop_width <= records, "hop width cannot exceed table size");
-        RecordTable {
-            slots: vec![IndexRecord::empty(); records as usize],
-            hop_width,
-            len: 0,
-        }
+        RecordTable { slots: vec![IndexRecord::empty(); records as usize], hop_width, len: 0 }
     }
 
     /// Records currently stored.
@@ -233,7 +231,9 @@ impl RecordTable {
         assert!(self.slots.len() * IndexRecord::PACKED_LEN <= page_size, "table exceeds page");
         let mut out = vec![0u8; page_size];
         for (i, slot) in self.slots.iter().enumerate() {
-            slot.encode_into(&mut out[i * IndexRecord::PACKED_LEN..(i + 1) * IndexRecord::PACKED_LEN]);
+            slot.encode_into(
+                &mut out[i * IndexRecord::PACKED_LEN..(i + 1) * IndexRecord::PACKED_LEN],
+            );
         }
         Bytes::from(out)
     }
@@ -243,7 +243,9 @@ impl RecordTable {
         let mut table = RecordTable::new(records, hop_width);
         let mut len = 0;
         for i in 0..records as usize {
-            let rec = IndexRecord::decode(&data[i * IndexRecord::PACKED_LEN..(i + 1) * IndexRecord::PACKED_LEN]);
+            let rec = IndexRecord::decode(
+                &data[i * IndexRecord::PACKED_LEN..(i + 1) * IndexRecord::PACKED_LEN],
+            );
             if rec.is_occupied() {
                 len += 1;
             }
@@ -335,7 +337,9 @@ mod tests {
         let mut t = RecordTable::new(64, 32);
         let mut inserted = 0;
         for i in 0..64u64 {
-            if t.insert(sig(i.wrapping_mul(0x1234_5678_9abc_def1)), ppa(i as u32)) == TableInsert::Inserted {
+            if t.insert(sig(i.wrapping_mul(0x1234_5678_9abc_def1)), ppa(i as u32))
+                == TableInsert::Inserted
+            {
                 inserted += 1;
             }
         }

@@ -103,7 +103,7 @@ mod tests {
         assert_eq!(RhikConfig::directory_bits_for(1, 32 * 1024), 0); // 1 table
         assert_eq!(RhikConfig::directory_bits_for(1927, 32 * 1024), 0);
         assert_eq!(RhikConfig::directory_bits_for(1928, 32 * 1024), 1); // 2 tables
-        // 11 M keys → ceil(11e6 / 1927) = 5709 tables → 13 bits (8192).
+                                                                        // 11 M keys → ceil(11e6 / 1927) = 5709 tables → 13 bits (8192).
         assert_eq!(RhikConfig::directory_bits_for(11_000_000, 32 * 1024), 13);
     }
 

@@ -63,11 +63,7 @@ impl Directory {
     /// Fresh directory with `2^bits` empty entries.
     pub fn new(bits: u32) -> Self {
         assert!(bits <= 32, "directory bits capped at 32");
-        Directory {
-            bits,
-            entries: vec![DirEntry::empty(); 1usize << bits],
-            generation: 0,
-        }
+        Directory { bits, entries: vec![DirEntry::empty(); 1usize << bits], generation: 0 }
     }
 
     /// Number of entries `D`.
@@ -175,10 +171,9 @@ impl Directory {
             buf.extend_from_slice(&(frag_idx as u32).to_le_bytes());
             buf.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
             for e in chunk {
-                for (present_tag, ppa) in [
-                    (1u8, e.table_ppa),
-                    (if e.has_overflow { 3 } else { 2 }, e.overflow_ppa),
-                ] {
+                for (present_tag, ppa) in
+                    [(1u8, e.table_ppa), (if e.has_overflow { 3 } else { 2 }, e.overflow_ppa)]
+                {
                     match ppa {
                         Some(ppa) => {
                             buf.push(present_tag);

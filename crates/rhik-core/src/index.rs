@@ -46,10 +46,7 @@ impl RhikIndex {
     pub fn new(cfg: RhikConfig, page_size: u32) -> Self {
         let cfg = cfg.validated();
         let records_per_table = RhikConfig::records_per_table(page_size);
-        assert!(
-            records_per_table >= cfg.hop_width,
-            "page too small for the configured hop width"
-        );
+        assert!(records_per_table >= cfg.hop_width, "page too small for the configured hop width");
         RhikIndex {
             dir: Directory::new(cfg.initial_dir_bits),
             cfg,
@@ -99,10 +96,8 @@ impl RhikIndex {
         let mut i = 0;
         while i < fragments.len() {
             let seq = fragments[i].0;
-            let group_end = fragments[i..]
-                .iter()
-                .position(|f| f.0 != seq)
-                .map_or(fragments.len(), |p| i + p);
+            let group_end =
+                fragments[i..].iter().position(|f| f.0 != seq).map_or(fragments.len(), |p| i + p);
             let group = &fragments[i..group_end];
             let pages: Vec<Bytes> = group.iter().map(|f| f.3.clone()).collect();
             if let Some(dir) = Directory::from_snapshot_pages(&pages) {
@@ -111,8 +106,8 @@ impl RhikIndex {
             }
             i = group_end;
         }
-        let (mut dir, dir_snapshot, snapshot_seq) = recovered
-            .unwrap_or_else(|| (Directory::new(cfg.initial_dir_bits), Vec::new(), 0));
+        let (mut dir, dir_snapshot, snapshot_seq) =
+            recovered.unwrap_or_else(|| (Directory::new(cfg.initial_dir_bits), Vec::new(), 0));
 
         // Re-learn record counts table by table (overflow tables included).
         //
@@ -238,7 +233,11 @@ impl RhikIndex {
     }
 
     /// Load `slot`'s hyper-local overflow table (creating an empty one).
-    fn load_overflow(&mut self, ftl: &mut Ftl, slot: u32) -> Result<(RecordTable, u64), IndexError> {
+    fn load_overflow(
+        &mut self,
+        ftl: &mut Ftl,
+        slot: u32,
+    ) -> Result<(RecordTable, u64), IndexError> {
         let key = OVERFLOW_KEY | self.dir.cache_key(slot);
         let ppa = self.dir.entry(slot).overflow_ppa;
         self.load_any_table(ftl, key, ppa)
@@ -313,7 +312,13 @@ impl RhikIndex {
 
     /// Persist an evicted page if it is dirty and still belongs to the
     /// current configuration.
-    fn write_back(&mut self, ftl: &mut Ftl, key: u64, data: Bytes, dirty: bool) -> Result<(), IndexError> {
+    fn write_back(
+        &mut self,
+        ftl: &mut Ftl,
+        key: u64,
+        data: Bytes,
+        dirty: bool,
+    ) -> Result<(), IndexError> {
         if !dirty || key & DIR_PAGE_KEY != 0 {
             return Ok(()); // snapshots are written eagerly, never dirty
         }
@@ -391,7 +396,12 @@ impl RhikIndex {
 }
 
 impl IndexBackend for RhikIndex {
-    fn insert(&mut self, ftl: &mut Ftl, sig: KeySignature, ppa: Ppa) -> Result<InsertOutcome, IndexError> {
+    fn insert(
+        &mut self,
+        ftl: &mut Ftl,
+        sig: KeySignature,
+        ppa: Ppa,
+    ) -> Result<InsertOutcome, IndexError> {
         self.stats.inserts += 1;
         let slot = self.dir.slot_of(sig);
         let (mut table, _reads) = self.load_table(ftl, slot)?;
@@ -662,7 +672,13 @@ mod tests {
             ..FtlConfig::tiny()
         });
         let idx = RhikIndex::new(
-            RhikConfig { initial_dir_bits: 1, dir_flush_interval: 1_000_000, hop_width: 16, occupancy_threshold: 0.6, ..Default::default() },
+            RhikConfig {
+                initial_dir_bits: 1,
+                dir_flush_interval: 1_000_000,
+                hop_width: 16,
+                occupancy_threshold: 0.6,
+                ..Default::default()
+            },
             512,
         );
         (ftl, idx)

@@ -53,7 +53,11 @@ pub(crate) fn resize(idx: &mut RhikIndex, ftl: &mut Ftl) -> Result<(), IndexErro
     for slot in 0..old_dir.len() as u32 {
         // Fetch the old table (and its hyper-local overflow, if any):
         // cache first (old-generation keys), flash next.
-        let fetch = |ftl: &mut Ftl, idx: &mut RhikIndex, cache_key: u64, ppa: Option<rhik_nand::Ppa>| -> Result<Option<RecordTable>, IndexError> {
+        let fetch = |ftl: &mut Ftl,
+                     idx: &mut RhikIndex,
+                     cache_key: u64,
+                     ppa: Option<rhik_nand::Ppa>|
+         -> Result<Option<RecordTable>, IndexError> {
             if let Some(ev) = ftl.cache().remove(cache_key) {
                 return Ok(Some(RecordTable::from_page(&ev.data, records_per_table, hop_width)));
             }
@@ -89,7 +93,9 @@ pub(crate) fn resize(idx: &mut RhikIndex, ftl: &mut Ftl) -> Result<(), IndexErro
         let mut hi = RecordTable::new(records_per_table, hop_width);
         let mut lo_ovf: Option<RecordTable> = None;
         let mut hi_ovf: Option<RecordTable> = None;
-        for (sig, ppa) in table.iter().flat_map(|t| t.iter()).chain(overflow.iter().flat_map(|t| t.iter())) {
+        for (sig, ppa) in
+            table.iter().flat_map(|t| t.iter()).chain(overflow.iter().flat_map(|t| t.iter()))
+        {
             let target_slot = idx.directory().slot_of(sig);
             debug_assert!(target_slot == lo_slot || target_slot == hi_slot);
             let (target, target_ovf) = if target_slot == lo_slot {
@@ -204,7 +210,13 @@ mod tests {
             ..FtlConfig::tiny()
         });
         let mut idx = RhikIndex::new(
-            RhikConfig { initial_dir_bits: 0, dir_flush_interval: 1_000_000, hop_width: 16, occupancy_threshold: 0.6, ..Default::default() },
+            RhikConfig {
+                initial_dir_bits: 0,
+                dir_flush_interval: 1_000_000,
+                hop_width: 16,
+                occupancy_threshold: 0.6,
+                ..Default::default()
+            },
             512,
         );
         for i in 0..keys {
@@ -264,7 +276,13 @@ mod tests {
         // directory untouched, record still inserted, maintenance flagged.
         let mut ftl = Ftl::new(FtlConfig::tiny()); // 8 blocks x 8 pages
         let mut idx = RhikIndex::new(
-            RhikConfig { initial_dir_bits: 0, dir_flush_interval: 1_000_000, hop_width: 16, occupancy_threshold: 0.6, ..Default::default() },
+            RhikConfig {
+                initial_dir_bits: 0,
+                dir_flush_interval: 1_000_000,
+                hop_width: 16,
+                occupancy_threshold: 0.6,
+                ..Default::default()
+            },
             512,
         );
         // Consume nearly all flash with data.

@@ -1,0 +1,408 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the serde_json API its bench harness uses:
+//! [`Value`], the [`json!`] macro, and [`to_string_pretty`]. Object keys
+//! keep insertion order (upstream's `preserve_order` feature) so emitted
+//! experiment JSON diffs cleanly.
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization error (the shim's serializer cannot actually fail, but
+/// the upstream signature returns `Result`).
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::UInt(v as u64)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::UInt(*v as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Int(v as i64)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::Int(*v as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_float {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Float(v as f64)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::Float(*v as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+impl_from_signed!(i8, i16, i32, i64, isize);
+impl_from_float!(f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::String((*v).to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        if f == f.trunc() && f.abs() < 1e15 {
+            // Keep whole floats recognizable as floats, like serde_json.
+            out.push_str(&format!("{f:.1}"));
+        } else {
+            out.push_str(&format!("{f}"));
+        }
+    } else {
+        // JSON has no inf/nan; upstream errors, the bench shim degrades.
+        out.push_str("null");
+    }
+}
+
+impl Value {
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        let pad = |out: &mut String, level: usize| {
+            if pretty {
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', level * 2));
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => write_float(out, *f),
+            Value::String(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1, pretty);
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    out.push('"');
+                    escape_into(out, k);
+                    out.push_str("\": ");
+                    v.write(out, indent + 1, pretty);
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        f.write_str(&out)
+    }
+}
+
+/// Compact serialization.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+/// Two-space-indented serialization (upstream-compatible shape).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write(&mut out, 0, true);
+    Ok(out)
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_obj {
+    ($pairs:ident) => {};
+    ($pairs:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $pairs.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $($crate::__json_obj!($pairs $($rest)*);)?
+    };
+    ($pairs:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $pairs.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $($crate::__json_obj!($pairs $($rest)*);)?
+    };
+    ($pairs:ident $key:literal : $($rest:tt)+) => {
+        $crate::__json_val!($pairs $key [] $($rest)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_val {
+    ($pairs:ident $key:literal [$($val:tt)+] , $($rest:tt)*) => {
+        $pairs.push(($key.to_string(), $crate::Value::from($($val)+)));
+        $crate::__json_obj!($pairs $($rest)*);
+    };
+    ($pairs:ident $key:literal [$($val:tt)+]) => {
+        $pairs.push(($key.to_string(), $crate::Value::from($($val)+)));
+    };
+    ($pairs:ident $key:literal [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_val!($pairs $key [$($val)* $next] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_arr {
+    ($items:ident) => {};
+    ($items:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $($crate::__json_arr!($items $($rest)*);)?
+    };
+    ($items:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $($crate::__json_arr!($items $($rest)*);)?
+    };
+    ($items:ident $($rest:tt)+) => {
+        $crate::__json_arr_val!($items [] $($rest)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_arr_val {
+    ($items:ident [$($val:tt)+] , $($rest:tt)*) => {
+        $items.push($crate::Value::from($($val)+));
+        $crate::__json_arr!($items $($rest)*);
+    };
+    ($items:ident [$($val:tt)+]) => {
+        $items.push($crate::Value::from($($val)+));
+    };
+    ($items:ident [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_arr_val!($items [$($val)* $next] $($rest)*);
+    };
+}
+
+/// Build a [`Value`] from JSON-shaped syntax with expression interpolation.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut pairs: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::__json_obj!(pairs $($tt)+);
+        $crate::Value::Object(pairs)
+    }};
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::__json_arr!(items $($tt)+);
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_nesting() {
+        let keys = 42u64;
+        let ratio = 0.5f64;
+        let label = "hash";
+        let series: Vec<Value> =
+            (0..2).map(|i| json!({"util": i, "mbps": (i as f64) * 2.0})).collect();
+        let v = json!({
+            "label": label,
+            "keys": keys,
+            "ratio": ratio,
+            "nested": { "lo": 1, "hi": 2 },
+            "series": series,
+            "flag": true,
+            "none": null,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"label\": \"hash\""));
+        assert!(s.contains("\"keys\": 42"));
+        assert!(s.contains("\"ratio\": 0.5"));
+        assert!(s.contains("\"lo\": 1"));
+        assert!(s.contains("\"mbps\": 2.0"));
+        assert!(s.contains("\"none\": null"));
+    }
+
+    #[test]
+    fn exprs_with_method_calls_and_commas() {
+        fn pair(a: u32, b: u32) -> u32 {
+            a + b
+        }
+        let xs = [1u32, 2, 3];
+        let v = json!({
+            "sum": pair(1, 2),
+            "collected": xs.iter().map(|x| x * 2).collect::<Vec<_>>(),
+        });
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("sum".into(), Value::UInt(3)),
+                (
+                    "collected".into(),
+                    Value::Array(vec![Value::UInt(2), Value::UInt(4), Value::UInt(6)])
+                ),
+            ])
+        );
+    }
+
+    #[test]
+    fn arrays_and_refs() {
+        let u = &1.25f64;
+        let v = json!([1, 2.0, "three", {"four": 4}, [5]]);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2.0,\"three\",{\"four\": 4},[5]]");
+        assert_eq!(json!(u), Value::Float(1.25));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!({"msg": "line\n\"quoted\""});
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "{\"msg\": \"line\\n\\\"quoted\\\"\"}");
+    }
+
+    #[test]
+    fn pretty_shape() {
+        let v = json!({"a": [1, 2]});
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    }
+}

@@ -211,10 +211,7 @@ mod tests {
         for k in [&b""[..], b"a", b"ab", b"abc", b"abcd"] {
             let _ = prefix_suffix_signature(k, 1);
         }
-        assert_ne!(
-            prefix_suffix_signature(b"ab", 1),
-            prefix_suffix_signature(b"ac", 1)
-        );
+        assert_ne!(prefix_suffix_signature(b"ab", 1), prefix_suffix_signature(b"ac", 1));
     }
 
     #[test]

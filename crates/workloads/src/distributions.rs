@@ -76,10 +76,7 @@ impl SizeDistribution {
 
     /// Mean request size assuming sizes uniform within each bucket.
     pub fn mean_bytes(&self) -> f64 {
-        self.buckets
-            .iter()
-            .map(|b| b.fraction * (b.min_bytes + b.max_bytes) as f64 / 2.0)
-            .sum()
+        self.buckets.iter().map(|b| b.fraction * (b.min_bytes + b.max_bytes) as f64 / 2.0).sum()
     }
 
     /// Estimated key-count range a device of `capacity_bytes` implies:
@@ -180,8 +177,7 @@ mod tests {
         assert!(fb_lo > PM983_MAX_KEYS && fb_hi > PM983_MAX_KEYS);
         let (_, est_hi) = SizeDistribution::fb_memcached_etc().implied_key_range(FOUR_TB);
         assert!(est_hi > PM983_MAX_KEYS);
-        let (baidu_lo, baidu_hi) =
-            SizeDistribution::baidu_atlas_write().paper_reported_key_range();
+        let (baidu_lo, baidu_hi) = SizeDistribution::baidu_atlas_write().paper_reported_key_range();
         assert!(baidu_lo < PM983_MAX_KEYS && baidu_hi < PM983_MAX_KEYS);
     }
 
@@ -215,10 +211,7 @@ mod tests {
         // "between 26 billion and 700 billion keys" for a 4 TB device.
         for (name, avg) in rocksdb_avg_pair_bytes() {
             let keys = keys_for_avg_size(FOUR_TB, avg);
-            assert!(
-                (20_000_000_000..=80_000_000_000).contains(&keys),
-                "{name}: {keys}"
-            );
+            assert!((20_000_000_000..=80_000_000_000).contains(&keys), "{name}: {keys}");
         }
     }
 }

@@ -186,9 +186,7 @@ impl WorkloadDriver {
                             stats.puts += 1;
                             stats.bytes_moved += (key.len() + value_len) as u64;
                         }
-                        Err(KvError::KeyCollision) | Err(KvError::KeyRejected) => {
-                            stats.errors += 1
-                        }
+                        Err(KvError::KeyCollision) | Err(KvError::KeyRejected) => stats.errors += 1,
                         Err(e) => return Err(e),
                     }
                 }

@@ -52,14 +52,70 @@ pub struct ClusterSpec {
 /// The eight clusters of Fig. 5, in plot order.
 pub fn clusters() -> Vec<ClusterSpec> {
     vec![
-        ClusterSpec { name: "001", regime: IndexRegime::Borderline, index_to_cache: 1.5, mean_object_bytes: 64 << 10, theta: 0.90, read_fraction: 0.78 },
-        ClusterSpec { name: "022", regime: IndexRegime::Small, index_to_cache: 0.20, mean_object_bytes: 256 << 10, theta: 0.80, read_fraction: 0.90 },
-        ClusterSpec { name: "026", regime: IndexRegime::Small, index_to_cache: 0.30, mean_object_bytes: 128 << 10, theta: 0.95, read_fraction: 0.85 },
-        ClusterSpec { name: "052", regime: IndexRegime::Small, index_to_cache: 0.40, mean_object_bytes: 96 << 10, theta: 0.85, read_fraction: 0.92 },
-        ClusterSpec { name: "072", regime: IndexRegime::Small, index_to_cache: 0.50, mean_object_bytes: 48 << 10, theta: 0.90, read_fraction: 0.88 },
-        ClusterSpec { name: "081", regime: IndexRegime::Borderline, index_to_cache: 2.0, mean_object_bytes: 32 << 10, theta: 0.92, read_fraction: 0.80 },
-        ClusterSpec { name: "083", regime: IndexRegime::Large, index_to_cache: 6.0, mean_object_bytes: 8 << 10, theta: 0.70, read_fraction: 0.82 },
-        ClusterSpec { name: "096", regime: IndexRegime::Large, index_to_cache: 10.0, mean_object_bytes: 4 << 10, theta: 0.60, read_fraction: 0.86 },
+        ClusterSpec {
+            name: "001",
+            regime: IndexRegime::Borderline,
+            index_to_cache: 1.5,
+            mean_object_bytes: 64 << 10,
+            theta: 0.90,
+            read_fraction: 0.78,
+        },
+        ClusterSpec {
+            name: "022",
+            regime: IndexRegime::Small,
+            index_to_cache: 0.20,
+            mean_object_bytes: 256 << 10,
+            theta: 0.80,
+            read_fraction: 0.90,
+        },
+        ClusterSpec {
+            name: "026",
+            regime: IndexRegime::Small,
+            index_to_cache: 0.30,
+            mean_object_bytes: 128 << 10,
+            theta: 0.95,
+            read_fraction: 0.85,
+        },
+        ClusterSpec {
+            name: "052",
+            regime: IndexRegime::Small,
+            index_to_cache: 0.40,
+            mean_object_bytes: 96 << 10,
+            theta: 0.85,
+            read_fraction: 0.92,
+        },
+        ClusterSpec {
+            name: "072",
+            regime: IndexRegime::Small,
+            index_to_cache: 0.50,
+            mean_object_bytes: 48 << 10,
+            theta: 0.90,
+            read_fraction: 0.88,
+        },
+        ClusterSpec {
+            name: "081",
+            regime: IndexRegime::Borderline,
+            index_to_cache: 2.0,
+            mean_object_bytes: 32 << 10,
+            theta: 0.92,
+            read_fraction: 0.80,
+        },
+        ClusterSpec {
+            name: "083",
+            regime: IndexRegime::Large,
+            index_to_cache: 6.0,
+            mean_object_bytes: 8 << 10,
+            theta: 0.70,
+            read_fraction: 0.82,
+        },
+        ClusterSpec {
+            name: "096",
+            regime: IndexRegime::Large,
+            index_to_cache: 10.0,
+            mean_object_bytes: 4 << 10,
+            theta: 0.60,
+            read_fraction: 0.86,
+        },
     ]
 }
 
@@ -127,9 +183,7 @@ impl ClusterSpec {
 
 /// Distinct deterministic sub-seed per cluster (FNV-1a over the name).
 fn cluster_seed(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-    })
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
 }
 
 #[cfg(test)]

@@ -39,8 +39,8 @@ impl ZipfSampler {
         } else {
             let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
             // ∫_{EXACT}^{n} x^-theta dx
-            let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail =
+                ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }

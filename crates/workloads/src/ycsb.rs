@@ -217,9 +217,8 @@ mod tests {
             let mut dev = KvssdDevice::rhik(
                 DeviceConfig::small().with_profile(rhik_nand::DeviceProfile::kvemu_like()),
             );
-            let stats = run(&mut dev, preset, &small()).unwrap_or_else(|e| {
-                panic!("preset {} failed: {e}", preset.name())
-            });
+            let stats = run(&mut dev, preset, &small())
+                .unwrap_or_else(|e| panic!("preset {} failed: {e}", preset.name()));
             assert_eq!(stats.ops, 600, "{}", preset.name());
             assert_eq!(stats.errors, 0, "{}: {stats:?}", preset.name());
             assert!(stats.sim_ns > 0);

@@ -18,9 +18,9 @@ const OPS: usize = 4_000;
 fn device_config() -> DeviceConfig {
     let mut cfg = DeviceConfig::paper(64 << 20, CACHE_BUDGET);
     cfg.profile = rhik::nand::DeviceProfile::instant(); // we study cache hits, not time
-    // 32 KiB pages are too coarse for a 64 KiB cache demo; shrink pages so
-    // the cache holds a handful of tables, like 10 MB holds a handful of
-    // 32 KiB tables on the real setup.
+                                                        // 32 KiB pages are too coarse for a 64 KiB cache demo; shrink pages so
+                                                        // the cache holds a handful of tables, like 10 MB holds a handful of
+                                                        // 32 KiB tables on the real setup.
     cfg.geometry = rhik::nand::NandGeometry {
         blocks: 256,
         pages_per_block: 64,
@@ -36,8 +36,7 @@ fn main() {
     println!("--------+-------------+------------+------------------+----------------+---------------------");
 
     for cluster in ibm::clusters() {
-        let (trace, _population) =
-            cluster.synthesize(CACHE_BUDGET as u64, 17, OPS, 0.002, 42);
+        let (trace, _population) = cluster.synthesize(CACHE_BUDGET as u64, 17, OPS, 0.002, 42);
 
         // RHIK device.
         let mut rhik_dev = KvssdDevice::rhik(device_config());

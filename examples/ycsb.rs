@@ -17,9 +17,13 @@ fn device_config() -> DeviceConfig {
 }
 
 fn main() {
-    let cfg = YcsbConfig { records: 10_000, operations: 8_000, value_bytes: 512, ..Default::default() };
+    let cfg =
+        YcsbConfig { records: 10_000, operations: 8_000, value_bytes: 512, ..Default::default() };
 
-    println!("YCSB core workloads — {} records, {} ops, {}B values\n", cfg.records, cfg.operations, cfg.value_bytes);
+    println!(
+        "YCSB core workloads — {} records, {} ops, {}B values\n",
+        cfg.records, cfg.operations, cfg.value_bytes
+    );
     println!("{:<24} {:>14} {:>14} {:>8}", "preset", "rhik kops/s", "multilevel kops/s", "speedup");
     println!("{}", "-".repeat(64));
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-5b9b900c789f306b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-5b9b900c789f306b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_props-22d7b177da7cfe1b.d: tests/device_props.rs
+
+/root/repo/target/debug/deps/device_props-22d7b177da7cfe1b: tests/device_props.rs
+
+tests/device_props.rs:

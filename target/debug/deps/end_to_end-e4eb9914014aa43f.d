@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e4eb9914014aa43f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e4eb9914014aa43f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-02e339058ab216e0.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-02e339058ab216e0: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-7163936453ede8fb.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-7163936453ede8fb: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-0ec4ba226b736e98.d: crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-0ec4ba226b736e98.rmeta: crates/bench/src/bin/fig6.rs Cargo.toml
+
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-c094921a98628b51.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-c094921a98628b51: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-bdda4620ee045b0b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-bdda4620ee045b0b: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

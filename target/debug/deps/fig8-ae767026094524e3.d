@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-ae767026094524e3.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-ae767026094524e3: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

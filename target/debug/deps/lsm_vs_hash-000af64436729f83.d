@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsm_vs_hash-000af64436729f83.d: crates/bench/src/bin/lsm_vs_hash.rs
+
+/root/repo/target/debug/deps/lsm_vs_hash-000af64436729f83: crates/bench/src/bin/lsm_vs_hash.rs
+
+crates/bench/src/bin/lsm_vs_hash.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsm_vs_hash-15d8d0ffbb37ea83.d: crates/bench/src/bin/lsm_vs_hash.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsm_vs_hash-15d8d0ffbb37ea83.rmeta: crates/bench/src/bin/lsm_vs_hash.rs Cargo.toml
+
+crates/bench/src/bin/lsm_vs_hash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

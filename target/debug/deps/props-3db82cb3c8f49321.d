@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-3db82cb3c8f49321.d: crates/baseline/tests/props.rs
+
+/root/repo/target/debug/deps/props-3db82cb3c8f49321: crates/baseline/tests/props.rs
+
+crates/baseline/tests/props.rs:

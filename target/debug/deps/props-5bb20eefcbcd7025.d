@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-5bb20eefcbcd7025.d: crates/rhik-core/tests/props.rs
+
+/root/repo/target/debug/deps/props-5bb20eefcbcd7025: crates/rhik-core/tests/props.rs
+
+crates/rhik-core/tests/props.rs:

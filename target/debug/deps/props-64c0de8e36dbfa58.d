@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-64c0de8e36dbfa58.d: crates/nand/tests/props.rs
+
+/root/repo/target/debug/deps/props-64c0de8e36dbfa58: crates/nand/tests/props.rs
+
+crates/nand/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-aec83b8e4e218d34.d: crates/sigs/tests/props.rs
+
+/root/repo/target/debug/deps/props-aec83b8e4e218d34: crates/sigs/tests/props.rs
+
+crates/sigs/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-e892cf6670a10956.d: crates/ftl/tests/props.rs
+
+/root/repo/target/debug/deps/props-e892cf6670a10956: crates/ftl/tests/props.rs
+
+crates/ftl/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-72574d2d9518e839.d: tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-72574d2d9518e839: tests/recovery.rs
+
+tests/recovery.rs:

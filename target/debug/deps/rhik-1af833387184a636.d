@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rhik-1af833387184a636.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhik-1af833387184a636.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rhik-ad041bfdc5dc25fc.d: src/lib.rs
+
+/root/repo/target/debug/deps/librhik-ad041bfdc5dc25fc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librhik-ad041bfdc5dc25fc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rhik-da0fa80cc5375a17.d: src/lib.rs
+
+/root/repo/target/debug/deps/rhik-da0fa80cc5375a17: src/lib.rs
+
+src/lib.rs:

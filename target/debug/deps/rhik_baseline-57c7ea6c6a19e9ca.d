@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rhik_baseline-57c7ea6c6a19e9ca.d: crates/baseline/src/lib.rs crates/baseline/src/lsm.rs crates/baseline/src/multilevel.rs crates/baseline/src/simple.rs
+
+/root/repo/target/debug/deps/librhik_baseline-57c7ea6c6a19e9ca.rlib: crates/baseline/src/lib.rs crates/baseline/src/lsm.rs crates/baseline/src/multilevel.rs crates/baseline/src/simple.rs
+
+/root/repo/target/debug/deps/librhik_baseline-57c7ea6c6a19e9ca.rmeta: crates/baseline/src/lib.rs crates/baseline/src/lsm.rs crates/baseline/src/multilevel.rs crates/baseline/src/simple.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/lsm.rs:
+crates/baseline/src/multilevel.rs:
+crates/baseline/src/simple.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rhik_baseline-b5a710b2eb17c38a.d: crates/baseline/src/lib.rs crates/baseline/src/lsm.rs crates/baseline/src/multilevel.rs crates/baseline/src/simple.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhik_baseline-b5a710b2eb17c38a.rmeta: crates/baseline/src/lib.rs crates/baseline/src/lsm.rs crates/baseline/src/multilevel.rs crates/baseline/src/simple.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/lsm.rs:
+crates/baseline/src/multilevel.rs:
+crates/baseline/src/simple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rhik_baseline-c298e235d60f29ec.d: crates/baseline/src/lib.rs crates/baseline/src/lsm.rs crates/baseline/src/multilevel.rs crates/baseline/src/simple.rs
+
+/root/repo/target/debug/deps/rhik_baseline-c298e235d60f29ec: crates/baseline/src/lib.rs crates/baseline/src/lsm.rs crates/baseline/src/multilevel.rs crates/baseline/src/simple.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/lsm.rs:
+crates/baseline/src/multilevel.rs:
+crates/baseline/src/simple.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rhik_bench-3b9259678683b6de.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rhik_bench-3b9259678683b6de: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rhik_bench-864ec5e61c91fa03.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhik_bench-864ec5e61c91fa03.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rhik_bench-aba16933026ef1b9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librhik_bench-aba16933026ef1b9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librhik_bench-aba16933026ef1b9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rhik_core-3ec6b76e71e167a5.d: crates/rhik-core/src/lib.rs crates/rhik-core/src/bucket.rs crates/rhik-core/src/config.rs crates/rhik-core/src/directory.rs crates/rhik-core/src/index.rs crates/rhik-core/src/record.rs crates/rhik-core/src/resize.rs
+
+/root/repo/target/debug/deps/rhik_core-3ec6b76e71e167a5: crates/rhik-core/src/lib.rs crates/rhik-core/src/bucket.rs crates/rhik-core/src/config.rs crates/rhik-core/src/directory.rs crates/rhik-core/src/index.rs crates/rhik-core/src/record.rs crates/rhik-core/src/resize.rs
+
+crates/rhik-core/src/lib.rs:
+crates/rhik-core/src/bucket.rs:
+crates/rhik-core/src/config.rs:
+crates/rhik-core/src/directory.rs:
+crates/rhik-core/src/index.rs:
+crates/rhik-core/src/record.rs:
+crates/rhik-core/src/resize.rs:

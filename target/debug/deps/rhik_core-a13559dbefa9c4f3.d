@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rhik_core-a13559dbefa9c4f3.d: crates/rhik-core/src/lib.rs crates/rhik-core/src/bucket.rs crates/rhik-core/src/config.rs crates/rhik-core/src/directory.rs crates/rhik-core/src/index.rs crates/rhik-core/src/record.rs crates/rhik-core/src/resize.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhik_core-a13559dbefa9c4f3.rmeta: crates/rhik-core/src/lib.rs crates/rhik-core/src/bucket.rs crates/rhik-core/src/config.rs crates/rhik-core/src/directory.rs crates/rhik-core/src/index.rs crates/rhik-core/src/record.rs crates/rhik-core/src/resize.rs Cargo.toml
+
+crates/rhik-core/src/lib.rs:
+crates/rhik-core/src/bucket.rs:
+crates/rhik-core/src/config.rs:
+crates/rhik-core/src/directory.rs:
+crates/rhik-core/src/index.rs:
+crates/rhik-core/src/record.rs:
+crates/rhik-core/src/resize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

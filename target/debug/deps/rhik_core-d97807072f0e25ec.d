@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rhik_core-d97807072f0e25ec.d: crates/rhik-core/src/lib.rs crates/rhik-core/src/bucket.rs crates/rhik-core/src/config.rs crates/rhik-core/src/directory.rs crates/rhik-core/src/index.rs crates/rhik-core/src/record.rs crates/rhik-core/src/resize.rs
+
+/root/repo/target/debug/deps/librhik_core-d97807072f0e25ec.rlib: crates/rhik-core/src/lib.rs crates/rhik-core/src/bucket.rs crates/rhik-core/src/config.rs crates/rhik-core/src/directory.rs crates/rhik-core/src/index.rs crates/rhik-core/src/record.rs crates/rhik-core/src/resize.rs
+
+/root/repo/target/debug/deps/librhik_core-d97807072f0e25ec.rmeta: crates/rhik-core/src/lib.rs crates/rhik-core/src/bucket.rs crates/rhik-core/src/config.rs crates/rhik-core/src/directory.rs crates/rhik-core/src/index.rs crates/rhik-core/src/record.rs crates/rhik-core/src/resize.rs
+
+crates/rhik-core/src/lib.rs:
+crates/rhik-core/src/bucket.rs:
+crates/rhik-core/src/config.rs:
+crates/rhik-core/src/directory.rs:
+crates/rhik-core/src/index.rs:
+crates/rhik-core/src/record.rs:
+crates/rhik-core/src/resize.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rhik_ftl-216bfc91c50e490a.d: crates/ftl/src/lib.rs crates/ftl/src/cache.rs crates/ftl/src/gc.rs crates/ftl/src/layout.rs crates/ftl/src/alloc.rs crates/ftl/src/ftl.rs crates/ftl/src/traits.rs
+
+/root/repo/target/debug/deps/librhik_ftl-216bfc91c50e490a.rlib: crates/ftl/src/lib.rs crates/ftl/src/cache.rs crates/ftl/src/gc.rs crates/ftl/src/layout.rs crates/ftl/src/alloc.rs crates/ftl/src/ftl.rs crates/ftl/src/traits.rs
+
+/root/repo/target/debug/deps/librhik_ftl-216bfc91c50e490a.rmeta: crates/ftl/src/lib.rs crates/ftl/src/cache.rs crates/ftl/src/gc.rs crates/ftl/src/layout.rs crates/ftl/src/alloc.rs crates/ftl/src/ftl.rs crates/ftl/src/traits.rs
+
+crates/ftl/src/lib.rs:
+crates/ftl/src/cache.rs:
+crates/ftl/src/gc.rs:
+crates/ftl/src/layout.rs:
+crates/ftl/src/alloc.rs:
+crates/ftl/src/ftl.rs:
+crates/ftl/src/traits.rs:

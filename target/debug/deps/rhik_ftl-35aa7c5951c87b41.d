@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rhik_ftl-35aa7c5951c87b41.d: crates/ftl/src/lib.rs crates/ftl/src/cache.rs crates/ftl/src/gc.rs crates/ftl/src/layout.rs crates/ftl/src/alloc.rs crates/ftl/src/ftl.rs crates/ftl/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhik_ftl-35aa7c5951c87b41.rmeta: crates/ftl/src/lib.rs crates/ftl/src/cache.rs crates/ftl/src/gc.rs crates/ftl/src/layout.rs crates/ftl/src/alloc.rs crates/ftl/src/ftl.rs crates/ftl/src/traits.rs Cargo.toml
+
+crates/ftl/src/lib.rs:
+crates/ftl/src/cache.rs:
+crates/ftl/src/gc.rs:
+crates/ftl/src/layout.rs:
+crates/ftl/src/alloc.rs:
+crates/ftl/src/ftl.rs:
+crates/ftl/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

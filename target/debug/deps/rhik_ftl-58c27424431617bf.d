@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rhik_ftl-58c27424431617bf.d: crates/ftl/src/lib.rs crates/ftl/src/cache.rs crates/ftl/src/gc.rs crates/ftl/src/layout.rs crates/ftl/src/alloc.rs crates/ftl/src/ftl.rs crates/ftl/src/traits.rs
+
+/root/repo/target/debug/deps/rhik_ftl-58c27424431617bf: crates/ftl/src/lib.rs crates/ftl/src/cache.rs crates/ftl/src/gc.rs crates/ftl/src/layout.rs crates/ftl/src/alloc.rs crates/ftl/src/ftl.rs crates/ftl/src/traits.rs
+
+crates/ftl/src/lib.rs:
+crates/ftl/src/cache.rs:
+crates/ftl/src/gc.rs:
+crates/ftl/src/layout.rs:
+crates/ftl/src/alloc.rs:
+crates/ftl/src/ftl.rs:
+crates/ftl/src/traits.rs:

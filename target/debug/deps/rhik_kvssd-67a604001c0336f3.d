@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rhik_kvssd-67a604001c0336f3.d: crates/kvssd/src/lib.rs crates/kvssd/src/cmd.rs crates/kvssd/src/config.rs crates/kvssd/src/device.rs crates/kvssd/src/engine.rs crates/kvssd/src/error.rs crates/kvssd/src/histogram.rs crates/kvssd/src/shared.rs
+
+/root/repo/target/debug/deps/librhik_kvssd-67a604001c0336f3.rlib: crates/kvssd/src/lib.rs crates/kvssd/src/cmd.rs crates/kvssd/src/config.rs crates/kvssd/src/device.rs crates/kvssd/src/engine.rs crates/kvssd/src/error.rs crates/kvssd/src/histogram.rs crates/kvssd/src/shared.rs
+
+/root/repo/target/debug/deps/librhik_kvssd-67a604001c0336f3.rmeta: crates/kvssd/src/lib.rs crates/kvssd/src/cmd.rs crates/kvssd/src/config.rs crates/kvssd/src/device.rs crates/kvssd/src/engine.rs crates/kvssd/src/error.rs crates/kvssd/src/histogram.rs crates/kvssd/src/shared.rs
+
+crates/kvssd/src/lib.rs:
+crates/kvssd/src/cmd.rs:
+crates/kvssd/src/config.rs:
+crates/kvssd/src/device.rs:
+crates/kvssd/src/engine.rs:
+crates/kvssd/src/error.rs:
+crates/kvssd/src/histogram.rs:
+crates/kvssd/src/shared.rs:

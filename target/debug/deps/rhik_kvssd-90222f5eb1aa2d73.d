@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rhik_kvssd-90222f5eb1aa2d73.d: crates/kvssd/src/lib.rs crates/kvssd/src/cmd.rs crates/kvssd/src/config.rs crates/kvssd/src/device.rs crates/kvssd/src/engine.rs crates/kvssd/src/error.rs crates/kvssd/src/histogram.rs crates/kvssd/src/shared.rs
+
+/root/repo/target/debug/deps/rhik_kvssd-90222f5eb1aa2d73: crates/kvssd/src/lib.rs crates/kvssd/src/cmd.rs crates/kvssd/src/config.rs crates/kvssd/src/device.rs crates/kvssd/src/engine.rs crates/kvssd/src/error.rs crates/kvssd/src/histogram.rs crates/kvssd/src/shared.rs
+
+crates/kvssd/src/lib.rs:
+crates/kvssd/src/cmd.rs:
+crates/kvssd/src/config.rs:
+crates/kvssd/src/device.rs:
+crates/kvssd/src/engine.rs:
+crates/kvssd/src/error.rs:
+crates/kvssd/src/histogram.rs:
+crates/kvssd/src/shared.rs:

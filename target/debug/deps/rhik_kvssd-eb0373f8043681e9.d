@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rhik_kvssd-eb0373f8043681e9.d: crates/kvssd/src/lib.rs crates/kvssd/src/cmd.rs crates/kvssd/src/config.rs crates/kvssd/src/device.rs crates/kvssd/src/shared.rs crates/kvssd/src/engine.rs crates/kvssd/src/error.rs crates/kvssd/src/histogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhik_kvssd-eb0373f8043681e9.rmeta: crates/kvssd/src/lib.rs crates/kvssd/src/cmd.rs crates/kvssd/src/config.rs crates/kvssd/src/device.rs crates/kvssd/src/shared.rs crates/kvssd/src/engine.rs crates/kvssd/src/error.rs crates/kvssd/src/histogram.rs Cargo.toml
+
+crates/kvssd/src/lib.rs:
+crates/kvssd/src/cmd.rs:
+crates/kvssd/src/config.rs:
+crates/kvssd/src/device.rs:
+crates/kvssd/src/shared.rs:
+crates/kvssd/src/engine.rs:
+crates/kvssd/src/error.rs:
+crates/kvssd/src/histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

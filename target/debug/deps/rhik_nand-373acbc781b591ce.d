@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rhik_nand-373acbc781b591ce.d: crates/nand/src/lib.rs crates/nand/src/array.rs crates/nand/src/block.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/latency.rs crates/nand/src/stats.rs
+
+/root/repo/target/debug/deps/librhik_nand-373acbc781b591ce.rlib: crates/nand/src/lib.rs crates/nand/src/array.rs crates/nand/src/block.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/latency.rs crates/nand/src/stats.rs
+
+/root/repo/target/debug/deps/librhik_nand-373acbc781b591ce.rmeta: crates/nand/src/lib.rs crates/nand/src/array.rs crates/nand/src/block.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/latency.rs crates/nand/src/stats.rs
+
+crates/nand/src/lib.rs:
+crates/nand/src/array.rs:
+crates/nand/src/block.rs:
+crates/nand/src/error.rs:
+crates/nand/src/fault.rs:
+crates/nand/src/geometry.rs:
+crates/nand/src/latency.rs:
+crates/nand/src/stats.rs:

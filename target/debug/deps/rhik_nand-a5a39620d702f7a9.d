@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rhik_nand-a5a39620d702f7a9.d: crates/nand/src/lib.rs crates/nand/src/array.rs crates/nand/src/block.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/latency.rs crates/nand/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhik_nand-a5a39620d702f7a9.rmeta: crates/nand/src/lib.rs crates/nand/src/array.rs crates/nand/src/block.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/latency.rs crates/nand/src/stats.rs Cargo.toml
+
+crates/nand/src/lib.rs:
+crates/nand/src/array.rs:
+crates/nand/src/block.rs:
+crates/nand/src/error.rs:
+crates/nand/src/fault.rs:
+crates/nand/src/geometry.rs:
+crates/nand/src/latency.rs:
+crates/nand/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

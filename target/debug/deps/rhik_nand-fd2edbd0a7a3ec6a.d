@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rhik_nand-fd2edbd0a7a3ec6a.d: crates/nand/src/lib.rs crates/nand/src/array.rs crates/nand/src/block.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/latency.rs crates/nand/src/stats.rs
+
+/root/repo/target/debug/deps/rhik_nand-fd2edbd0a7a3ec6a: crates/nand/src/lib.rs crates/nand/src/array.rs crates/nand/src/block.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/latency.rs crates/nand/src/stats.rs
+
+crates/nand/src/lib.rs:
+crates/nand/src/array.rs:
+crates/nand/src/block.rs:
+crates/nand/src/error.rs:
+crates/nand/src/fault.rs:
+crates/nand/src/geometry.rs:
+crates/nand/src/latency.rs:
+crates/nand/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rhik_sigs-63873e6c62cb1830.d: crates/sigs/src/lib.rs crates/sigs/src/estimate.rs crates/sigs/src/fnv.rs crates/sigs/src/murmur.rs crates/sigs/src/signature.rs
+
+/root/repo/target/debug/deps/librhik_sigs-63873e6c62cb1830.rlib: crates/sigs/src/lib.rs crates/sigs/src/estimate.rs crates/sigs/src/fnv.rs crates/sigs/src/murmur.rs crates/sigs/src/signature.rs
+
+/root/repo/target/debug/deps/librhik_sigs-63873e6c62cb1830.rmeta: crates/sigs/src/lib.rs crates/sigs/src/estimate.rs crates/sigs/src/fnv.rs crates/sigs/src/murmur.rs crates/sigs/src/signature.rs
+
+crates/sigs/src/lib.rs:
+crates/sigs/src/estimate.rs:
+crates/sigs/src/fnv.rs:
+crates/sigs/src/murmur.rs:
+crates/sigs/src/signature.rs:

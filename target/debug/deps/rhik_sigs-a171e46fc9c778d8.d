@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rhik_sigs-a171e46fc9c778d8.d: crates/sigs/src/lib.rs crates/sigs/src/estimate.rs crates/sigs/src/fnv.rs crates/sigs/src/murmur.rs crates/sigs/src/signature.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhik_sigs-a171e46fc9c778d8.rmeta: crates/sigs/src/lib.rs crates/sigs/src/estimate.rs crates/sigs/src/fnv.rs crates/sigs/src/murmur.rs crates/sigs/src/signature.rs Cargo.toml
+
+crates/sigs/src/lib.rs:
+crates/sigs/src/estimate.rs:
+crates/sigs/src/fnv.rs:
+crates/sigs/src/murmur.rs:
+crates/sigs/src/signature.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

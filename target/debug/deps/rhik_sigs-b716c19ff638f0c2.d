@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rhik_sigs-b716c19ff638f0c2.d: crates/sigs/src/lib.rs crates/sigs/src/estimate.rs crates/sigs/src/fnv.rs crates/sigs/src/murmur.rs crates/sigs/src/signature.rs
+
+/root/repo/target/debug/deps/rhik_sigs-b716c19ff638f0c2: crates/sigs/src/lib.rs crates/sigs/src/estimate.rs crates/sigs/src/fnv.rs crates/sigs/src/murmur.rs crates/sigs/src/signature.rs
+
+crates/sigs/src/lib.rs:
+crates/sigs/src/estimate.rs:
+crates/sigs/src/fnv.rs:
+crates/sigs/src/murmur.rs:
+crates/sigs/src/signature.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rhik_workloads-069f3cf045e487e1.d: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/driver.rs crates/workloads/src/ibm.rs crates/workloads/src/keygen.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/rhik_workloads-069f3cf045e487e1: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/driver.rs crates/workloads/src/ibm.rs crates/workloads/src/keygen.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/distributions.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/ibm.rs:
+crates/workloads/src/keygen.rs:
+crates/workloads/src/ycsb.rs:

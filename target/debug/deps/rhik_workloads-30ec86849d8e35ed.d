@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rhik_workloads-30ec86849d8e35ed.d: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/driver.rs crates/workloads/src/ibm.rs crates/workloads/src/keygen.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/librhik_workloads-30ec86849d8e35ed.rlib: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/driver.rs crates/workloads/src/ibm.rs crates/workloads/src/keygen.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/librhik_workloads-30ec86849d8e35ed.rmeta: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/driver.rs crates/workloads/src/ibm.rs crates/workloads/src/keygen.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/distributions.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/ibm.rs:
+crates/workloads/src/keygen.rs:
+crates/workloads/src/ycsb.rs:

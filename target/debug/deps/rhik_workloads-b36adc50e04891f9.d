@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rhik_workloads-b36adc50e04891f9.d: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/driver.rs crates/workloads/src/ibm.rs crates/workloads/src/keygen.rs crates/workloads/src/ycsb.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhik_workloads-b36adc50e04891f9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/driver.rs crates/workloads/src/ibm.rs crates/workloads/src/keygen.rs crates/workloads/src/ycsb.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/distributions.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/ibm.rs:
+crates/workloads/src/keygen.rs:
+crates/workloads/src/ycsb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

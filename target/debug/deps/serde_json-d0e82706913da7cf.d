@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-d0e82706913da7cf.d: crates/shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d0e82706913da7cf.rmeta: crates/shims/serde_json/src/lib.rs
+
+crates/shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-faacbcf64098bbb4.d: crates/shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-faacbcf64098bbb4.rlib: crates/shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-faacbcf64098bbb4.rmeta: crates/shims/serde_json/src/lib.rs
+
+crates/shims/serde_json/src/lib.rs:

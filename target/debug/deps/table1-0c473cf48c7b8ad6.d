@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0c473cf48c7b8ad6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-0c473cf48c7b8ad6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

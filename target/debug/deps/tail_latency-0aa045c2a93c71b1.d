@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tail_latency-0aa045c2a93c71b1.d: crates/bench/src/bin/tail_latency.rs
+
+/root/repo/target/debug/deps/tail_latency-0aa045c2a93c71b1: crates/bench/src/bin/tail_latency.rs
+
+crates/bench/src/bin/tail_latency.rs:

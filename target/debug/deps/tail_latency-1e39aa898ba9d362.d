@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tail_latency-1e39aa898ba9d362.d: crates/bench/src/bin/tail_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtail_latency-1e39aa898ba9d362.rmeta: crates/bench/src/bin/tail_latency.rs Cargo.toml
+
+crates/bench/src/bin/tail_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

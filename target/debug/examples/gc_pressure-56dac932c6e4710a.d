@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gc_pressure-56dac932c6e4710a.d: examples/gc_pressure.rs
+
+/root/repo/target/debug/examples/gc_pressure-56dac932c6e4710a: examples/gc_pressure.rs
+
+examples/gc_pressure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ac6b72b493553649.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ac6b72b493553649: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resize_demo-434528abf4adba86.d: examples/resize_demo.rs
+
+/root/repo/target/debug/examples/resize_demo-434528abf4adba86: examples/resize_demo.rs
+
+examples/resize_demo.rs:

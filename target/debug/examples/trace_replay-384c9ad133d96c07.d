@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-384c9ad133d96c07.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-384c9ad133d96c07: examples/trace_replay.rs
+
+examples/trace_replay.rs:

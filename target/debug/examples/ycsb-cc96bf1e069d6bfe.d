@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ycsb-cc96bf1e069d6bfe.d: examples/ycsb.rs
+
+/root/repo/target/debug/examples/ycsb-cc96bf1e069d6bfe: examples/ycsb.rs
+
+examples/ycsb.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-04efa49397254443.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-04efa49397254443.rlib: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-04efa49397254443.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

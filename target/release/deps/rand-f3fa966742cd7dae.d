@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-f3fa966742cd7dae.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f3fa966742cd7dae.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f3fa966742cd7dae.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rhik-22e1a08ca681797e.d: src/lib.rs
+
+/root/repo/target/release/deps/librhik-22e1a08ca681797e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librhik-22e1a08ca681797e.rmeta: src/lib.rs
+
+src/lib.rs:

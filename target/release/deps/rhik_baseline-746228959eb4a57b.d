@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rhik_baseline-746228959eb4a57b.d: crates/baseline/src/lib.rs crates/baseline/src/lsm.rs crates/baseline/src/multilevel.rs crates/baseline/src/simple.rs
+
+/root/repo/target/release/deps/librhik_baseline-746228959eb4a57b.rlib: crates/baseline/src/lib.rs crates/baseline/src/lsm.rs crates/baseline/src/multilevel.rs crates/baseline/src/simple.rs
+
+/root/repo/target/release/deps/librhik_baseline-746228959eb4a57b.rmeta: crates/baseline/src/lib.rs crates/baseline/src/lsm.rs crates/baseline/src/multilevel.rs crates/baseline/src/simple.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/lsm.rs:
+crates/baseline/src/multilevel.rs:
+crates/baseline/src/simple.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rhik_core-721be0dadd57fa4e.d: crates/rhik-core/src/lib.rs crates/rhik-core/src/bucket.rs crates/rhik-core/src/config.rs crates/rhik-core/src/directory.rs crates/rhik-core/src/index.rs crates/rhik-core/src/record.rs crates/rhik-core/src/resize.rs
+
+/root/repo/target/release/deps/librhik_core-721be0dadd57fa4e.rlib: crates/rhik-core/src/lib.rs crates/rhik-core/src/bucket.rs crates/rhik-core/src/config.rs crates/rhik-core/src/directory.rs crates/rhik-core/src/index.rs crates/rhik-core/src/record.rs crates/rhik-core/src/resize.rs
+
+/root/repo/target/release/deps/librhik_core-721be0dadd57fa4e.rmeta: crates/rhik-core/src/lib.rs crates/rhik-core/src/bucket.rs crates/rhik-core/src/config.rs crates/rhik-core/src/directory.rs crates/rhik-core/src/index.rs crates/rhik-core/src/record.rs crates/rhik-core/src/resize.rs
+
+crates/rhik-core/src/lib.rs:
+crates/rhik-core/src/bucket.rs:
+crates/rhik-core/src/config.rs:
+crates/rhik-core/src/directory.rs:
+crates/rhik-core/src/index.rs:
+crates/rhik-core/src/record.rs:
+crates/rhik-core/src/resize.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rhik_ftl-793b7103ef4d78d2.d: crates/ftl/src/lib.rs crates/ftl/src/cache.rs crates/ftl/src/gc.rs crates/ftl/src/layout.rs crates/ftl/src/alloc.rs crates/ftl/src/ftl.rs crates/ftl/src/traits.rs
+
+/root/repo/target/release/deps/librhik_ftl-793b7103ef4d78d2.rlib: crates/ftl/src/lib.rs crates/ftl/src/cache.rs crates/ftl/src/gc.rs crates/ftl/src/layout.rs crates/ftl/src/alloc.rs crates/ftl/src/ftl.rs crates/ftl/src/traits.rs
+
+/root/repo/target/release/deps/librhik_ftl-793b7103ef4d78d2.rmeta: crates/ftl/src/lib.rs crates/ftl/src/cache.rs crates/ftl/src/gc.rs crates/ftl/src/layout.rs crates/ftl/src/alloc.rs crates/ftl/src/ftl.rs crates/ftl/src/traits.rs
+
+crates/ftl/src/lib.rs:
+crates/ftl/src/cache.rs:
+crates/ftl/src/gc.rs:
+crates/ftl/src/layout.rs:
+crates/ftl/src/alloc.rs:
+crates/ftl/src/ftl.rs:
+crates/ftl/src/traits.rs:

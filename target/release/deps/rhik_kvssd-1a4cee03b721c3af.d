@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rhik_kvssd-1a4cee03b721c3af.d: crates/kvssd/src/lib.rs crates/kvssd/src/cmd.rs crates/kvssd/src/config.rs crates/kvssd/src/device.rs crates/kvssd/src/shared.rs crates/kvssd/src/engine.rs crates/kvssd/src/error.rs crates/kvssd/src/histogram.rs
+
+/root/repo/target/release/deps/librhik_kvssd-1a4cee03b721c3af.rlib: crates/kvssd/src/lib.rs crates/kvssd/src/cmd.rs crates/kvssd/src/config.rs crates/kvssd/src/device.rs crates/kvssd/src/shared.rs crates/kvssd/src/engine.rs crates/kvssd/src/error.rs crates/kvssd/src/histogram.rs
+
+/root/repo/target/release/deps/librhik_kvssd-1a4cee03b721c3af.rmeta: crates/kvssd/src/lib.rs crates/kvssd/src/cmd.rs crates/kvssd/src/config.rs crates/kvssd/src/device.rs crates/kvssd/src/shared.rs crates/kvssd/src/engine.rs crates/kvssd/src/error.rs crates/kvssd/src/histogram.rs
+
+crates/kvssd/src/lib.rs:
+crates/kvssd/src/cmd.rs:
+crates/kvssd/src/config.rs:
+crates/kvssd/src/device.rs:
+crates/kvssd/src/shared.rs:
+crates/kvssd/src/engine.rs:
+crates/kvssd/src/error.rs:
+crates/kvssd/src/histogram.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rhik_nand-9d788d423ca79a7d.d: crates/nand/src/lib.rs crates/nand/src/array.rs crates/nand/src/block.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/latency.rs crates/nand/src/stats.rs
+
+/root/repo/target/release/deps/librhik_nand-9d788d423ca79a7d.rlib: crates/nand/src/lib.rs crates/nand/src/array.rs crates/nand/src/block.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/latency.rs crates/nand/src/stats.rs
+
+/root/repo/target/release/deps/librhik_nand-9d788d423ca79a7d.rmeta: crates/nand/src/lib.rs crates/nand/src/array.rs crates/nand/src/block.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/latency.rs crates/nand/src/stats.rs
+
+crates/nand/src/lib.rs:
+crates/nand/src/array.rs:
+crates/nand/src/block.rs:
+crates/nand/src/error.rs:
+crates/nand/src/fault.rs:
+crates/nand/src/geometry.rs:
+crates/nand/src/latency.rs:
+crates/nand/src/stats.rs:

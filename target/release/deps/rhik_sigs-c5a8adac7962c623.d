@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rhik_sigs-c5a8adac7962c623.d: crates/sigs/src/lib.rs crates/sigs/src/estimate.rs crates/sigs/src/fnv.rs crates/sigs/src/murmur.rs crates/sigs/src/signature.rs
+
+/root/repo/target/release/deps/librhik_sigs-c5a8adac7962c623.rlib: crates/sigs/src/lib.rs crates/sigs/src/estimate.rs crates/sigs/src/fnv.rs crates/sigs/src/murmur.rs crates/sigs/src/signature.rs
+
+/root/repo/target/release/deps/librhik_sigs-c5a8adac7962c623.rmeta: crates/sigs/src/lib.rs crates/sigs/src/estimate.rs crates/sigs/src/fnv.rs crates/sigs/src/murmur.rs crates/sigs/src/signature.rs
+
+crates/sigs/src/lib.rs:
+crates/sigs/src/estimate.rs:
+crates/sigs/src/fnv.rs:
+crates/sigs/src/murmur.rs:
+crates/sigs/src/signature.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rhik_workloads-0bac15623711f43c.d: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/driver.rs crates/workloads/src/ibm.rs crates/workloads/src/keygen.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/librhik_workloads-0bac15623711f43c.rlib: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/driver.rs crates/workloads/src/ibm.rs crates/workloads/src/keygen.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/librhik_workloads-0bac15623711f43c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/driver.rs crates/workloads/src/ibm.rs crates/workloads/src/keygen.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/distributions.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/ibm.rs:
+crates/workloads/src/keygen.rs:
+crates/workloads/src/ycsb.rs:

@@ -12,7 +12,10 @@ use rhik::workloads::keygen::{KeyStream, Keygen};
 fn all_schemes_agree_on_contents() {
     let cfg = DeviceConfig::small();
     let mut rhik = KvssdDevice::rhik(cfg);
-    let mut ml = KvssdDevice::multilevel(cfg, MultiLevelConfig { initial_bits: 2, max_levels: 8, hop_width: 32 });
+    let mut ml = KvssdDevice::multilevel(
+        cfg,
+        MultiLevelConfig { initial_bits: 2, max_levels: 8, hop_width: 32 },
+    );
     let mut lsm = KvssdDevice::lsm(cfg, LsmConfig::default());
 
     for i in 0..800u64 {
@@ -50,11 +53,7 @@ fn all_schemes_agree_on_contents() {
             ("multilevel", ml.get(key.as_bytes()).unwrap()),
             ("lsm", lsm.get(key.as_bytes()).unwrap()),
         ] {
-            assert_eq!(
-                got.map(|b| b.to_vec()),
-                expected,
-                "{dev_name} disagrees on key {key}"
-            );
+            assert_eq!(got.map(|b| b.to_vec()), expected, "{dev_name} disagrees on key {key}");
         }
     }
     assert_eq!(rhik.key_count(), 700);
@@ -113,10 +112,7 @@ fn async_beats_sync_throughput() {
     let async_cfg = sync_cfg.with_async(32);
     let sync_time = run(sync_cfg);
     let async_time = run(async_cfg);
-    assert!(
-        async_time < sync_time * 0.8,
-        "async {async_time}s not faster than sync {sync_time}s"
-    );
+    assert!(async_time < sync_time * 0.8, "async {async_time}s not faster than sync {sync_time}s");
 }
 
 /// Media faults surface as clean errors, not corruption or panics.
