@@ -101,6 +101,7 @@ fn ablate_cache(scale: Scale) {
             cache_budget_bytes: cache,
             gc: GcConfig { low_watermark: 3, high_watermark: 6, ..Default::default() },
             gc_reserve_blocks: 2,
+            shards: 1,
             engine: EngineMode::Sync,
             hasher: SigHasher::default(),
             rhik: rhik_core::RhikConfig::default(),
@@ -286,7 +287,7 @@ fn ablate_gc_policy(scale: Scale) {
     ]];
     for policy in [rhik_ftl::GcPolicy::Greedy, rhik_ftl::GcPolicy::CostBenefit] {
         let mut cfg = DeviceConfig::small();
-        cfg.gc = GcConfig { low_watermark: 3, high_watermark: 6, policy };
+        cfg.gc = GcConfig { low_watermark: 3, high_watermark: 6, policy, ..Default::default() };
         let mut dev = KvssdDevice::rhik(cfg);
         let value = vec![0u8; 8 << 10];
         // Load once, then overwrite with Zipfian skew so blocks end up with

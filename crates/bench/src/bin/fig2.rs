@@ -69,6 +69,7 @@ fn main() {
             cache_budget_bytes: cache_budget,
             gc: GcConfig { low_watermark: 3, high_watermark: 6, ..Default::default() },
             gc_reserve_blocks: 2,
+            shards: 1,
             engine: EngineMode::Async { queue_depth: 32 },
             hasher: SigHasher::default(),
             rhik: rhik_core::RhikConfig::default(),

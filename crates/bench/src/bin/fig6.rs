@@ -61,6 +61,7 @@ fn device_config(sys: System, engine: EngineMode, scale: Scale) -> DeviceConfig 
         cache_budget_bytes: scale.pick(24 << 10, 96 << 10),
         gc: GcConfig { low_watermark: 3, high_watermark: 6, ..Default::default() },
         gc_reserve_blocks: 2,
+        shards: 1,
         engine,
         hasher: SigHasher::default(),
         rhik: rhik_core::RhikConfig { initial_dir_bits: 2, ..Default::default() },

@@ -1,0 +1,260 @@
+//! Sharded multi-queue scaling: threads × shards throughput matrix.
+//!
+//! Compares the global-mutex [`SharedKvssd`] baseline against
+//! [`ShardedKvssd`] at 1/2/4 shards under 1/2/4 submitting threads, for
+//! Zipfian (θ = 0.99) and uniform key streams. Two throughput metrics
+//! per cell:
+//!
+//! * **device-time ops/s** — total commands over simulated device time
+//!   (the paper's IOPS model; for the sharded device this is the max
+//!   over per-shard clocks, since real submission queues drain in
+//!   parallel). Deterministic, host-independent; this is the headline
+//!   scaling number.
+//! * **wall-clock ops/s** — host-side throughput. Only meaningful on a
+//!   multi-core host; recorded for transparency (CI may have one core,
+//!   where lock contention, not parallelism, is the visible difference).
+//!
+//! Emits `BENCH_scaling.json` in the working directory plus the shared
+//! `target/experiments/scaling.json` blob.
+
+use std::time::Instant;
+
+use rhik_bench::{emit_json, render_table, Scale};
+use rhik_kvssd::{DeviceConfig, KvssdDevice, ShardedKvssd, SharedKvssd};
+use rhik_nand::DeviceProfile;
+use rhik_workloads::{KeyStream, Keygen};
+use serde_json::{json, Value};
+
+const VALUE_BYTES: usize = 100;
+const KEY_BYTES: usize = 16;
+
+#[derive(Clone, Copy)]
+struct Dist {
+    name: &'static str,
+    theta: Option<f64>,
+}
+
+fn stream_for(dist: Dist, population: u64) -> KeyStream {
+    match dist.theta {
+        Some(theta) => KeyStream::Zipf { population, theta },
+        None => KeyStream::Uniform { population },
+    }
+}
+
+struct RunResult {
+    total_ops: u64,
+    wall_secs: f64,
+    device_secs: f64,
+}
+
+impl RunResult {
+    fn wall_ops_per_sec(&self) -> f64 {
+        self.total_ops as f64 / self.wall_secs.max(1e-9)
+    }
+
+    fn device_ops_per_sec(&self) -> f64 {
+        self.total_ops as f64 / self.device_secs.max(1e-12)
+    }
+}
+
+fn config() -> DeviceConfig {
+    // Realistic (KVEMU-like) timing so the simulated clock measures
+    // something; `small()` uses the instant profile.
+    DeviceConfig::small().with_profile(DeviceProfile::kvemu_like())
+}
+
+/// Each of `threads` workers loads a disjoint slice of the population,
+/// then issues `ops / threads` mixed commands (50 % get / 50 % update)
+/// with keys drawn from `dist`.
+fn run_sharded(shards: u32, threads: u64, dist: Dist, population: u64, ops: u64) -> RunResult {
+    let dev = ShardedKvssd::rhik(config().with_shards(shards));
+    let value = vec![0xAB; VALUE_BYTES];
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let dev = dev.clone();
+            let value = &value;
+            scope.spawn(move || {
+                let keygen = Keygen::new(KeyStream::Sequential, KEY_BYTES, 0);
+                let lo = population * t / threads;
+                let hi = population * (t + 1) / threads;
+                for id in lo..hi {
+                    dev.put(&keygen.key_for(id), value).unwrap();
+                }
+                let mut gen = Keygen::new(stream_for(dist, population), KEY_BYTES, 0xC0FFEE + t);
+                for i in 0..ops / threads {
+                    let key = gen.next_key();
+                    if i % 2 == 0 {
+                        let _ = dev.get(&key).unwrap();
+                    } else {
+                        dev.put(&key, value).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    RunResult {
+        total_ops: population + (ops / threads) * threads,
+        wall_secs: start.elapsed().as_secs_f64(),
+        device_secs: dev.device_elapsed_secs(),
+    }
+}
+
+fn run_shared(threads: u64, dist: Dist, population: u64, ops: u64) -> RunResult {
+    let dev = SharedKvssd::new(KvssdDevice::rhik(config()));
+    let value = vec![0xAB; VALUE_BYTES];
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let dev = dev.clone();
+            let value = &value;
+            scope.spawn(move || {
+                let keygen = Keygen::new(KeyStream::Sequential, KEY_BYTES, 0);
+                let lo = population * t / threads;
+                let hi = population * (t + 1) / threads;
+                for id in lo..hi {
+                    dev.put(&keygen.key_for(id), value).unwrap();
+                }
+                let mut gen = Keygen::new(stream_for(dist, population), KEY_BYTES, 0xC0FFEE + t);
+                for i in 0..ops / threads {
+                    let key = gen.next_key();
+                    if i % 2 == 0 {
+                        let _ = dev.get(&key).unwrap();
+                    } else {
+                        dev.put(&key, value).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    let device_secs = dev.with_device(|d| d.elapsed_secs());
+    RunResult {
+        total_ops: population + (ops / threads) * threads,
+        wall_secs: start.elapsed().as_secs_f64(),
+        device_secs,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let population: u64 = scale.pick(6_000, 40_000);
+    let ops: u64 = scale.pick(20_000, 160_000);
+    let dists =
+        [Dist { name: "zipf-0.99", theta: Some(0.99) }, Dist { name: "uniform", theta: None }];
+    let thread_counts = [1u64, 2, 4];
+    let shard_counts = [1u32, 2, 4];
+
+    let mut rows = vec![vec![
+        "dist".to_string(),
+        "mode".to_string(),
+        "threads".to_string(),
+        "shards".to_string(),
+        "device Mops/s".to_string(),
+        "wall Mops/s".to_string(),
+    ]];
+    let mut results: Vec<Value> = Vec::new();
+    // dist name -> (shared@4t, sharded@4t4s) device-time ops/s.
+    let mut acceptance: Vec<(String, f64, f64)> = Vec::new();
+
+    for dist in dists {
+        for &threads in &thread_counts {
+            eprintln!("[run] dist={} mode=shared threads={threads}", dist.name);
+            let r = run_shared(threads, dist, population, ops);
+            rows.push(vec![
+                dist.name.to_string(),
+                "shared".to_string(),
+                threads.to_string(),
+                "-".to_string(),
+                format!("{:.3}", r.device_ops_per_sec() / 1e6),
+                format!("{:.3}", r.wall_ops_per_sec() / 1e6),
+            ]);
+            if threads == 4 {
+                acceptance.push((dist.name.to_string(), r.device_ops_per_sec(), 0.0));
+            }
+            results.push(json!({
+                "dist": dist.name,
+                "mode": "shared",
+                "threads": threads,
+                "shards": 1,
+                "total_ops": r.total_ops,
+                "device_secs": r.device_secs,
+                "wall_secs": r.wall_secs,
+                "device_ops_per_sec": r.device_ops_per_sec(),
+                "wall_ops_per_sec": r.wall_ops_per_sec(),
+            }));
+        }
+        for &threads in &thread_counts {
+            for &shards in &shard_counts {
+                eprintln!(
+                    "[run] dist={} mode=sharded threads={threads} shards={shards}",
+                    dist.name
+                );
+                let r = run_sharded(shards, threads, dist, population, ops);
+                rows.push(vec![
+                    dist.name.to_string(),
+                    "sharded".to_string(),
+                    threads.to_string(),
+                    shards.to_string(),
+                    format!("{:.3}", r.device_ops_per_sec() / 1e6),
+                    format!("{:.3}", r.wall_ops_per_sec() / 1e6),
+                ]);
+                if threads == 4 && shards == 4 {
+                    let slot = acceptance
+                        .iter_mut()
+                        .find(|(name, _, _)| name == dist.name)
+                        .expect("shared baseline ran first");
+                    slot.2 = r.device_ops_per_sec();
+                }
+                results.push(json!({
+                    "dist": dist.name,
+                    "mode": "sharded",
+                    "threads": threads,
+                    "shards": shards,
+                    "total_ops": r.total_ops,
+                    "device_secs": r.device_secs,
+                    "wall_secs": r.wall_secs,
+                    "device_ops_per_sec": r.device_ops_per_sec(),
+                    "wall_ops_per_sec": r.wall_ops_per_sec(),
+                }));
+            }
+        }
+    }
+
+    println!("{}", render_table(&rows));
+    let mut speedups: Vec<Value> = Vec::new();
+    for (name, shared, sharded) in &acceptance {
+        let speedup = sharded / shared;
+        println!(
+            "{name}: 4 threads / 4 shards vs shared@4t — {speedup:.2}x \
+             ({:.3} vs {:.3} device Mops/s)",
+            sharded / 1e6,
+            shared / 1e6
+        );
+        speedups.push(json!({
+            "dist": name.clone(),
+            "shared_4t_device_ops_per_sec": *shared,
+            "sharded_4t4s_device_ops_per_sec": *sharded,
+            "speedup": speedup,
+        }));
+    }
+
+    let blob = json!({
+        "experiment": "scaling",
+        "scale": scale.pick("small", "full"),
+        "metric_note": "device_ops_per_sec uses the simulated device clock \
+                        (max over shard queues); wall_ops_per_sec depends on host cores",
+        "population": population,
+        "mixed_ops": ops,
+        "value_bytes": VALUE_BYTES as u64,
+        "key_bytes": KEY_BYTES as u64,
+        "results": results,
+        "speedup_4t4s_vs_shared_4t": speedups,
+    });
+    emit_json("scaling", &blob);
+    if let Ok(s) = serde_json::to_string_pretty(&blob) {
+        let path = "BENCH_scaling.json";
+        if std::fs::write(path, s).is_ok() {
+            eprintln!("[wrote {path}]");
+        }
+    }
+}

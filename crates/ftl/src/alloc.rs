@@ -1,8 +1,11 @@
 //! Block allocation and per-block accounting.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rhik_nand::{BlockId, NandGeometry};
+
+use crate::sync::FlashPool;
 
 /// Which log a block belongs to. Separating index and data streams keeps GC
 /// simple: data blocks are cleaned by scanning head pages, index blocks by
@@ -66,12 +69,46 @@ pub struct BlockAllocator {
     reserve: u32,
     /// When true, allocation may dip into the reserve (GC in progress).
     gc_mode: bool,
+    /// Sharded mode: free blocks live in a device-wide [`FlashPool`]
+    /// instead of the private `free` deque, so multiple allocators can
+    /// share one flash array without double-leasing a block.
+    pool: Option<Arc<FlashPool>>,
 }
 
 /// Raised when the free pool (minus reserve) is exhausted — the device must
 /// run GC and retry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NeedsGc;
+
+/// Privilege of a block acquisition against the GC reserve.
+///
+/// The reserve is tiered so no tenant can starve the one below it: host
+/// data stops at the full reserve, index write-backs may consume half of
+/// it (an eviction mid-command must not fail while the device still has
+/// headroom), and only GC relocation may drain it completely. Without
+/// the middle tier, sustained metadata churn could eat the last free
+/// block and leave GC with no scratch space to relocate into — wedging
+/// the device with garbage it can no longer collect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcquireClass {
+    /// Host data writes: stop at the full reserve floor.
+    Normal,
+    /// Index metadata write-back: may consume half the reserve.
+    Metadata,
+    /// GC relocation targets: may consume the entire reserve.
+    Gc,
+}
+
+impl AcquireClass {
+    /// The number of free blocks this class must leave untouched.
+    pub fn floor(self, reserve: u32) -> usize {
+        match self {
+            AcquireClass::Normal => reserve as usize,
+            AcquireClass::Metadata => (reserve / 2) as usize,
+            AcquireClass::Gc => 0,
+        }
+    }
+}
 
 impl BlockAllocator {
     pub fn new(geometry: NandGeometry, reserve: u32) -> Self {
@@ -89,6 +126,32 @@ impl BlockAllocator {
             parked_extent: Vec::new(),
             reserve,
             gc_mode: false,
+            pool: None,
+        }
+    }
+
+    /// Pooled-mode allocator for one shard of a sharded device: free
+    /// blocks come from (and return to) the shared `pool`, while open
+    /// blocks, parked blocks, and per-block metadata remain private to
+    /// this allocator. The reserve floor is enforced by the pool, so the
+    /// local `reserve` is zero.
+    pub fn with_pool(geometry: NandGeometry, pool: Arc<FlashPool>) -> Self {
+        assert_eq!(
+            pool.total_blocks(),
+            geometry.blocks,
+            "pool must cover exactly this geometry's blocks"
+        );
+        BlockAllocator {
+            geometry,
+            free: VecDeque::new(),
+            meta: (0..geometry.blocks).map(|_| BlockMeta::fresh()).collect(),
+            open_data: None,
+            open_extent: None,
+            open_index: None,
+            parked_extent: Vec::new(),
+            reserve: 0,
+            gc_mode: false,
+            pool: Some(pool),
         }
     }
 
@@ -100,14 +163,22 @@ impl BlockAllocator {
         &mut self.meta[block as usize]
     }
 
-    /// Blocks available to normal allocation (excludes reserve).
+    /// Blocks available to normal allocation (excludes reserve). In
+    /// pooled mode this is the *device-wide* count, which is what the GC
+    /// watermarks must observe.
     pub fn free_blocks(&self) -> u32 {
-        (self.free.len() as u32).saturating_sub(self.reserve)
+        match &self.pool {
+            Some(pool) => pool.free_blocks(),
+            None => (self.free.len() as u32).saturating_sub(self.reserve),
+        }
     }
 
     /// Blocks in the free pool including the reserve.
     pub fn free_blocks_raw(&self) -> u32 {
-        self.free.len() as u32
+        match &self.pool {
+            Some(pool) => pool.free_blocks_raw(),
+            None => self.free.len() as u32,
+        }
     }
 
     /// Enter/leave GC mode (GC may consume the reserve).
@@ -120,9 +191,32 @@ impl BlockAllocator {
         self.gc_mode
     }
 
+    /// The effective GC reserve: the shared pool's in pooled mode, the
+    /// local one otherwise (where the pooled-mode local reserve is 0).
+    pub fn gc_reserve(&self) -> u32 {
+        match &self.pool {
+            Some(pool) => pool.reserve(),
+            None => self.reserve,
+        }
+    }
+
+    /// The shared flash pool, when this allocator runs in pooled mode.
+    pub fn pool(&self) -> Option<&Arc<FlashPool>> {
+        self.pool.as_ref()
+    }
+
     fn pop_free(&mut self, allow_reserve: bool) -> Result<BlockId, NeedsGc> {
-        let floor = if self.gc_mode || allow_reserve { 0 } else { self.reserve as usize };
-        if self.free.len() <= floor {
+        let class = if self.gc_mode {
+            AcquireClass::Gc
+        } else if allow_reserve {
+            AcquireClass::Metadata
+        } else {
+            AcquireClass::Normal
+        };
+        if let Some(pool) = &self.pool {
+            return pool.acquire(class);
+        }
+        if self.free.len() <= class.floor(self.reserve) {
             return Err(NeedsGc);
         }
         Ok(self.free.pop_front().expect("checked non-empty"))
@@ -147,7 +241,9 @@ impl BlockAllocator {
 
     /// Hand out the next page of `stream`'s open block, opening a new block
     /// from the free pool when needed. `allow_reserve` lets metadata writes
-    /// dip into the GC reserve so index write-backs cannot fail mid-flight.
+    /// dip into half the GC reserve ([`AcquireClass::Metadata`]) so index
+    /// write-backs rarely fail mid-flight — while still leaving GC its own
+    /// scratch blocks. GC mode unlocks the full reserve.
     pub fn next_page(
         &mut self,
         stream: Stream,
@@ -262,7 +358,10 @@ impl BlockAllocator {
         );
         self.parked_extent.retain(|&b| b != block);
         self.meta[block as usize] = BlockMeta::fresh();
-        self.free.push_back(block);
+        match &self.pool {
+            Some(pool) => pool.release(block),
+            None => self.free.push_back(block),
+        }
     }
 
     /// Candidate GC victims of `stream`: any non-open block with stale
@@ -432,5 +531,37 @@ mod tests {
     #[should_panic(expected = "reserve must leave")]
     fn reserve_cannot_cover_all_blocks() {
         let _ = BlockAllocator::new(NandGeometry::tiny(), 8);
+    }
+
+    #[test]
+    fn pooled_allocators_share_one_free_pool() {
+        let pool = Arc::new(FlashPool::new(NandGeometry::tiny(), 2));
+        let mut a = BlockAllocator::with_pool(NandGeometry::tiny(), Arc::clone(&pool));
+        let mut b = BlockAllocator::with_pool(NandGeometry::tiny(), Arc::clone(&pool));
+        let pa = a.next_page(Stream::Data, false).unwrap();
+        let pb = b.next_page(Stream::Data, false).unwrap();
+        // Each allocator opened its own block; never the same one.
+        assert_ne!(pa.block, pb.block);
+        // Both observe the same device-wide free count.
+        assert_eq!(pool.free_blocks_raw(), 6);
+        assert_eq!(a.free_blocks(), b.free_blocks());
+        // Exhaust: 8 blocks total, 2 open, 2 reserved → 4 more openable.
+        for _ in 0..4 {
+            a.close_open_block(Stream::Data);
+            a.next_page(Stream::Data, false).unwrap();
+        }
+        a.close_open_block(Stream::Data);
+        assert_eq!(a.next_page(Stream::Data, false), Err(NeedsGc));
+        assert_eq!(b.next_page(Stream::Data, false).unwrap().block, pb.block);
+        // b's GC mode may dip into the shared reserve.
+        b.close_open_block(Stream::Data);
+        b.set_gc_mode(true);
+        assert!(b.next_page(Stream::Data, false).is_ok());
+        b.set_gc_mode(false);
+        // Releasing from one allocator makes the block visible to the other:
+        // 2 were reserved, GC dipped for 1, then two come back.
+        a.release(pa.block);
+        b.release(pb.block);
+        assert_eq!(pool.free_blocks_raw(), 3);
     }
 }

@@ -160,6 +160,25 @@ impl Ftl {
         }
     }
 
+    /// One shard's FTL front-end over a shared flash array: erase blocks
+    /// are leased from `pool` (see [`crate::sync::FlashPool`]) instead of
+    /// a private free list, so several shard FTLs can coexist without
+    /// over-committing capacity. `config.gc_reserve_blocks` is ignored —
+    /// the reserve is global, enforced by the pool.
+    pub fn with_pool(config: FtlConfig, pool: std::sync::Arc<crate::sync::FlashPool>) -> Self {
+        config.geometry.validate().expect("invalid geometry");
+        Ftl {
+            nand: NandArray::new(config.geometry),
+            profile: config.profile,
+            alloc: BlockAllocator::with_pool(config.geometry, pool),
+            cache: IndexPageCache::new(config.cache_budget_bytes),
+            stats: FtlStats::default(),
+            timed_ops: Vec::new(),
+            data_builder: None,
+            pending: HashMap::new(),
+        }
+    }
+
     #[inline]
     pub fn geometry(&self) -> &NandGeometry {
         self.nand.geometry()
@@ -201,6 +220,11 @@ impl Ftl {
     /// Allocator introspection for GC policy decisions.
     pub fn free_blocks(&self) -> u32 {
         self.alloc.free_blocks()
+    }
+
+    /// Free blocks including the GC reserve (diagnostics).
+    pub fn free_blocks_raw(&self) -> u32 {
+        self.alloc.free_blocks_raw()
     }
 
     pub(crate) fn alloc_mut(&mut self) -> &mut BlockAllocator {
@@ -484,6 +508,27 @@ impl Ftl {
     /// Head page of the open builder (its pairs are pending).
     pub fn pending_head(&self) -> Option<Ppa> {
         self.data_builder.as_ref().map(|(ppa, _)| *ppa)
+    }
+
+    /// Force the buffered head page out of `block` so GC can erase it.
+    ///
+    /// A data block seals the moment its last page is *allocated*, which
+    /// can leave the write buffer's head page inside a sealed — hence
+    /// victim-eligible — block. Erasing it would strand the buffered
+    /// pairs (their index entries point at the reserved page). A
+    /// non-empty builder is flushed so the pairs land on flash and the
+    /// normal scan relocates them; an empty builder just forfeits its
+    /// reserved page to the erase.
+    pub(crate) fn evict_pending_head(&mut self, block: u32) -> Result<(), FtlError> {
+        match &self.data_builder {
+            Some((head, _)) if head.block == block => {}
+            _ => return Ok(()),
+        }
+        if self.data_builder.as_ref().is_some_and(|(_, b)| b.is_empty()) {
+            self.data_builder = None;
+            return Ok(());
+        }
+        self.flush_data_builder()
     }
 
     /// Read a data page (head or continuation).

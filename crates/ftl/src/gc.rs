@@ -45,11 +45,22 @@ pub struct GcConfig {
     pub high_watermark: u32,
     /// How victims are ranked.
     pub policy: GcPolicy,
+    /// Most victims one invocation may clean. Bounding it makes GC
+    /// *incremental*: the watermark loop re-triggers on later commands,
+    /// so collection debt is paid in slices. A sharded device sets this
+    /// low — one huge collection otherwise lands on whichever shard
+    /// holds the GC permit and its queue (clock) absorbs all of it.
+    pub max_victims_per_run: u32,
 }
 
 impl Default for GcConfig {
     fn default() -> Self {
-        GcConfig { low_watermark: 2, high_watermark: 4, policy: GcPolicy::Greedy }
+        GcConfig {
+            low_watermark: 2,
+            high_watermark: 4,
+            policy: GcPolicy::Greedy,
+            max_victims_per_run: u32::MAX,
+        }
     }
 }
 
@@ -91,6 +102,12 @@ pub fn run<I: IndexBackend>(
     index: &mut I,
     cfg: &GcConfig,
 ) -> Result<GcReport, FtlError> {
+    // In pooled (sharded) mode, at most one shard collects at a time:
+    // concurrent collectors could race the shared pool to zero blocks
+    // and strand each other mid-relocation. Single-owner devices have
+    // no pool and take no lock.
+    let pool = ftl.alloc_ref().pool().cloned();
+    let _permit = pool.as_ref().map(|p| p.gc_permit());
     let mut report = GcReport::default();
     ftl.note_gc_run();
     ftl.alloc_mut().set_gc_mode(true);
@@ -110,13 +127,35 @@ fn run_inner<I: IndexBackend>(
     // iterations without net gain in the raw free pool mean GC is churning
     // write amplification for nothing — stop.
     let mut stagnant = 0;
-    while ftl.free_blocks() < cfg.high_watermark {
+    // Once a relocation aborts for lack of scratch, only erase-only
+    // victims (no live bytes) are considered for the rest of the run —
+    // every further relocation attempt would abort the same way and
+    // each abort duplicates the victim's live data into fresh blocks.
+    let mut reloc_ok = true;
+    let mut victims_cleaned = 0u32;
+    let block_bytes = ftl.geometry().pages_per_block as u64 * ftl.geometry().page_size as u64;
+    // Scratch margin for a relocation beyond the victim's own live data:
+    // index write-backs (record updates evicting dirty cached pages) and
+    // a partially-filled open target block. Half the GC reserve scales
+    // with how the device was provisioned (a 1-block reserve gets 0: the
+    // abort path below keeps an underestimate safe).
+    let margin = ftl.alloc_ref().gc_reserve() as u64 / 2;
+    while ftl.free_blocks() < cfg.high_watermark && victims_cleaned < cfg.max_victims_per_run {
         let raw_before = ftl.alloc_ref().free_blocks_raw();
         // Best victim across all three streams, ranked by the policy.
+        // Victims holding live data are skipped when the remaining raw
+        // pool cannot plausibly cover their relocation targets plus
+        // index write-backs: aborting mid-victim strands the pool at
+        // zero with nothing erased, which is strictly worse than
+        // collecting a staler block first.
         let victim = [Stream::Data, Stream::Extent, Stream::Index]
             .into_iter()
             .flat_map(|stream| {
                 ftl.alloc_ref().victims(stream).into_iter().map(move |b| (b, stream))
+            })
+            .filter(|&(b, _)| {
+                let live = ftl.alloc_ref().meta(b).live_bytes;
+                live == 0 || (reloc_ok && raw_before as u64 >= live.div_ceil(block_bytes) + margin)
             })
             .max_by_key(|&(b, _)| score(ftl.alloc_ref().meta(b), cfg.policy));
         let Some(victim) = victim else { break };
@@ -124,20 +163,29 @@ fn run_inner<I: IndexBackend>(
         // target while it is being collected.
         ftl.alloc_mut().quarantine(victim.0);
 
-        match victim {
-            (block, Stream::Data) => clean_head_block(ftl, index, block, report)?,
-            (block, Stream::Extent) => {
-                if !clean_extent_block(ftl, index, block, report)? {
-                    break; // a body's head record is still buffering
-                }
-            }
-            (block, Stream::Index) => {
-                if !clean_index_block(ftl, index, block, report)? {
-                    // The index could not vouch for this block's live pages;
-                    // leave it alone and stop rather than lose metadata.
+        let progressed = match victim {
+            (block, Stream::Data) => clean_head_block(ftl, index, block, report).map(|()| true),
+            // `false`: a body's head record is still buffering (extent),
+            // or the index could not vouch for the block's live pages —
+            // leave the victim alone and stop rather than lose data.
+            (block, Stream::Extent) => clean_extent_block(ftl, index, block, report),
+            (block, Stream::Index) => clean_index_block(ftl, index, block, report),
+        };
+        match progressed {
+            Ok(true) => victims_cleaned += 1,
+            Ok(false) => break,
+            Err(FtlError::NeedsGc) => {
+                // The relocation ran out of scratch and rolled back (the
+                // victim was not erased; relocated copies were staled).
+                // Fall back to erase-only victims; a second strike even
+                // there means the pool is truly dry.
+                if !reloc_ok {
                     break;
                 }
+                reloc_ok = false;
+                continue;
             }
+            Err(e) => return Err(e),
         }
 
         if ftl.alloc_ref().free_blocks_raw() <= raw_before {
@@ -161,6 +209,11 @@ fn clean_head_block<I: IndexBackend>(
     block: u32,
     report: &mut GcReport,
 ) -> Result<(), FtlError> {
+    // The write buffer's head page may sit in this block (a data block
+    // seals when its last page is allocated, not programmed). Push it to
+    // flash first so the scan below sees — and relocates — its pairs;
+    // otherwise the erase would strand their index entries.
+    ftl.evict_pending_head(block)?;
     let programmed = ftl.block_write_ptr(block);
     let page_size = ftl.geometry().page_size as usize;
 
@@ -329,6 +382,15 @@ fn relocate_pair<I: IndexBackend>(
     match index.insert(ftl, sig, extent.head) {
         Ok(InsertOutcome::Inserted) | Ok(InsertOutcome::Updated { .. }) => {}
         Err(IndexError::Flash(e)) => return Err(FtlError::Flash(e)),
+        Err(IndexError::NeedsGc) => {
+            // The pool is exhausted even for metadata. Abandon the new
+            // copy (it becomes stale garbage) and abort before the
+            // victim is erased — the index still points at the old,
+            // intact copy, so no data is lost.
+            ftl.mark_stale(&extent);
+            ftl.drop_pending(sig);
+            return Err(FtlError::NeedsGc);
+        }
         Err(e) => panic!("GC relocation lost index record: {e}"),
     }
     report.pairs_relocated += 1;
@@ -354,6 +416,10 @@ fn clean_index_block<I: IndexBackend>(
             Ok(Some(_new)) => report.index_pages_relocated += 1,
             Ok(None) => {} // page turned out to be stale after all
             Err(IndexError::Flash(e)) => return Err(FtlError::Flash(e)),
+            // Pool exhausted mid-relocation: abort before the erase.
+            // Pages already moved are re-pointed; the rest stay live in
+            // this (uncollected) block.
+            Err(IndexError::NeedsGc) => return Err(FtlError::NeedsGc),
             Err(e) => panic!("index page relocation failed: {e}"),
         }
     }
@@ -483,6 +549,69 @@ mod tests {
         }
     }
 
+    /// Regression: a data block seals when its *last page is allocated*,
+    /// so the DRAM write buffer's head page can live inside a sealed,
+    /// victim-eligible block. GC must push that page to flash (and
+    /// relocate its pairs) instead of erasing it out from under the
+    /// buffer — which used to strand index entries on the reserved page
+    /// ("read of unwritten page") under sustained update load.
+    #[test]
+    fn gc_spares_the_buffered_head_page() {
+        let mut ftl = Ftl::new(FtlConfig::tiny());
+        let mut index = MapIndex::default();
+        let mut extents = HashMap::new();
+
+        // Store pairs until the buffered head page sits in a sealed block.
+        let mut i = 0u64;
+        loop {
+            let e =
+                ftl.store_pair(sig(i), format!("key{i}").as_bytes(), &[i as u8; 120], 0).unwrap();
+            index.insert(&mut ftl, sig(i), e.head).unwrap();
+            extents.insert(i, e);
+            i += 1;
+            if let Some(head) = ftl.pending_head() {
+                if ftl.alloc_ref().meta(head.block).sealed {
+                    break;
+                }
+            }
+            assert!(i < 1000, "builder never landed in a sealed block");
+        }
+        let pending_head = ftl.pending_head().unwrap();
+
+        // Make that block the juiciest victim: invalidate every pair
+        // whose (flushed) head page lives there.
+        let mut live = Vec::new();
+        for (&id, e) in &extents {
+            if e.head.block == pending_head.block && e.head != pending_head {
+                ftl.mark_stale(e);
+                index.remove(&mut ftl, sig(id)).unwrap();
+            } else {
+                live.push(id);
+            }
+        }
+
+        let cfg = GcConfig { low_watermark: 8, high_watermark: 8, ..Default::default() };
+        run(&mut ftl, &mut index, &cfg).unwrap();
+
+        // The buffer (if still open) must have been moved off the erased
+        // block, and every live pair — buffered ones included — must
+        // still resolve and read back.
+        if let Some(head) = ftl.pending_head() {
+            assert!(
+                !ftl.alloc_ref().meta(head.block).sealed
+                    || ftl.block_write_ptr(head.block) <= head.page,
+                "builder points into a collected block"
+            );
+        }
+        ftl.flush_data_builder().unwrap();
+        for id in live {
+            let head = index.lookup(&mut ftl, sig(id)).unwrap().expect("live pair lost");
+            let (d, _) = ftl.read_data_page(head).unwrap();
+            let entry = layout::find_in_head(&d, 512, sig(id)).expect("entry in head page");
+            assert_eq!(&entry.key[..], format!("key{id}").as_bytes());
+        }
+    }
+
     #[test]
     fn gc_on_clean_device_is_a_noop() {
         let mut ftl = Ftl::new(FtlConfig::tiny());
@@ -579,7 +708,8 @@ mod tests {
                     index.remove(&mut ftl, sig(*i)).unwrap();
                 }
             }
-            let cfg = GcConfig { low_watermark: 2, high_watermark: 4, policy };
+            let cfg =
+                GcConfig { low_watermark: 2, high_watermark: 4, policy, ..Default::default() };
             let report = run(&mut ftl, &mut index, &cfg).unwrap();
             assert!(report.data_blocks_erased > 0, "{policy:?}: {report:?}");
             for (i, _) in &stored {

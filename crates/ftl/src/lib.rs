@@ -22,13 +22,15 @@
 pub mod cache;
 pub mod gc;
 pub mod layout;
+pub mod sync;
 
 mod alloc;
 mod ftl;
 mod traits;
 
-pub use alloc::{BlockMeta, Stream};
+pub use alloc::{AcquireClass, BlockMeta, NeedsGc, Stream};
 pub use cache::IndexPageCache;
 pub use ftl::{Ftl, FtlConfig, FtlError, FtlStats, WrittenExtent};
 pub use gc::{GcConfig, GcPolicy, GcReport};
+pub use sync::FlashPool;
 pub use traits::{IndexBackend, IndexError, IndexStats, InsertOutcome, ResizeEvent, TimedOp};

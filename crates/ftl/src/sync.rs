@@ -1,0 +1,206 @@
+//! Thread-safe flash allocation boundary for sharded execution.
+//!
+//! A sharded device runs one command stream per shard, each with its own
+//! FTL front-end (log writers, cache, accounting) — but all shards share
+//! one physical flash array, so erase blocks must come from a single
+//! device-wide pool or shards could over-commit the same capacity. The
+//! [`FlashPool`] is that narrow synchronized interface: shards *lease*
+//! erased blocks from it and *return* blocks after erasing them, holding
+//! the pool lock only for a queue pop/push.
+//!
+//! Correctness argument: the pool only ever hands out blocks in the
+//! erased state (initially, or released after an explicit erase), and a
+//! block is owned by at most one shard between lease and release. A
+//! shard's private NAND view of a block it has never programmed is
+//! exactly the erased state, so ownership migration between shards is
+//! sound. GC watermarks read the *global* free count, which keeps the
+//! "free space low → collect" feedback loop device-wide even though each
+//! shard only collects its own leased blocks.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use rhik_nand::{BlockId, NandGeometry};
+
+use crate::alloc::{AcquireClass, NeedsGc};
+
+/// Device-wide free-block pool shared by every shard's allocator.
+pub struct FlashPool {
+    free: Mutex<VecDeque<BlockId>>,
+    /// Cached `free.len()` so watermark checks never take the lock.
+    free_count: AtomicU32,
+    /// Blocks withheld from normal allocation for GC scratch (global, not
+    /// per shard — GC in any shard may dip into it).
+    reserve: u32,
+    total_blocks: u32,
+    /// Device-wide GC mutual exclusion (see [`FlashPool::gc_permit`]).
+    gc_permit: Mutex<()>,
+}
+
+impl FlashPool {
+    /// A pool owning every block of `geometry`, with `reserve` blocks
+    /// withheld for GC relocation.
+    pub fn new(geometry: NandGeometry, reserve: u32) -> Self {
+        assert!(
+            (reserve as u64) < geometry.blocks as u64,
+            "reserve must leave at least one allocatable block"
+        );
+        FlashPool {
+            free: Mutex::new((0..geometry.blocks).collect()),
+            free_count: AtomicU32::new(geometry.blocks),
+            reserve,
+            total_blocks: geometry.blocks,
+            gc_permit: Mutex::new(()),
+        }
+    }
+
+    /// Serialize garbage collection device-wide.
+    ///
+    /// GC leases relocation-target blocks below the reserve floor; if
+    /// every shard collected at once they could race the pool to zero
+    /// and strand each other mid-relocation. One collector at a time
+    /// bounds the transient demand to a single shard's open blocks —
+    /// which is what the reserve is sized for — and mirrors real
+    /// devices, where a single GC engine serves all queues. Waiters
+    /// block until the current collection finishes.
+    pub fn gc_permit(&self) -> std::sync::MutexGuard<'_, ()> {
+        // The permit guards no data, so a poisoned lock carries no
+        // broken invariant.
+        self.gc_permit.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    fn queue(&self) -> std::sync::MutexGuard<'_, VecDeque<BlockId>> {
+        // A panic can only poison the lock between a pop/push pair; the
+        // queue itself is always consistent.
+        self.free.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Lease one erased block. The caller's [`AcquireClass`] decides how
+    /// deep into the tiered reserve it may reach: host data stops at the
+    /// full reserve, metadata write-backs at half, GC at zero.
+    pub fn acquire(&self, class: AcquireClass) -> Result<BlockId, NeedsGc> {
+        let floor = class.floor(self.reserve);
+        let mut q = self.queue();
+        if q.len() <= floor {
+            return Err(NeedsGc);
+        }
+        let block = q.pop_front().expect("checked non-empty");
+        self.free_count.store(q.len() as u32, Ordering::Release);
+        Ok(block)
+    }
+
+    /// Return an erased block to the pool.
+    pub fn release(&self, block: BlockId) {
+        let mut q = self.queue();
+        debug_assert!(!q.contains(&block), "double release of block {block}");
+        q.push_back(block);
+        self.free_count.store(q.len() as u32, Ordering::Release);
+    }
+
+    /// Blocks available to normal allocation (excludes the reserve).
+    pub fn free_blocks(&self) -> u32 {
+        self.free_count.load(Ordering::Acquire).saturating_sub(self.reserve)
+    }
+
+    /// Blocks in the pool including the reserve.
+    pub fn free_blocks_raw(&self) -> u32 {
+        self.free_count.load(Ordering::Acquire)
+    }
+
+    /// Total blocks the pool was created with.
+    pub fn total_blocks(&self) -> u32 {
+        self.total_blocks
+    }
+
+    /// Reserve floor (diagnostics).
+    pub fn reserve(&self) -> u32 {
+        self.reserve
+    }
+}
+
+impl fmt::Debug for FlashPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlashPool")
+            .field("free", &self.free_blocks_raw())
+            .field("reserve", &self.reserve)
+            .field("total_blocks", &self.total_blocks)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn pool() -> FlashPool {
+        FlashPool::new(NandGeometry::tiny(), 2) // 8 blocks, 2 reserved
+    }
+
+    #[test]
+    fn leases_are_exclusive() {
+        let p = pool();
+        let mut seen = HashSet::new();
+        while let Ok(b) = p.acquire(AcquireClass::Gc) {
+            assert!(seen.insert(b), "block {b} leased twice");
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn reserve_tiers_hold() {
+        let p = pool(); // 8 blocks, 2 reserved → metadata floor 1, gc floor 0
+        for _ in 0..6 {
+            p.acquire(AcquireClass::Normal).unwrap();
+        }
+        assert_eq!(p.free_blocks(), 0);
+        assert_eq!(p.acquire(AcquireClass::Normal), Err(NeedsGc));
+        assert_eq!(p.free_blocks_raw(), 2);
+        // Metadata may take one more; the last block belongs to GC alone.
+        assert!(p.acquire(AcquireClass::Metadata).is_ok());
+        assert_eq!(p.acquire(AcquireClass::Metadata), Err(NeedsGc));
+        assert_eq!(p.free_blocks_raw(), 1);
+        assert!(p.acquire(AcquireClass::Gc).is_ok());
+        assert_eq!(p.acquire(AcquireClass::Gc), Err(NeedsGc));
+    }
+
+    #[test]
+    fn release_recycles() {
+        let p = pool();
+        let b = p.acquire(AcquireClass::Normal).unwrap();
+        let before = p.free_blocks_raw();
+        p.release(b);
+        assert_eq!(p.free_blocks_raw(), before + 1);
+    }
+
+    #[test]
+    fn concurrent_lease_release_never_duplicates() {
+        let p = Arc::new(FlashPool::new(NandGeometry { blocks: 64, ..NandGeometry::tiny() }, 4));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let p = Arc::clone(&p);
+                scope.spawn(move || {
+                    let mut held = Vec::new();
+                    for round in 0..200 {
+                        if let Ok(b) = p.acquire(AcquireClass::Normal) {
+                            assert!(!held.contains(&b));
+                            held.push(b);
+                        }
+                        if round % 3 == 0 {
+                            if let Some(b) = held.pop() {
+                                p.release(b);
+                            }
+                        }
+                    }
+                    for b in held {
+                        p.release(b);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.free_blocks_raw(), 64);
+    }
+}

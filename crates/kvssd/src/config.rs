@@ -30,6 +30,11 @@ pub struct DeviceConfig {
     pub hasher: SigHasher,
     /// RHIK: initial directory bits / occupancy threshold / hop width.
     pub rhik: rhik_core::RhikConfig,
+    /// Shard count for [`crate::ShardedKvssd`] (power of two, ≥ 1). Each
+    /// shard owns a slice of the signature space with its own submission
+    /// queue and index; 1 = unsharded. Ignored by the single-queue
+    /// `KvssdDevice` / `SharedKvssd` entry points.
+    pub shards: u32,
 }
 
 impl DeviceConfig {
@@ -57,6 +62,7 @@ impl DeviceConfig {
                 hop_width: 32,
                 ..Default::default()
             },
+            shards: 1,
         }
     }
 
@@ -72,6 +78,7 @@ impl DeviceConfig {
             engine: EngineMode::Sync,
             hasher: SigHasher::default(),
             rhik: rhik_core::RhikConfig::default(),
+            shards: 1,
         }
     }
 
@@ -85,6 +92,19 @@ impl DeviceConfig {
     pub fn with_profile(mut self, profile: DeviceProfile) -> Self {
         self.profile = profile;
         self
+    }
+
+    /// Set the shard count for [`crate::ShardedKvssd`]. Must be a power
+    /// of two so shards map to a fixed number of high signature bits.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1 && shards.is_power_of_two(), "shards must be a power of two ≥ 1");
+        self.shards = shards;
+        self
+    }
+
+    /// `log2(shards)` — how many high signature bits select the shard.
+    pub fn shard_bits(&self) -> u32 {
+        self.shards.trailing_zeros()
     }
 
     pub(crate) fn ftl_config(&self) -> FtlConfig {
@@ -120,5 +140,20 @@ mod tests {
     fn with_async_clamps_depth() {
         let c = DeviceConfig::small().with_async(0);
         assert_eq!(c.engine, EngineMode::Async { queue_depth: 1 });
+    }
+
+    #[test]
+    fn shard_bits_follow_count() {
+        assert_eq!(DeviceConfig::small().shards, 1);
+        assert_eq!(DeviceConfig::small().shard_bits(), 0);
+        let c = DeviceConfig::small().with_shards(4);
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.shard_bits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn with_shards_rejects_non_power_of_two() {
+        let _ = DeviceConfig::small().with_shards(3);
     }
 }

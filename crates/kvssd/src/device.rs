@@ -36,6 +36,39 @@ pub struct DeviceStats {
     pub resizes: u64,
 }
 
+impl DeviceStats {
+    /// Fold another counter set into this one (field-wise sum). Used to
+    /// aggregate per-shard stats into a device-wide view.
+    pub fn merge(&mut self, other: &DeviceStats) {
+        let DeviceStats {
+            puts,
+            gets,
+            deletes,
+            exists,
+            iterates,
+            not_found,
+            collisions,
+            rejected,
+            bytes_written,
+            bytes_read,
+            gc_invocations,
+            resizes,
+        } = other;
+        self.puts += puts;
+        self.gets += gets;
+        self.deletes += deletes;
+        self.exists += exists;
+        self.iterates += iterates;
+        self.not_found += not_found;
+        self.collisions += collisions;
+        self.rejected += rejected;
+        self.bytes_written += bytes_written;
+        self.bytes_read += bytes_read;
+        self.gc_invocations += gc_invocations;
+        self.resizes += resizes;
+    }
+}
+
 /// Result of an `exist` command on one key (§IV-A3: probabilistic).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExistReport {
@@ -117,7 +150,14 @@ impl KvssdDevice<LsmIndex> {
 impl<I: IndexBackend> KvssdDevice<I> {
     /// Build a device around any index implementation.
     pub fn with_index(cfg: DeviceConfig, index: I) -> Self {
-        let ftl = Ftl::new(cfg.ftl_config());
+        Self::with_index_and_ftl(cfg, Ftl::new(cfg.ftl_config()), index)
+    }
+
+    /// Build a device around a pre-built FTL and any index. This is how a
+    /// sharded device installs per-shard FTL front-ends that lease erase
+    /// blocks from one shared [`rhik_ftl::FlashPool`]
+    /// (see [`rhik_ftl::Ftl::with_pool`]).
+    pub fn with_index_and_ftl(cfg: DeviceConfig, ftl: Ftl, index: I) -> Self {
         let engine = TimingEngine::new(cfg.engine, cfg.profile, cfg.geometry.channels);
         KvssdDevice {
             ftl,
@@ -217,9 +257,49 @@ impl<I: IndexBackend> KvssdDevice<I> {
     /// Run GC; returns whether anything was reclaimed.
     fn run_gc(&mut self) -> Result<bool> {
         self.stats.gc_invocations += 1;
-        let report =
-            gc::run(&mut self.ftl, &mut self.index, &self.gc_cfg).map_err(Self::map_ftl_err)?;
-        Ok(report.data_blocks_erased + report.index_blocks_erased > 0)
+        let raw_before = self.ftl.free_blocks_raw();
+        let r = gc::run(&mut self.ftl, &mut self.index, &self.gc_cfg);
+        if std::env::var_os("RHIK_GC_TRACE").is_some() {
+            eprintln!("[gc] raw {} -> {} result {:?}", raw_before, self.ftl.free_blocks_raw(), r);
+        }
+        match r {
+            Ok(report) => Ok(report.data_blocks_erased + report.index_blocks_erased > 0),
+            // Collection itself ran out of scratch blocks mid-relocation
+            // and aborted (consistently — the victim was not erased).
+            // That is "nothing reclaimed", not a command failure.
+            Err(FtlError::NeedsGc) => Ok(false),
+            Err(e) => Err(Self::map_ftl_err(e)),
+        }
+    }
+
+    /// Run one garbage-collection pass now. Returns whether any block was
+    /// reclaimed. Used by the sharded router's device-wide sweep: a shard
+    /// only collects its own leased blocks, so when one shard exhausts
+    /// the shared pool, garbage held by *other* shards is reachable only
+    /// through their collectors.
+    pub fn collect_garbage(&mut self) -> Result<bool> {
+        self.run_gc()
+    }
+
+    /// After an allocation failed with `NeedsGc`: collect, and say whether
+    /// retrying the allocation is worthwhile — either our own collection
+    /// reclaimed blocks, or (sharded mode) another shard refilled the
+    /// shared pool while we waited on the GC permit.
+    fn gc_retry(&mut self) -> Result<bool> {
+        Ok(self.run_gc()? || self.ftl.free_blocks() > 0)
+    }
+
+    /// Index lookup that garbage-collects if a cache-eviction write-back
+    /// needs blocks (a *read* can allocate when it displaces a dirty
+    /// cached index page).
+    fn lookup_with_gc(&mut self, sig: rhik_sigs::KeySignature) -> Result<Option<Ppa>> {
+        loop {
+            match self.index.lookup(&mut self.ftl, sig) {
+                Ok(v) => return Ok(v),
+                Err(IndexError::NeedsGc) if self.gc_retry()? => continue,
+                Err(e) => return Err(Self::map_index_err(e)),
+            }
+        }
     }
 
     /// Post-command housekeeping: proactive GC + deferred index maintenance
@@ -335,7 +415,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
 
         // Exist check: if the signature is present, fetch and verify the
         // stored key (collision detection + update staleness accounting).
-        let old = match self.index.lookup(&mut self.ftl, sig).map_err(Self::map_index_err)? {
+        let old = match self.lookup_with_gc(sig)? {
             Some(head) => match self.read_pair(sig, head)? {
                 Some((stored_key, _v, extent)) => {
                     if stored_key != key {
@@ -355,7 +435,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
             match self.ftl.store_pair(sig, key, value, 0) {
                 Ok(e) => break e,
                 Err(FtlError::NeedsGc) => {
-                    if !self.run_gc()? {
+                    if !self.gc_retry()? {
                         self.settle(key.len() as u64);
                         return Err(KvError::DeviceFull);
                     }
@@ -367,18 +447,22 @@ impl<I: IndexBackend> KvssdDevice<I> {
             }
         };
 
-        // Repoint the index. On failure, the freshly-written extent is
-        // stale garbage (harmless; GC reclaims it).
-        match self.index.insert(&mut self.ftl, sig, extent.head) {
-            Ok(_) => {}
-            Err(e) => {
-                self.ftl.mark_stale(&extent);
-                self.ftl.drop_pending(sig);
-                self.settle(key.len() as u64);
-                if matches!(e, IndexError::TableFull { .. }) {
-                    self.stats.rejected += 1;
+        // Repoint the index, garbage-collecting if the metadata write
+        // itself needs blocks. On terminal failure, the freshly-written
+        // extent is stale garbage (harmless; GC reclaims it).
+        loop {
+            match self.index.insert(&mut self.ftl, sig, extent.head) {
+                Ok(_) => break,
+                Err(IndexError::NeedsGc) if self.gc_retry()? => continue,
+                Err(e) => {
+                    self.ftl.mark_stale(&extent);
+                    self.ftl.drop_pending(sig);
+                    self.settle(key.len() as u64);
+                    if matches!(e, IndexError::TableFull { .. }) {
+                        self.stats.rejected += 1;
+                    }
+                    return Err(Self::map_index_err(e));
                 }
-                return Err(Self::map_index_err(e));
             }
         }
 
@@ -408,7 +492,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
         }
         self.stats.gets += 1;
         let sig = self.sign(key);
-        let result = match self.index.lookup(&mut self.ftl, sig).map_err(Self::map_index_err)? {
+        let result = match self.lookup_with_gc(sig)? {
             Some(head) => match self.read_pair(sig, head)? {
                 Some((stored_key, value, _)) => {
                     if stored_key == key {
@@ -445,7 +529,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
         }
         self.stats.deletes += 1;
         let sig = self.sign(key);
-        let Some(head) = self.index.lookup(&mut self.ftl, sig).map_err(Self::map_index_err)? else {
+        let Some(head) = self.lookup_with_gc(sig)? else {
             self.stats.not_found += 1;
             self.settle(key.len() as u64);
             return Err(KvError::KeyNotFound);
@@ -460,7 +544,14 @@ impl<I: IndexBackend> KvssdDevice<I> {
             self.settle(key.len() as u64);
             return Err(KvError::KeyNotFound);
         }
-        self.index.remove(&mut self.ftl, sig).map_err(Self::map_index_err)?;
+        // Unlink, garbage-collecting if the metadata write needs blocks.
+        loop {
+            match self.index.remove(&mut self.ftl, sig) {
+                Ok(_) => break,
+                Err(IndexError::NeedsGc) if self.gc_retry()? => continue,
+                Err(e) => return Err(Self::map_index_err(e)),
+            }
+        }
         self.ftl.mark_stale(&extent);
         self.ftl.drop_pending(sig);
         self.settle(key.len() as u64);
@@ -636,6 +727,59 @@ mod tests {
 
     fn device() -> KvssdDevice<RhikIndex> {
         KvssdDevice::rhik(DeviceConfig::small())
+    }
+
+    #[test]
+    fn stats_merge_sums_every_field() {
+        let a = DeviceStats {
+            puts: 1,
+            gets: 2,
+            deletes: 3,
+            exists: 4,
+            iterates: 5,
+            not_found: 6,
+            collisions: 7,
+            rejected: 8,
+            bytes_written: 9,
+            bytes_read: 10,
+            gc_invocations: 11,
+            resizes: 12,
+        };
+        let b = DeviceStats {
+            puts: 100,
+            gets: 200,
+            deletes: 300,
+            exists: 400,
+            iterates: 500,
+            not_found: 600,
+            collisions: 700,
+            rejected: 800,
+            bytes_written: 900,
+            bytes_read: 1000,
+            gc_invocations: 1100,
+            resizes: 1200,
+        };
+        let mut m = a;
+        m.merge(&b);
+        let expect = DeviceStats {
+            puts: 101,
+            gets: 202,
+            deletes: 303,
+            exists: 404,
+            iterates: 505,
+            not_found: 606,
+            collisions: 707,
+            rejected: 808,
+            bytes_written: 909,
+            bytes_read: 1010,
+            gc_invocations: 1111,
+            resizes: 1212,
+        };
+        assert_eq!(m, expect);
+        // Merging the zero stats is the identity.
+        let mut z = b;
+        z.merge(&DeviceStats::default());
+        assert_eq!(z, b);
     }
 
     #[test]

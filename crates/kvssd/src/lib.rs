@@ -19,6 +19,15 @@
 //! Convenience constructors build a device around each index scheme:
 //! [`KvssdDevice::rhik`], [`KvssdDevice::multilevel`],
 //! [`KvssdDevice::simple_hash`], [`KvssdDevice::lsm`].
+//!
+//! Two concurrent entry points wrap the single-owner device:
+//!
+//! * [`ShardedKvssd`] — the recommended one: `S` submission queues, each
+//!   owning a slice of the signature space (routed by high signature
+//!   bits) with its own index and timing engine, over one shared flash
+//!   pool. Resizes stall only the affected shard.
+//! * [`SharedKvssd`] — the single-queue baseline: one global mutex, one
+//!   serialized command stream.
 
 mod cmd;
 mod config;
@@ -26,6 +35,7 @@ mod device;
 mod engine;
 mod error;
 mod histogram;
+mod sharded;
 mod shared;
 
 pub use cmd::{Command, CommandResult, IterHandle};
@@ -34,6 +44,7 @@ pub use device::{DeviceStats, ExistReport, KvssdDevice};
 pub use engine::{CommandTiming, TimingEngine};
 pub use error::KvError;
 pub use histogram::LatencyHistogram;
+pub use sharded::ShardedKvssd;
 pub use shared::SharedKvssd;
 
 /// Result alias for device commands.

@@ -1,0 +1,475 @@
+//! Sharded multi-queue device execution.
+//!
+//! [`crate::SharedKvssd`] serializes every command behind one global
+//! mutex — one submission queue, like a single-queue host driver. Real
+//! KV-SSDs expose multiple submission queues, and RHIK's directory makes
+//! the keyspace trivially partitionable: the directory entry is selected
+//! by *low* signature bits, so taking the *high* bits as a shard id
+//! splits the signature space into `S` disjoint slices whose index
+//! structures never interact.
+//!
+//! [`ShardedKvssd`] exploits that: each shard owns a full device
+//! front-end (its own `RhikIndex` directory slice, submission-queue
+//! mutex, timing engine, and latency histograms), while all shards lease
+//! erase blocks from one shared [`FlashPool`] — one physical flash
+//! array, many command streams. Commands route by the high signature
+//! bits of the key, so:
+//!
+//! * threads hitting different shards proceed in parallel;
+//! * a directory resize (the reconfiguration stall of §IV-C) runs inside
+//!   one shard and stalls only that shard's queue — a `1/S` partial
+//!   stall instead of a whole-device pause;
+//! * per-shard stats and histograms aggregate into a device-wide view
+//!   via [`DeviceStats::merge`] / `LatencyHistogram::merge`.
+//!
+//! Trade-offs (documented, not hidden): GC and wear accounting are per
+//! shard — a shard can only reclaim its *own* leased blocks, and the
+//! global free-block watermark may trigger GC in a shard with little to
+//! reclaim. When one shard exhausts the pool while another still holds
+//! garbage, the router runs a device-wide GC sweep (every shard's
+//! collector, serialized by the pool's GC permit) and retries before
+//! surfacing `DeviceFull`. The single-queue `SharedKvssd` remains the
+//! baseline for timing-faithful single-stream experiments.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use bytes::Bytes;
+use rhik_core::RhikIndex;
+use rhik_ftl::{FlashPool, Ftl, IndexBackend};
+use rhik_sigs::{KeySignature, SigHasher};
+
+use crate::config::DeviceConfig;
+use crate::device::{DeviceStats, ExistReport, KvssdDevice};
+use crate::error::KvError;
+use crate::histogram::LatencyHistogram;
+use crate::Result;
+
+/// A cloneable handle to a sharded device: `S` independent command
+/// queues over one shared flash array.
+pub struct ShardedKvssd<I: IndexBackend> {
+    shards: Arc<[Mutex<KvssdDevice<I>>]>,
+    pool: Arc<FlashPool>,
+    hasher: SigHasher,
+    /// High signature bits selecting the shard (`log2(shard count)`).
+    shard_bits: u32,
+}
+
+impl<I: IndexBackend> Clone for ShardedKvssd<I> {
+    fn clone(&self) -> Self {
+        ShardedKvssd {
+            shards: Arc::clone(&self.shards),
+            pool: Arc::clone(&self.pool),
+            hasher: self.hasher,
+            shard_bits: self.shard_bits,
+        }
+    }
+}
+
+impl ShardedKvssd<RhikIndex> {
+    /// Build a sharded RHIK device with `cfg.shards` shards (see
+    /// [`DeviceConfig::with_shards`]).
+    ///
+    /// Each shard gets `1/S` of the DRAM cache budget and a directory
+    /// starting `log2(S)` bits smaller ([`rhik_core::RhikConfig::for_shard`]),
+    /// so aggregate initial capacity matches the unsharded device. The
+    /// GC reserve is global: at least one scratch block per shard.
+    pub fn rhik(cfg: DeviceConfig) -> Self {
+        let count = cfg.shards;
+        let shard_bits = cfg.shard_bits();
+        // The reserve is tiered (see [`rhik_ftl::AcquireClass`]): host
+        // writes stop at `reserve` free blocks, index write-backs at
+        // `reserve/2`, GC at zero. Collection is serialized device-wide
+        // (the pool's GC permit), so the bottom half must cover ONE
+        // collection's worst-case scratch — open data/extent/index
+        // relocation targets plus a directory resize triggered
+        // mid-relocation, and any open blocks an aborted collection left
+        // behind. Scale with shard count, floor of 8, capped for tiny
+        // geometries.
+        let reserve =
+            (2 * cfg.gc_reserve_blocks * count).max(8).min(cfg.geometry.blocks / 4).max(1);
+        let pool = Arc::new(FlashPool::new(cfg.geometry, reserve));
+
+        let mut shard_cfg = cfg;
+        shard_cfg.cache_budget_bytes =
+            (cfg.cache_budget_bytes / count as usize).max(cfg.geometry.page_size as usize);
+        shard_cfg.rhik = cfg.rhik.for_shard(shard_bits);
+        // The GC watermarks are compared against the *global* free count
+        // (above the reserve), but each shard can only reclaim its own
+        // garbage — and S shards together keep up to 3·S blocks open.
+        // Add one block of trigger margin and two of target hysteresis
+        // per shard so every shard starts collecting while the others
+        // still have allocation headroom.
+        shard_cfg.gc = rhik_ftl::GcConfig {
+            low_watermark: cfg.gc.low_watermark + count,
+            high_watermark: cfg.gc.high_watermark + 2 * count,
+            // Incremental collection: one huge run would land on
+            // whichever shard holds the GC permit and serialize the
+            // whole debt onto that one queue's clock. Small slices let
+            // the watermark re-trigger on later commands, spreading
+            // collection across shards.
+            max_victims_per_run: 2,
+            ..cfg.gc
+        };
+
+        let shards: Vec<Mutex<KvssdDevice<RhikIndex>>> = (0..count)
+            .map(|_| {
+                let ftl = Ftl::with_pool(shard_cfg.ftl_config(), Arc::clone(&pool));
+                let index = RhikIndex::new(shard_cfg.rhik, shard_cfg.geometry.page_size);
+                Mutex::new(KvssdDevice::with_index_and_ftl(shard_cfg, ftl, index))
+            })
+            .collect();
+
+        ShardedKvssd { shards: shards.into(), pool, hasher: cfg.hasher, shard_bits }
+    }
+}
+
+impl<I: IndexBackend + Send> ShardedKvssd<I> {
+    /// Which shard serves `sig`: the high `shard_bits` bits of the
+    /// signature. Disjoint from the directory's low-bit selection, so
+    /// sharding never skews per-shard directory occupancy.
+    pub fn shard_of(&self, sig: KeySignature) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (sig.0 >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    fn route(&self, key: &[u8]) -> usize {
+        self.shard_of(self.hasher.sign(key))
+    }
+
+    /// Take one shard's submission-queue lock. Poisoning is not fatal
+    /// (a panicked command leaves the shard at a command boundary).
+    fn lock(&self, shard: usize) -> MutexGuard<'_, KvssdDevice<I>> {
+        self.shards[shard].lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Device-wide GC sweep. A shard's collector can only reclaim blocks
+    /// that shard leased, so when the pool runs dry the garbage may sit
+    /// in *other* shards' blocks — unreachable to the shard that hit the
+    /// wall. Runs every shard's collector (one at a time; the pool's GC
+    /// permit serializes collection anyway) and reports whether anything
+    /// was reclaimed.
+    fn gc_sweep(&self) -> Result<bool> {
+        let mut reclaimed = false;
+        for shard in 0..self.shards.len() {
+            reclaimed |= self.lock(shard).collect_garbage()?;
+        }
+        Ok(reclaimed)
+    }
+
+    /// Run `op` on one shard, recovering from `DeviceFull` with a
+    /// device-wide GC sweep. Retries as long as each sweep reclaims
+    /// blocks; `DeviceFull` surfaces only when no shard has garbage
+    /// left. The shard lock is released between attempt and sweep so
+    /// the sweep can visit this shard too.
+    fn with_full_retry<R>(
+        &self,
+        shard: usize,
+        mut op: impl FnMut(&mut KvssdDevice<I>) -> Result<R>,
+    ) -> Result<R> {
+        loop {
+            let r = op(&mut self.lock(shard));
+            match r {
+                Err(KvError::DeviceFull) => {
+                    if !self.gc_sweep()? {
+                        return Err(KvError::DeviceFull);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.with_full_retry(self.route(key), |dev| dev.put(key, value))
+    }
+
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.lock(self.route(key)).get(key)
+    }
+
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.with_full_retry(self.route(key), |dev| dev.delete(key))
+    }
+
+    pub fn exist(&self, key: &[u8]) -> Result<ExistReport> {
+        self.lock(self.route(key)).exist(key)
+    }
+
+    /// Store a batch of pairs, grouped by shard so each shard's queue is
+    /// locked once and its commands run as one compound submission.
+    /// Results come back in input order.
+    pub fn put_batch(&self, items: &[(&[u8], &[u8])]) -> Vec<Result<()>> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, (key, _)) in items.iter().enumerate() {
+            by_shard[self.route(key)].push(i);
+        }
+        let mut results: Vec<Option<Result<()>>> = items.iter().map(|_| None).collect();
+        for (shard, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut dev = self.lock(shard);
+            dev.begin_compound();
+            for &i in idxs {
+                let (key, value) = items[i];
+                results[i] = Some(dev.put(key, value));
+            }
+            dev.end_compound();
+        }
+        // Items that hit a full device retry individually: the compound
+        // holds the shard lock, so the device-wide sweep must run after
+        // it ends.
+        for (i, slot) in results.iter_mut().enumerate() {
+            if matches!(slot, Some(Err(KvError::DeviceFull))) {
+                let (key, value) = items[i];
+                *slot = Some(self.with_full_retry(self.route(key), |dev| dev.put(key, value)));
+            }
+        }
+        results.into_iter().map(|r| r.expect("every item routed to a shard")).collect()
+    }
+
+    /// Fetch a batch of keys, grouped by shard (one lock + one compound
+    /// submission per shard). Results come back in input order.
+    pub fn get_batch(&self, keys: &[&[u8]]) -> Vec<Result<Option<Bytes>>> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, key) in keys.iter().enumerate() {
+            by_shard[self.route(key)].push(i);
+        }
+        let mut results: Vec<Option<Result<Option<Bytes>>>> = keys.iter().map(|_| None).collect();
+        for (shard, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut dev = self.lock(shard);
+            dev.begin_compound();
+            for &i in idxs {
+                results[i] = Some(dev.get(keys[i]));
+            }
+            dev.end_compound();
+        }
+        results.into_iter().map(|r| r.expect("every key routed to a shard")).collect()
+    }
+
+    /// Flush every shard (shutdown / checkpoint).
+    pub fn flush(&self) -> Result<()> {
+        for shard in 0..self.shards.len() {
+            self.lock(shard).flush()?;
+        }
+        Ok(())
+    }
+
+    /// Device-wide stats: field-wise sum over shards.
+    pub fn stats(&self) -> DeviceStats {
+        let mut total = DeviceStats::default();
+        for shard in 0..self.shards.len() {
+            total.merge(&self.lock(shard).stats());
+        }
+        total
+    }
+
+    /// Stats of one shard (diagnostics, load-balance analysis).
+    pub fn shard_stats(&self, shard: usize) -> DeviceStats {
+        self.lock(shard).stats()
+    }
+
+    pub fn key_count(&self) -> u64 {
+        (0..self.shards.len()).map(|s| self.lock(s).key_count()).sum()
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shard_bits(&self) -> u32 {
+        self.shard_bits
+    }
+
+    /// The shared free-block pool (capacity diagnostics).
+    pub fn pool(&self) -> &FlashPool {
+        &self.pool
+    }
+
+    /// Simulated device time since power-on. Shard queues run in
+    /// parallel on the modeled hardware, so the device is done when its
+    /// *slowest* shard is — the max over per-shard clocks. (Compare:
+    /// `SharedKvssd` accrues every command on one clock.)
+    pub fn device_elapsed_secs(&self) -> f64 {
+        (0..self.shards.len()).map(|s| self.lock(s).elapsed_secs()).fold(0.0, f64::max)
+    }
+
+    /// Merged put-latency histogram across shards.
+    pub fn put_latencies(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for shard in 0..self.shards.len() {
+            h.merge(self.lock(shard).put_latencies());
+        }
+        h
+    }
+
+    /// Merged get-latency histogram across shards.
+    pub fn get_latencies(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for shard in 0..self.shards.len() {
+            h.merge(self.lock(shard).get_latencies());
+        }
+        h
+    }
+
+    /// Run `f` with exclusive access to one shard's device (diagnostics,
+    /// targeted fault injection, forcing a resize in tests).
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut KvssdDevice<I>) -> R) -> R {
+        f(&mut self.lock(shard))
+    }
+}
+
+impl<I: IndexBackend + Send> std::fmt::Debug for ShardedKvssd<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedKvssd")
+            .field("shards", &self.shards.len())
+            .field("keys", &self.key_count())
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::KvError;
+
+    fn sharded(shards: u32) -> ShardedKvssd<RhikIndex> {
+        ShardedKvssd::rhik(DeviceConfig::small().with_shards(shards))
+    }
+
+    #[test]
+    fn roundtrip_across_shards() {
+        let dev = sharded(4);
+        assert_eq!(dev.shard_count(), 4);
+        for i in 0..200u64 {
+            let key = format!("key-{i:04}");
+            dev.put(key.as_bytes(), format!("val-{i}").as_bytes()).unwrap();
+        }
+        for i in 0..200u64 {
+            let key = format!("key-{i:04}");
+            assert_eq!(
+                &dev.get(key.as_bytes()).unwrap().unwrap()[..],
+                format!("val-{i}").as_bytes()
+            );
+        }
+        assert_eq!(dev.key_count(), 200);
+        assert_eq!(dev.get(b"absent").unwrap(), None);
+        dev.delete(b"key-0000").unwrap();
+        assert_eq!(dev.get(b"key-0000").unwrap(), None);
+        assert_eq!(dev.delete(b"key-0000").unwrap_err(), KvError::KeyNotFound);
+    }
+
+    #[test]
+    fn keys_actually_spread_over_shards() {
+        let dev = sharded(4);
+        for i in 0..400u64 {
+            dev.put(format!("spread-{i}").as_bytes(), b"v").unwrap();
+        }
+        let mut busy = 0;
+        for s in 0..dev.shard_count() {
+            if dev.shard_stats(s).puts > 0 {
+                busy += 1;
+            }
+        }
+        // 400 murmur-hashed keys over 4 shards: every shard sees traffic.
+        assert_eq!(
+            busy,
+            4,
+            "per-shard puts: {:?}",
+            (0..4).map(|s| dev.shard_stats(s).puts).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn aggregate_stats_are_shard_sums() {
+        let dev = sharded(2);
+        for i in 0..100u64 {
+            dev.put(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in 0..100u64 {
+            dev.get(format!("k{i}").as_bytes()).unwrap();
+        }
+        dev.get(b"missing").unwrap();
+        let total = dev.stats();
+        assert_eq!(total.puts, 100);
+        assert_eq!(total.gets, 101);
+        assert_eq!(total.not_found, 1);
+        let mut summed = DeviceStats::default();
+        for s in 0..dev.shard_count() {
+            summed.merge(&dev.shard_stats(s));
+        }
+        assert_eq!(total, summed);
+        assert_eq!(dev.put_latencies().count(), 100);
+        assert_eq!(dev.get_latencies().count(), 101);
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_results() {
+        let dev = sharded(1);
+        assert_eq!(dev.shard_bits(), 0);
+        dev.put(b"k", b"v").unwrap();
+        assert_eq!(&dev.get(b"k").unwrap().unwrap()[..], b"v");
+        assert_eq!(dev.shard_of(KeySignature(u64::MAX)), 0);
+    }
+
+    #[test]
+    fn routing_uses_high_bits() {
+        let dev = sharded(4);
+        assert_eq!(dev.shard_of(KeySignature(0)), 0);
+        assert_eq!(dev.shard_of(KeySignature(1 << 62)), 1);
+        assert_eq!(dev.shard_of(KeySignature(u64::MAX)), 3);
+        // Low bits (directory selection) never influence the shard.
+        assert_eq!(dev.shard_of(KeySignature(0xFFFF)), 0);
+    }
+
+    #[test]
+    fn batch_apis_preserve_input_order() {
+        let dev = sharded(4);
+        let keys: Vec<String> = (0..50).map(|i| format!("batch-{i:03}")).collect();
+        let values: Vec<String> = (0..50).map(|i| format!("value-{i:03}")).collect();
+        let items: Vec<(&[u8], &[u8])> =
+            keys.iter().zip(values.iter()).map(|(k, v)| (k.as_bytes(), v.as_bytes())).collect();
+        for r in dev.put_batch(&items) {
+            r.unwrap();
+        }
+        let key_refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let got = dev.get_batch(&key_refs);
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(&r.as_ref().unwrap().as_ref().unwrap()[..], values[i].as_bytes());
+        }
+        // Batch with an invalid key: the error lands at the right index.
+        let mixed: Vec<(&[u8], &[u8])> = vec![(b"ok-1", b"v"), (b"", b"v"), (b"ok-2", b"v")];
+        let results = dev.put_batch(&mixed);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].as_ref().unwrap_err(), &KvError::EmptyKey);
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn shards_share_one_flash_pool() {
+        let dev = sharded(4);
+        let before = dev.pool().free_blocks_raw();
+        for i in 0..300u64 {
+            dev.put(format!("fill-{i}").as_bytes(), &[0u8; 512]).unwrap();
+        }
+        dev.flush().unwrap();
+        // Writing through any shard consumes device-wide capacity.
+        assert!(dev.pool().free_blocks_raw() < before);
+        assert_eq!(dev.pool().total_blocks(), DeviceConfig::small().geometry.blocks);
+    }
+
+    #[test]
+    fn exist_routes_like_get() {
+        let dev = sharded(4);
+        dev.put(b"present", b"v").unwrap();
+        assert!(dev.exist(b"present").unwrap().probably_exists);
+        assert!(!dev.exist(b"absent-key").unwrap().probably_exists);
+    }
+}

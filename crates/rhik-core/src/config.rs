@@ -84,6 +84,17 @@ impl RhikConfig {
         self.initial_dir_bits = Self::directory_bits_for(keys, page_size);
         self
     }
+
+    /// Size one shard's index of a sharded device. Each of `2^shard_bits`
+    /// shards serves `1/2^shard_bits` of the signature space, so its
+    /// directory starts `shard_bits` smaller than the whole-device sizing
+    /// (floor 0: one table). Aggregate initial capacity across shards is
+    /// then unchanged, and each shard resizes independently as its slice
+    /// of the keyspace fills.
+    pub fn for_shard(mut self, shard_bits: u32) -> Self {
+        self.initial_dir_bits = self.initial_dir_bits.saturating_sub(shard_bits);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +143,17 @@ mod tests {
     #[should_panic(expected = "occupancy_threshold")]
     fn validation_rejects_zero_threshold() {
         RhikConfig { occupancy_threshold: 0.0, ..Default::default() }.validated();
+    }
+
+    #[test]
+    fn for_shard_splits_directory_capacity() {
+        let base = RhikConfig::default().with_anticipated_keys(1_000_000, 32 * 1024);
+        assert_eq!(base.initial_dir_bits, 10);
+        // 4 shards (2 bits): each starts with 2^8 tables — 4 × 256 = 1024,
+        // the same aggregate capacity as the unsharded 2^10.
+        assert_eq!(base.for_shard(2).initial_dir_bits, 8);
+        // Floor at a single table, never underflow.
+        assert_eq!(base.for_shard(12).initial_dir_bits, 0);
     }
 
     #[test]

@@ -346,12 +346,7 @@ pub mod array {
         type Value = [S::Value; 4];
 
         fn generate(&self, rng: &mut TestRng) -> [S::Value; 4] {
-            [
-                self.0.generate(rng),
-                self.0.generate(rng),
-                self.0.generate(rng),
-                self.0.generate(rng),
-            ]
+            [self.0.generate(rng), self.0.generate(rng), self.0.generate(rng), self.0.generate(rng)]
         }
     }
 }
