@@ -45,7 +45,14 @@ fn main() {
         gc_reserve_blocks: 2,
     });
     let mut idx = RhikIndex::new(
-        RhikConfig { initial_dir_bits: 0, dir_flush_interval: u64::MAX / 2, ..Default::default() },
+        // Paper-fidelity Fig. 7: measure the monolithic doubling cost, so
+        // keep the stop-the-world resize rather than the incremental one.
+        RhikConfig {
+            initial_dir_bits: 0,
+            dir_flush_interval: u64::MAX / 2,
+            stop_the_world: true,
+            ..Default::default()
+        },
         geometry.page_size,
     );
 

@@ -45,6 +45,10 @@ struct RunResult {
     total_ops: u64,
     wall_secs: f64,
     device_secs: f64,
+    /// Merged put-latency tail (p99 / p99.9, ns) — resize stalls and GC
+    /// land here, so the tail shows what the throughput number hides.
+    put_p99_ns: u64,
+    put_p999_ns: u64,
 }
 
 impl RunResult {
@@ -93,10 +97,13 @@ fn run_sharded(shards: u32, threads: u64, dist: Dist, population: u64, ops: u64)
             });
         }
     });
+    let puts = dev.put_latencies();
     RunResult {
         total_ops: population + (ops / threads) * threads,
         wall_secs: start.elapsed().as_secs_f64(),
         device_secs: dev.device_elapsed_secs(),
+        put_p99_ns: puts.p99_ns(),
+        put_p999_ns: puts.p999_ns(),
     }
 }
 
@@ -127,11 +134,15 @@ fn run_shared(threads: u64, dist: Dist, population: u64, ops: u64) -> RunResult 
             });
         }
     });
-    let device_secs = dev.with_device(|d| d.elapsed_secs());
+    let (device_secs, put_p99_ns, put_p999_ns) = dev.with_device(|d| {
+        (d.elapsed_secs(), d.put_latencies().p99_ns(), d.put_latencies().p999_ns())
+    });
     RunResult {
         total_ops: population + (ops / threads) * threads,
         wall_secs: start.elapsed().as_secs_f64(),
         device_secs,
+        put_p99_ns,
+        put_p999_ns,
     }
 }
 
@@ -151,6 +162,8 @@ fn main() {
         "shards".to_string(),
         "device Mops/s".to_string(),
         "wall Mops/s".to_string(),
+        "put p99 µs".to_string(),
+        "put p99.9 µs".to_string(),
     ]];
     let mut results: Vec<Value> = Vec::new();
     // dist name -> (shared@4t, sharded@4t4s) device-time ops/s.
@@ -167,6 +180,8 @@ fn main() {
                 "-".to_string(),
                 format!("{:.3}", r.device_ops_per_sec() / 1e6),
                 format!("{:.3}", r.wall_ops_per_sec() / 1e6),
+                format!("{:.1}", r.put_p99_ns as f64 / 1e3),
+                format!("{:.1}", r.put_p999_ns as f64 / 1e3),
             ]);
             if threads == 4 {
                 acceptance.push((dist.name.to_string(), r.device_ops_per_sec(), 0.0));
@@ -181,6 +196,8 @@ fn main() {
                 "wall_secs": r.wall_secs,
                 "device_ops_per_sec": r.device_ops_per_sec(),
                 "wall_ops_per_sec": r.wall_ops_per_sec(),
+                "put_p99_ns": r.put_p99_ns,
+                "put_p999_ns": r.put_p999_ns,
             }));
         }
         for &threads in &thread_counts {
@@ -197,6 +214,8 @@ fn main() {
                     shards.to_string(),
                     format!("{:.3}", r.device_ops_per_sec() / 1e6),
                     format!("{:.3}", r.wall_ops_per_sec() / 1e6),
+                    format!("{:.1}", r.put_p99_ns as f64 / 1e3),
+                    format!("{:.1}", r.put_p999_ns as f64 / 1e3),
                 ]);
                 if threads == 4 && shards == 4 {
                     let slot = acceptance
@@ -215,6 +234,8 @@ fn main() {
                     "wall_secs": r.wall_secs,
                     "device_ops_per_sec": r.device_ops_per_sec(),
                     "wall_ops_per_sec": r.wall_ops_per_sec(),
+                    "put_p99_ns": r.put_p99_ns,
+                    "put_p999_ns": r.put_p999_ns,
                 }));
             }
         }

@@ -38,8 +38,17 @@ fn main() {
 
     let mut emitted = Vec::new();
     for (label, rhik_cfg) in [
-        ("conservative (1 table)", RhikConfig { initial_dir_bits: 0, ..Default::default() }),
-        ("pre-sized (Eq. 2)", RhikConfig::default().with_anticipated_keys(keys * 2, 4096)),
+        // stop_the_world: this bench demonstrates the §VI reconfiguration
+        // stall that incremental migration (see resize_tail) amortizes away.
+        (
+            "conservative (1 table)",
+            RhikConfig { initial_dir_bits: 0, stop_the_world: true, ..Default::default() },
+        ),
+        (
+            "pre-sized (Eq. 2)",
+            RhikConfig { stop_the_world: true, ..RhikConfig::default() }
+                .with_anticipated_keys(keys * 2, 4096),
+        ),
     ] {
         let mut cfg = DeviceConfig::small().with_profile(DeviceProfile::kvemu_like());
         cfg.geometry.blocks = scale.pick(256, 2048); // room for the whole fill

@@ -176,11 +176,13 @@ impl IndexPageCache {
         if let Some(&idx) = self.map.get(&key) {
             if data.len() > self.budget {
                 // The replacement itself cannot fit: evict the old entry and
-                // bounce the new bytes back to the caller.
+                // bounce the new bytes back to the caller. `evict_at` has
+                // already counted the eviction (and the old entry's
+                // dirtiness); only dirtiness introduced by the replacement
+                // bytes still needs accounting.
                 let old = self.evict_at(idx);
                 let dirty = dirty || old.dirty;
-                self.stats.evictions += 1;
-                if dirty {
+                if dirty && !old.dirty {
                     self.stats.dirty_evictions += 1;
                 }
                 evicted.push(Evicted { key, data, dirty });
@@ -376,6 +378,39 @@ mod tests {
         assert!(ev[0].dirty);
         assert!(c.is_empty());
         assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_replacement_counts_one_eviction() {
+        // Regression: replacing a resident entry with oversized bytes used
+        // to count the eviction twice (once in evict_at, once manually).
+        let mut c = IndexPageCache::new(100);
+        c.insert(1, page(1, 50), true);
+        let ev = c.insert(1, page(9, 200), false);
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].dirty, "old dirtiness must survive the bounce");
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().dirty_evictions, 1);
+        assert!(c.is_empty());
+
+        // Clean resident + dirty oversized replacement: still one eviction,
+        // and the replacement's dirtiness is counted exactly once.
+        let mut c = IndexPageCache::new(100);
+        c.insert(2, page(2, 50), false);
+        let ev = c.insert(2, page(8, 200), true);
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].dirty);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().dirty_evictions, 1);
+
+        // Clean on both sides: one eviction, no dirty eviction.
+        let mut c = IndexPageCache::new(100);
+        c.insert(3, page(3, 50), false);
+        let ev = c.insert(3, page(7, 200), false);
+        assert_eq!(ev.len(), 1);
+        assert!(!ev[0].dirty);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().dirty_evictions, 0);
     }
 
     #[test]

@@ -92,6 +92,12 @@ pub struct ResizeEvent {
     /// Simulated media nanoseconds (reads+programs serialized through the
     /// device profile) — the paper's "resizing time".
     pub media_ns: u64,
+    /// Migration steps the resize was amortized over (1 for a
+    /// stop-the-world pass).
+    pub steps: u64,
+    /// Largest single-step media time — the worst stall any one command
+    /// absorbed. Equals `media_ns` for a stop-the-world pass.
+    pub max_step_media_ns: u64,
 }
 
 /// Cumulative counters every index maintains.
@@ -220,6 +226,19 @@ pub trait IndexBackend {
     /// [`IndexError::NeedsGc`] if space is still insufficient.
     fn maintain(&mut self, _ftl: &mut Ftl) -> Result<(), IndexError> {
         Ok(())
+    }
+
+    /// Perform one bounded slice of background maintenance (RHIK: migrate
+    /// one batch of an in-flight incremental resize). Meant for idle device
+    /// time; returns `true` if any work was done (more may remain). The
+    /// default (no incremental maintenance) reports no work.
+    fn maintain_step(&mut self, _ftl: &mut Ftl) -> Result<bool, IndexError> {
+        Ok(false)
+    }
+
+    /// True while an incremental resize migration is in flight.
+    fn resize_in_progress(&self) -> bool {
+        false
     }
 
     /// Visit every stored `(signature, ppa)` record. Used by the device's

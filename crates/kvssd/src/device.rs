@@ -330,6 +330,37 @@ impl<I: IndexBackend> KvssdDevice<I> {
         Ok(())
     }
 
+    /// Whether the index is mid-way through an incremental directory
+    /// doubling (old and new directories both live, cursor advancing).
+    pub fn resize_in_progress(&self) -> bool {
+        self.index.resize_in_progress()
+    }
+
+    /// Run one bounded slice of background index maintenance — the idle-time
+    /// half of the incremental resize (§IV-A2 amortized). Call it when the
+    /// submission queue is empty; each call migrates at most
+    /// `resize_migration_batch` directory slots. Returns `true` when it did
+    /// useful work (callers can loop until `false` to drain a migration).
+    ///
+    /// Media time is charged to the simulated clock as an idle-period stall,
+    /// not to any command's latency — that is the whole point of moving the
+    /// work off the foreground path.
+    pub fn maintain_step(&mut self) -> Result<bool> {
+        let progressed = match self.index.maintain_step(&mut self.ftl) {
+            Ok(p) => p,
+            Err(IndexError::NeedsGc) => {
+                // Migration paused on free space; reclaim and report "still
+                // working" so drain loops retry after the collection.
+                self.run_gc()?
+            }
+            Err(e) => return Err(Self::map_index_err(e)),
+        };
+        let ops = self.ftl.drain_timed_ops();
+        let stall: u64 = ops.iter().map(|o| o.duration_ns).sum();
+        self.engine.stall_until(self.engine.now_ns() + stall);
+        Ok(progressed)
+    }
+
     /// Read the full pair stored at `head` for `sig` (write buffer aware).
     /// Returns the key, value, and the pair's on-flash extent (for
     /// staleness accounting on update/delete).

@@ -65,6 +65,22 @@ impl LatencyHistogram {
         self.max_ns
     }
 
+    /// Median latency (upper bucket edge).
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 99th-percentile latency (upper bucket edge).
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
+    }
+
+    /// 99.9th-percentile latency (upper bucket edge) — the tail that resize
+    /// stalls dominate.
+    pub fn p999_ns(&self) -> u64 {
+        self.percentile_ns(99.9)
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -131,5 +147,8 @@ mod tests {
         let p90 = h.percentile_ns(90.0);
         let p99 = h.percentile_ns(99.0);
         assert!(p50 <= p90 && p90 <= p99);
+        assert!(h.p99_ns() <= h.p999_ns());
+        assert_eq!(h.p50_ns(), p50);
+        assert_eq!(h.p999_ns(), h.percentile_ns(99.9));
     }
 }

@@ -323,6 +323,29 @@ impl<I: IndexBackend + Send> ShardedKvssd<I> {
     pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut KvssdDevice<I>) -> R) -> R {
         f(&mut self.lock(shard))
     }
+
+    /// Whether any shard is mid-way through an incremental directory
+    /// doubling.
+    pub fn resize_in_progress(&self) -> bool {
+        (0..self.shards.len()).any(|s| self.lock(s).resize_in_progress())
+    }
+
+    /// Run one bounded maintenance slice on every shard whose queue is
+    /// idle right now (its mutex is uncontended). A host driver calls
+    /// this between submissions so in-flight directory migrations drain
+    /// on idle time instead of riding foreground commands. Returns how
+    /// many shards made progress.
+    pub fn maintain_idle(&self) -> Result<usize> {
+        let mut progressed = 0;
+        for shard in self.shards.iter() {
+            // Never queue behind a command: busy shard ⇒ not idle ⇒ skip.
+            let Ok(mut dev) = shard.try_lock() else { continue };
+            if dev.maintain_step()? {
+                progressed += 1;
+            }
+        }
+        Ok(progressed)
+    }
 }
 
 impl<I: IndexBackend + Send> std::fmt::Debug for ShardedKvssd<I> {

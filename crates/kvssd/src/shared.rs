@@ -66,6 +66,17 @@ impl<I: IndexBackend + Send> SharedKvssd<I> {
         self.lock().key_count()
     }
 
+    /// One bounded slice of idle-time index maintenance (see
+    /// [`KvssdDevice::maintain_step`]). Returns whether progress was made.
+    pub fn maintain_step(&self) -> Result<bool> {
+        self.lock().maintain_step()
+    }
+
+    /// Whether the index is mid-way through an incremental resize.
+    pub fn resize_in_progress(&self) -> bool {
+        self.lock().resize_in_progress()
+    }
+
     /// Run `f` with exclusive access to the device (diagnostics, bulk ops).
     pub fn with_device<R>(&self, f: impl FnOnce(&mut KvssdDevice<I>) -> R) -> R {
         f(&mut self.lock())

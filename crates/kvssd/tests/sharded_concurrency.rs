@@ -210,6 +210,71 @@ fn stalled_shard_does_not_block_other_shards() {
     });
 }
 
+/// A shard mid-way through an *incremental* resize keeps serving: gets on
+/// the resizing shard answer correctly while the migration is in flight
+/// (keys split between the frozen old directory and the half-populated
+/// doubled one), and `maintain_idle` drains the remainder on idle time.
+#[test]
+fn resizing_shard_still_answers_gets() {
+    let mut cfg = DeviceConfig::small().with_shards(4);
+    // One migrated slot per command stretches the doubling across as many
+    // commands as possible, so the mid-flight window is wide.
+    cfg.rhik.resize_migration_batch = 1;
+    let dev = ShardedKvssd::rhik(cfg);
+    let fill = keys_for_shard(&dev, 0, 900);
+
+    // Phase 1: fill shard 0 through its first doublings. Whenever a put
+    // leaves the migration in flight, read earlier keys until it drains —
+    // every mid-flight get must find its key, whichever side of the
+    // cursor its slot is on.
+    let mut mid_flight_reads = 0u32;
+    let mut written = 0usize;
+    for k in &fill {
+        dev.put(k.as_bytes(), format!("v-{k}").as_bytes()).unwrap();
+        written += 1;
+        let mut probe = 0usize;
+        while dev.with_shard(0, |d| d.resize_in_progress()) {
+            let key = &fill[probe % written];
+            let got = dev.get(key.as_bytes()).unwrap().expect("key lost mid-migration");
+            assert_eq!(&got[..], format!("v-{key}").as_bytes());
+            mid_flight_reads += 1;
+            probe += 1;
+            assert!(probe < 10_000, "reads never drained the migration");
+        }
+        if dev.shard_stats(0).resizes >= 2 {
+            break;
+        }
+    }
+    assert!(dev.shard_stats(0).resizes >= 2, "only {written} puts, no doublings");
+    assert!(mid_flight_reads >= 3, "migrations drained without mid-flight reads");
+
+    // Phase 2: provoke the next doubling, then drain it purely with
+    // idle-time maintenance (no foreground commands touch the shard).
+    for k in fill.iter().skip(written) {
+        dev.put(k.as_bytes(), format!("v-{k}").as_bytes()).unwrap();
+        written += 1;
+        if dev.with_shard(0, |d| d.resize_in_progress()) {
+            break;
+        }
+    }
+    assert!(dev.resize_in_progress(), "no third doubling within {written} puts");
+    let mut rounds = 0u32;
+    while dev.resize_in_progress() {
+        dev.maintain_idle().unwrap();
+        rounds += 1;
+        assert!(rounds < 10_000, "maintain_idle never finished the migration");
+    }
+    assert!(rounds >= 2, "third doubling drained in {rounds} idle rounds — not incremental");
+
+    assert!(dev.shard_stats(0).resizes >= 3);
+    for s in 1..4 {
+        assert_eq!(dev.shard_stats(s).resizes, 0, "resize leaked into shard {s}");
+    }
+    for k in fill.iter().take(written) {
+        assert_eq!(&dev.get(k.as_bytes()).unwrap().unwrap()[..], format!("v-{k}").as_bytes());
+    }
+}
+
 /// Drive shard 0 through a real directory resize and verify it is
 /// confined: only shard 0 records resize events, and the other shards'
 /// data stays readable throughout.

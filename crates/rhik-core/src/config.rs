@@ -29,6 +29,15 @@ pub struct RhikConfig {
     /// second flash read, so this trades the strict ≤ 1-read bound for
     /// zero key rejections. Off by default (the paper's design aborts).
     pub hyper_local: bool,
+    /// Incremental resize: old slots migrated per index operation while a
+    /// doubling is in flight. Small values spread the migration thin
+    /// (lowest per-op stall); large values finish sooner. Ignored when
+    /// `stop_the_world` is set.
+    pub resize_migration_batch: u32,
+    /// Paper-fidelity fallback (§IV-A2): migrate the whole directory in
+    /// one pass, stalling the submission queue — the behavior Fig. 7
+    /// measures. Off by default in favor of incremental migration.
+    pub stop_the_world: bool,
 }
 
 impl Default for RhikConfig {
@@ -40,6 +49,8 @@ impl Default for RhikConfig {
             initial_dir_bits: 2,
             dir_flush_interval: 4096,
             hyper_local: false,
+            resize_migration_batch: 4,
+            stop_the_world: false,
         }
     }
 }
@@ -55,6 +66,7 @@ impl RhikConfig {
         );
         assert!(self.initial_dir_bits <= 32, "initial_dir_bits must be <= 32");
         assert!(self.dir_flush_interval > 0, "dir_flush_interval must be positive");
+        assert!(self.resize_migration_batch >= 1, "resize_migration_batch must be >= 1");
         self
     }
 
@@ -143,6 +155,12 @@ mod tests {
     #[should_panic(expected = "occupancy_threshold")]
     fn validation_rejects_zero_threshold() {
         RhikConfig { occupancy_threshold: 0.0, ..Default::default() }.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "resize_migration_batch")]
+    fn validation_rejects_zero_migration_batch() {
+        RhikConfig { resize_migration_batch: 0, ..Default::default() }.validated();
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub struct RhikIndex {
     snapshot_seq: u64,
     /// A resize hit NeedsGc and was deferred; the device will GC and call
     /// [`IndexBackend::maintain`].
-    resize_deferred: bool,
+    pub(crate) resize_deferred: bool,
+    /// In-flight incremental doubling (§IV-A2, amortized — see
+    /// `resize.rs`). `None` outside migrations.
+    pub(crate) migration: Option<crate::resize::Migration>,
     /// Buckets lost at mount time because GC had reclaimed their
     /// snapshot-referenced pages (see [`RhikIndex::recover`]).
     recovery_lost_tables: u64,
@@ -57,6 +60,7 @@ impl RhikIndex {
             dirty_mutations: 0,
             snapshot_seq: 0,
             resize_deferred: false,
+            migration: None,
             recovery_lost_tables: 0,
         }
     }
@@ -165,6 +169,7 @@ impl RhikIndex {
             dirty_mutations: 0,
             snapshot_seq,
             resize_deferred: false,
+            migration: None,
             recovery_lost_tables: lost_tables,
         };
         // The snapshot pages just consumed may themselves have been retired
@@ -213,8 +218,47 @@ impl RhikIndex {
         &mut self.dir
     }
 
-    pub(crate) fn set_len(&mut self, len: u64) {
-        self.len = len;
+    /// While migrating: the frozen old directory's `(cache key, entry)`
+    /// for `sig`, if its slot has not yet split — reads must then go to
+    /// the old table. `None` once the slot (or the whole migration) is
+    /// done.
+    fn old_route(&self, sig: KeySignature) -> Option<(u64, crate::directory::DirEntry)> {
+        let m = self.migration.as_ref()?;
+        let slot = m.old.slot_of(sig);
+        if m.is_split(slot) {
+            None
+        } else {
+            Some((m.old.cache_key(slot), *m.old.entry(slot)))
+        }
+    }
+
+    /// Advance an in-flight incremental migration before serving an index
+    /// operation: at most `resize_migration_batch` old slots, plus — for
+    /// mutations, which pass their signature — the operation's own slot,
+    /// split first so the old tables stay frozen.
+    fn migration_work(
+        &mut self,
+        ftl: &mut Ftl,
+        mutates: Option<KeySignature>,
+    ) -> Result<(), IndexError> {
+        let Some(m) = self.migration.as_ref() else { return Ok(()) };
+        let target = mutates.map(|sig| m.old.slot_of(sig));
+        let batch = self.cfg.resize_migration_batch;
+        match crate::resize::step(self, ftl, batch, target) {
+            Ok(_) => Ok(()),
+            Err(IndexError::NeedsGc) => {
+                // Out of space mid-migration: pause the cursor and flag the
+                // device for GC. Background slots can wait, but a mutation
+                // whose own slot is still pending cannot proceed (the old
+                // tables are frozen).
+                self.resize_deferred = true;
+                match (target, self.migration.as_ref()) {
+                    (Some(t), Some(m)) if !m.is_split(t) => Err(IndexError::NeedsGc),
+                    _ => Ok(()),
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Load the record-layer table for `slot`, through the DRAM cache.
@@ -325,7 +369,26 @@ impl RhikIndex {
         let is_overflow = key & OVERFLOW_KEY != 0;
         let key = key & !OVERFLOW_KEY;
         if !self.dir.is_current_key(key) {
-            return Ok(()); // table from a pre-resize generation: already retired
+            // Mid-migration, a dirty page of the frozen pre-doubling
+            // directory is still the authoritative copy of an un-split
+            // slot: persist it and repoint the old entry, or the split
+            // would read a stale flash image.
+            let old_pending = self.migration.as_ref().is_some_and(|m| {
+                m.old.is_current_key(key) && !m.is_split(Directory::slot_of_key(key))
+            });
+            if old_pending {
+                let slot = Directory::slot_of_key(key);
+                let page_bytes = data.len() as u64;
+                let new_ppa = ftl.write_index_page(data, SpareMeta::index_page())?;
+                self.stats.metadata_flash_programs += 1;
+                let entry = self.migration.as_mut().expect("checked above").old.entry_mut(slot);
+                let target =
+                    if is_overflow { &mut entry.overflow_ppa } else { &mut entry.table_ppa };
+                if let Some(old) = target.replace(new_ppa) {
+                    ftl.retire_index_page(old, page_bytes);
+                }
+            }
+            return Ok(()); // otherwise pre-resize generation: already retired
         }
         let slot = Directory::slot_of_key(key);
         let page_bytes = data.len() as u64;
@@ -343,9 +406,23 @@ impl RhikIndex {
     /// occupancy of RHIK reaches a pre-defined threshold, its resizing
     /// function is triggered").
     fn maybe_resize(&mut self, ftl: &mut Ftl) -> Result<(), IndexError> {
+        if self.migration.is_some() {
+            return Ok(()); // one doubling at a time
+        }
         if self.occupancy() >= self.cfg.occupancy_threshold {
-            match crate::resize::resize(self, ftl) {
-                Ok(()) => self.resize_deferred = false,
+            match crate::resize::begin(self, ftl) {
+                Ok(()) => {
+                    self.resize_deferred = false;
+                    if self.cfg.stop_the_world {
+                        // Paper-fidelity fallback: migrate everything now,
+                        // in one stall (§IV-A2 / Fig. 7).
+                        match crate::resize::step(self, ftl, u32::MAX, None) {
+                            Ok(_) => {}
+                            Err(IndexError::NeedsGc) => self.resize_deferred = true,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
                 Err(IndexError::NeedsGc) => {
                     // Not enough free blocks right now. The record that
                     // triggered this check is already safely inserted; defer
@@ -360,9 +437,13 @@ impl RhikIndex {
     }
 
     /// Flush the directory snapshot if the mutation interval elapsed.
+    /// Suppressed while a migration is in flight — a snapshot cannot
+    /// describe a half-split configuration, so the pre-doubling snapshot
+    /// (re-anchored by `resize::begin`) stays the crash recovery point
+    /// until the migration completes and flushes the doubled directory.
     fn maybe_flush_directory(&mut self, ftl: &mut Ftl) -> Result<(), IndexError> {
         self.dirty_mutations += 1;
-        if self.dirty_mutations >= self.cfg.dir_flush_interval {
+        if self.dirty_mutations >= self.cfg.dir_flush_interval && self.migration.is_none() {
             self.flush_directory(ftl)?;
         }
         Ok(())
@@ -403,6 +484,7 @@ impl IndexBackend for RhikIndex {
         ppa: Ppa,
     ) -> Result<InsertOutcome, IndexError> {
         self.stats.inserts += 1;
+        self.migration_work(ftl, Some(sig))?;
         let slot = self.dir.slot_of(sig);
         let (mut table, _reads) = self.load_table(ftl, slot)?;
 
@@ -464,6 +546,26 @@ impl IndexBackend for RhikIndex {
 
     fn lookup(&mut self, ftl: &mut Ftl, sig: KeySignature) -> Result<Option<Ppa>, IndexError> {
         self.stats.lookups += 1;
+        self.migration_work(ftl, None)?;
+        if let Some((key, entry)) = self.old_route(sig) {
+            // Un-migrated slot: serve from the frozen old table, same
+            // ≤ 1-flash-read path as a live table.
+            let (table, mut reads) = self.load_any_table(ftl, key, entry.table_ppa)?;
+            debug_assert!(reads <= 1, "old-table lookup exceeded one flash read");
+            if let Some(hit) = table.lookup(sig) {
+                self.stats.note_lookup_reads(reads);
+                return Ok(Some(hit));
+            }
+            let mut hit = None;
+            if entry.has_overflow {
+                let (overflow, r2) =
+                    self.load_any_table(ftl, OVERFLOW_KEY | key, entry.overflow_ppa)?;
+                reads += r2;
+                hit = overflow.lookup(sig);
+            }
+            self.stats.note_lookup_reads(reads);
+            return Ok(hit);
+        }
         let slot = self.dir.slot_of(sig);
         let (table, mut reads) = self.load_table(ftl, slot)?;
         debug_assert!(reads <= 1, "primary lookup exceeded one flash read");
@@ -486,6 +588,7 @@ impl IndexBackend for RhikIndex {
 
     fn remove(&mut self, ftl: &mut Ftl, sig: KeySignature) -> Result<Option<Ppa>, IndexError> {
         self.stats.removes += 1;
+        self.migration_work(ftl, Some(sig))?;
         let slot = self.dir.slot_of(sig);
         let (mut table, _) = self.load_table(ftl, slot)?;
         let mut removed = table.remove(sig);
@@ -527,6 +630,11 @@ impl IndexBackend for RhikIndex {
     }
 
     fn flush(&mut self, ftl: &mut Ftl) -> Result<(), IndexError> {
+        // A snapshot cannot describe a half-migrated configuration: drive
+        // any in-flight migration to completion first.
+        while self.migration.is_some() {
+            crate::resize::step(self, ftl, u32::MAX, None)?;
+        }
         // Persist every dirty cached table, then the directory snapshot.
         let dirty = ftl.cache().drain_dirty();
         for ev in dirty {
@@ -550,6 +658,26 @@ impl IndexBackend for RhikIndex {
                 }
             }
         }
+        // Old-generation tables of un-split slots are still live
+        // mid-migration; GC must relocate, not erase them.
+        if let Some(m) = &self.migration {
+            for slot in 0..m.old.len() as u32 {
+                if m.is_split(slot) {
+                    continue;
+                }
+                let e = m.old.entry(slot);
+                if let Some(ppa) = e.table_ppa {
+                    if ppa.block == block {
+                        pages.push((m.old.cache_key(slot), ppa));
+                    }
+                }
+                if let Some(ppa) = e.overflow_ppa {
+                    if ppa.block == block {
+                        pages.push((OVERFLOW_KEY | m.old.cache_key(slot), ppa));
+                    }
+                }
+            }
+        }
         for (i, &ppa) in self.dir_snapshot.iter().enumerate() {
             if ppa.block == block {
                 pages.push((DIR_PAGE_KEY | i as u64, ppa));
@@ -559,15 +687,49 @@ impl IndexBackend for RhikIndex {
     }
 
     fn maintenance_due(&self) -> bool {
-        self.resize_deferred || self.occupancy() >= self.cfg.occupancy_threshold
+        // A healthily-progressing migration is not maintenance — per-op
+        // batches drain it. Only a deferral (NeedsGc) or a doubling not
+        // yet begun needs the device's help.
+        self.resize_deferred
+            || (self.migration.is_none() && self.occupancy() >= self.cfg.occupancy_threshold)
     }
 
     fn maintain(&mut self, ftl: &mut Ftl) -> Result<(), IndexError> {
+        if self.migration.is_some() {
+            // Deferred mid-migration (out of space): after GC, drive the
+            // remainder to completion.
+            match crate::resize::step(self, ftl, u32::MAX, None) {
+                Ok(_) => return Ok(()),
+                Err(IndexError::NeedsGc) => {
+                    self.resize_deferred = true;
+                    return Err(IndexError::NeedsGc);
+                }
+                Err(e) => return Err(e),
+            }
+        }
         self.maybe_resize(ftl)?;
         if self.resize_deferred {
             return Err(IndexError::NeedsGc);
         }
         Ok(())
+    }
+
+    fn maintain_step(&mut self, ftl: &mut Ftl) -> Result<bool, IndexError> {
+        if self.migration.is_none() {
+            return Ok(false);
+        }
+        match crate::resize::step(self, ftl, self.cfg.resize_migration_batch, None) {
+            Ok(n) => Ok(n > 0 || self.migration.is_none()),
+            Err(IndexError::NeedsGc) => {
+                self.resize_deferred = true;
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn resize_in_progress(&self) -> bool {
+        self.migration.is_some()
     }
 
     fn scan_records(
@@ -587,6 +749,29 @@ impl IndexBackend for RhikIndex {
                 for (sig, ppa) in overflow.iter() {
                     visit(sig, ppa);
                 }
+            }
+        }
+        // Mid-migration, records of un-split slots still live in the
+        // frozen old tables (their new-directory entries are empty).
+        let mut pending: Vec<(u64, Option<Ppa>)> = Vec::new();
+        if let Some(m) = &self.migration {
+            for slot in 0..m.old.len() as u32 {
+                if m.is_split(slot) {
+                    continue;
+                }
+                let e = m.old.entry(slot);
+                if e.records > 0 {
+                    pending.push((m.old.cache_key(slot), e.table_ppa));
+                }
+                if e.overflow_records > 0 {
+                    pending.push((OVERFLOW_KEY | m.old.cache_key(slot), e.overflow_ppa));
+                }
+            }
+        }
+        for (key, ppa) in pending {
+            let (table, _) = self.load_any_table(ftl, key, ppa)?;
+            for (sig, ppa) in table.iter() {
+                visit(sig, ppa);
             }
         }
         Ok(())
@@ -611,7 +796,37 @@ impl IndexBackend for RhikIndex {
         let is_overflow = key & OVERFLOW_KEY != 0;
         let key = key & !OVERFLOW_KEY;
         if !self.dir.is_current_key(key) {
-            return Ok(None);
+            // A still-live old-generation page of an un-split slot must be
+            // moved and its frozen-directory entry repointed.
+            let old_current = match &self.migration {
+                Some(m) if m.old.is_current_key(key) => {
+                    let slot = Directory::slot_of_key(key);
+                    if m.is_split(slot) {
+                        None
+                    } else if is_overflow {
+                        m.old.entry(slot).overflow_ppa
+                    } else {
+                        m.old.entry(slot).table_ppa
+                    }
+                }
+                _ => None,
+            };
+            if old_current != Some(old) {
+                return Ok(None);
+            }
+            let bytes = ftl.read_index_page(old)?;
+            self.stats.metadata_flash_reads += 1;
+            let new_ppa = ftl.write_index_page(bytes, SpareMeta::index_page())?;
+            self.stats.metadata_flash_programs += 1;
+            let slot = Directory::slot_of_key(key);
+            let entry = self.migration.as_mut().expect("checked above").old.entry_mut(slot);
+            if is_overflow {
+                entry.overflow_ppa = Some(new_ppa);
+            } else {
+                entry.table_ppa = Some(new_ppa);
+            }
+            ftl.retire_index_page(old, page_size);
+            return Ok(Some(new_ppa));
         }
         let slot = Directory::slot_of_key(key);
         let current = if is_overflow {
@@ -947,6 +1162,96 @@ mod tests {
         assert_eq!(idx.len(), n);
         for i in 0..n {
             assert!(idx.lookup(&mut ftl, sig(i)).unwrap().is_some(), "key {i} lost");
+        }
+    }
+
+    #[test]
+    fn mid_migration_interleaving_loses_no_keys() {
+        // Batch 1 keeps each doubling in flight across many operations;
+        // mirror the index against a HashMap while inserts, lookups, and
+        // removes land mid-migration, then drain it completely — every key
+        // must come out exactly once (no loss, no double-residency).
+        let mut ftl = Ftl::new(FtlConfig {
+            geometry: rhik_nand::NandGeometry {
+                blocks: 1024,
+                pages_per_block: 8,
+                page_size: 512,
+                spare_size: 16,
+                channels: 2,
+            },
+            ..FtlConfig::tiny()
+        });
+        let mut idx = RhikIndex::new(
+            RhikConfig {
+                initial_dir_bits: 0,
+                dir_flush_interval: 1_000_000,
+                hop_width: 16,
+                occupancy_threshold: 0.6,
+                resize_migration_batch: 1,
+                ..Default::default()
+            },
+            512,
+        );
+        let mut mirror = std::collections::HashMap::new();
+        let mut in_flight_ops = 0u64;
+        for i in 0..1200u64 {
+            let s = sig(i ^ 0xD1D1_0000);
+            let p = Ppa::new((i % 32) as u32, (i % 8) as u32);
+            idx.insert(&mut ftl, s, p).unwrap();
+            mirror.insert(s, p);
+            if idx.resize_in_progress() {
+                in_flight_ops += 1;
+                // Probe older keys while the cursor is mid-directory: some
+                // route to the frozen old tables, some to already-split
+                // slots.
+                let probe = sig((i / 2) ^ 0xD1D1_0000);
+                assert_eq!(idx.lookup(&mut ftl, probe).unwrap(), mirror.get(&probe).copied());
+                if i % 5 == 0 {
+                    let victim = sig((i / 3) ^ 0xD1D1_0000);
+                    assert_eq!(idx.remove(&mut ftl, victim).unwrap(), mirror.remove(&victim));
+                }
+            }
+        }
+        assert!(idx.stats().resizes.len() >= 3, "want ≥3 doublings under interleaved ops");
+        assert!(in_flight_ops > 50, "migrations completed too eagerly: {in_flight_ops}");
+        assert_eq!(idx.len(), mirror.len() as u64);
+        for (s, p) in &mirror {
+            assert_eq!(idx.lookup(&mut ftl, *s).unwrap(), Some(*p), "key lost");
+        }
+        // Un-migrated-slot lookups stayed within the one-flash-read bound.
+        assert!(idx.stats().pct_lookups_within(1) >= 100.0 - 1e-9);
+        // Drain: each key removable exactly once, then gone.
+        let keys: Vec<_> = mirror.keys().copied().collect();
+        for s in &keys {
+            assert!(idx.remove(&mut ftl, *s).unwrap().is_some(), "key vanished before drain");
+        }
+        assert_eq!(idx.len(), 0);
+        for s in &keys {
+            assert_eq!(idx.lookup(&mut ftl, *s).unwrap(), None, "double-resident key");
+        }
+    }
+
+    #[test]
+    fn maintain_step_drains_migration_without_foreground_ops() {
+        let (mut ftl, mut idx) = setup_with_blocks(256);
+        let bits0 = idx.directory().bits();
+        let mut i = 0u64;
+        while !idx.resize_in_progress() {
+            idx.insert(&mut ftl, sig(i ^ 0xEEEE_0000), Ppa::new(0, 0)).unwrap();
+            i += 1;
+            assert!(i < 10_000, "resize never triggered");
+        }
+        // Idle-time stepping only: no further foreground traffic.
+        let mut steps = 0u32;
+        while idx.maintain_step(&mut ftl).unwrap() {
+            steps += 1;
+            assert!(steps < 10_000, "maintain_step never converged");
+        }
+        assert!(!idx.resize_in_progress());
+        assert_eq!(idx.directory().bits(), bits0 + 1);
+        assert_eq!(idx.stats().resizes.len(), 1);
+        for k in 0..i {
+            assert!(idx.lookup(&mut ftl, sig(k ^ 0xEEEE_0000)).unwrap().is_some(), "key {k} lost");
         }
     }
 

@@ -1,4 +1,4 @@
-//! Index re-configuration (§IV-A2).
+//! Index re-configuration (§IV-A2), amortized.
 //!
 //! "Every time while resizing, a new index is initialized with double the
 //! capacity of the current active index. [...] Our key to achieving faster
@@ -7,13 +7,35 @@
 //! signatures to rearrange the records in the new index quickly. The KV
 //! pairs stored in the device are not accessed."
 //!
-//! The migration streams: each old table splits into exactly two successor
-//! tables (low-bit extension), which are written to flash as they fill, so
-//! peak DRAM is two tables regardless of index size. Old table pages are
-//! marked stale for the garbage collector afterwards. The device holds its
-//! submission queue during the migration (§IV-A2); the recorded
-//! [`ResizeEvent`] carries both CPU and simulated-media time so Fig. 7 can
-//! report the resizing-time growth rate.
+//! The paper's implementation holds the submission queue for the whole
+//! migration (§VI calls real-time index scaling out as future work). Here
+//! the doubling is a resumable state machine instead: [`begin`] installs
+//! the doubled directory next to the frozen old one with a migration
+//! cursor, and [`step`] — invoked with a small batch bound by every index
+//! operation, or with no bound by idle-time maintenance / the
+//! `stop_the_world` fallback — splits old slots one at a time. Each old
+//! table splits into exactly two successor tables (low-bit extension),
+//! written to flash as they fill, so peak DRAM is two tables regardless of
+//! index size; old pages are marked stale for the garbage collector once
+//! their slot has split. The completion [`ResizeEvent`] carries CPU and
+//! simulated-media time plus the per-step breakdown (`steps`,
+//! `max_step_media_ns`) so the stop-the-world vs incremental stall
+//! comparison is measurable.
+//!
+//! Invariants while a migration is in flight:
+//!
+//! * **Old tables are frozen.** Mutations split their own slot on demand
+//!   (the `target` argument) before touching it, so record content only
+//!   ever moves forward into the new generation. Old pages may still
+//!   change *location* (dirty write-back, GC relocation) — the old
+//!   directory entry tracks that.
+//! * **Lookups on un-split slots read the old table** — through the same
+//!   cache path as live tables, preserving the ≤ 1-flash-read bound.
+//! * **Never fail half-done.** [`begin`] keeps the monolithic pre-flight
+//!   free-space check; every slot split is internally retryable (successor
+//!   pages are replaced and the losers retired if a flash write fails
+//!   partway), and a mid-migration `NeedsGc` simply pauses the cursor
+//!   until the device garbage-collects.
 
 use rhik_ftl::layout::SpareMeta;
 use rhik_ftl::{Ftl, IndexBackend, IndexError, ResizeEvent};
@@ -21,16 +43,71 @@ use rhik_nand::NandOp;
 
 use crate::bucket::{RecordTable, TableInsert};
 use crate::directory::Directory;
-use crate::index::RhikIndex;
+use crate::index::{RhikIndex, OVERFLOW_KEY};
 
-/// Double the index capacity, migrating all records by stored signature.
-pub(crate) fn resize(idx: &mut RhikIndex, ftl: &mut Ftl) -> Result<(), IndexError> {
-    let t0 = std::time::Instant::now();
-    let keys_before = idx.len();
-    let stats_before = ftl.stats();
+/// An in-flight incremental doubling.
+pub(crate) struct Migration {
+    /// The frozen pre-doubling directory. Tables it references never gain
+    /// or lose records after [`begin`]; only their flash location may move.
+    pub(crate) old: Directory,
+    /// Slots `< cursor` have migrated (plus any in `split_ahead`).
+    cursor: u32,
+    /// Out-of-order splits forced by mutations ahead of the cursor.
+    split_ahead: Vec<bool>,
+    /// Completion flag: the new directory is flushed and the event is ready.
+    finalized: bool,
+    // ---- instrumentation for the completion ResizeEvent.
+    keys_before: u64,
+    tables_before: u64,
+    migrated: u64,
+    flash_reads: u64,
+    flash_programs: u64,
+    cpu_ns: u64,
+    media_ns: u64,
+    steps: u64,
+    max_step_media_ns: u64,
+}
 
-    // ---- pre-flight: make sure the whole migration fits the free pool so
-    // we never fail halfway with a half-built directory.
+impl Migration {
+    /// Whether `old_slot`'s records have already moved to the new
+    /// directory (reads for it must then use the current directory).
+    pub(crate) fn is_split(&self, old_slot: u32) -> bool {
+        old_slot < self.cursor || self.split_ahead[old_slot as usize]
+    }
+
+    fn event(&self) -> ResizeEvent {
+        ResizeEvent {
+            keys_before: self.keys_before,
+            tables_before: self.tables_before,
+            flash_reads: self.flash_reads,
+            flash_programs: self.flash_programs,
+            cpu_ns: self.cpu_ns,
+            media_ns: self.media_ns,
+            steps: self.steps,
+            max_step_media_ns: self.max_step_media_ns,
+        }
+    }
+}
+
+/// Simulated media time for `reads` + `programs` full-page transfers.
+fn media_ns(ftl: &Ftl, reads: u64, programs: u64) -> u64 {
+    let lat = &ftl.profile().latency;
+    let page_bytes = ftl.geometry().page_size;
+    let zero = rhik_nand::Ppa::new(0, 0);
+    reads * lat.duration_ns(&NandOp::Read { ppa: zero, bytes: page_bytes })
+        + programs * lat.duration_ns(&NandOp::Program { ppa: zero, bytes: page_bytes })
+}
+
+/// Install the doubled directory and the migration cursor (resize step 1).
+///
+/// Keeps the monolithic pre-flight: the whole migration must fit the free
+/// pool up front, or the resize is deferred wholesale (`NeedsGc`) with the
+/// directory untouched. Also re-anchors the persistent snapshot to the
+/// pre-doubling directory — periodic snapshot flushes are suppressed while
+/// migrating (a snapshot cannot describe a half-split configuration), so
+/// this is what a mid-migration crash mounts.
+pub(crate) fn begin(idx: &mut RhikIndex, ftl: &mut Ftl) -> Result<(), IndexError> {
+    debug_assert!(idx.migration.is_none(), "resize begun while one is in flight");
     let old_tables = idx.directory().len() as u64;
     let page_size = ftl.geometry().page_size as usize;
     let snapshot_pages = idx.directory().snapshot_pages(page_size, 0).len() as u64 * 2;
@@ -44,142 +121,248 @@ pub(crate) fn resize(idx: &mut RhikIndex, ftl: &mut Ftl) -> Result<(), IndexErro
         return Err(IndexError::NeedsGc);
     }
 
+    let t0 = std::time::Instant::now();
+    let stats_before = ftl.stats();
+    idx.flush_directory(ftl)?;
+    let stats_after = ftl.stats();
+    let flash_programs = stats_after.index_page_programs - stats_before.index_page_programs;
+
+    let keys_before = idx.len();
+    let old = idx.dir_mut().begin_doubling();
+    let slots = old.len();
+    idx.migration = Some(Migration {
+        old,
+        cursor: 0,
+        split_ahead: vec![false; slots],
+        finalized: false,
+        keys_before,
+        tables_before: old_tables,
+        migrated: 0,
+        flash_reads: 0,
+        flash_programs,
+        cpu_ns: t0.elapsed().as_nanos() as u64,
+        media_ns: media_ns(ftl, 0, flash_programs),
+        steps: 0,
+        max_step_media_ns: 0,
+    });
+    Ok(())
+}
+
+/// Advance the in-flight migration by up to `max_slots` old slots. A
+/// mutation passes its `target` slot, which splits first (and does not
+/// count against slots the cursor owes). Finalizes — new directory
+/// flushed, [`ResizeEvent`] recorded, migration cleared — when the last
+/// slot migrates. No-op if no migration is in flight.
+///
+/// Returns the number of slots split. On `NeedsGc` the cursor simply
+/// pauses where it is; the caller re-enters after garbage collection.
+pub(crate) fn step(
+    idx: &mut RhikIndex,
+    ftl: &mut Ftl,
+    max_slots: u32,
+    target: Option<u32>,
+) -> Result<u32, IndexError> {
+    let Some(mut m) = idx.migration.take() else { return Ok(0) };
+    let t0 = std::time::Instant::now();
+    let before = ftl.stats();
+    let result = advance(idx, ftl, &mut m, max_slots, target);
+    let after = ftl.stats();
+    let reads = after.index_page_reads - before.index_page_reads;
+    let programs = after.index_page_programs - before.index_page_programs;
+    let step_media = media_ns(ftl, reads, programs);
+    m.flash_reads += reads;
+    m.flash_programs += programs;
+    m.cpu_ns += t0.elapsed().as_nanos() as u64;
+    m.media_ns += step_media;
+    m.steps += 1;
+    m.max_step_media_ns = m.max_step_media_ns.max(step_media);
+    if m.finalized {
+        debug_assert_eq!(m.migrated, m.keys_before, "resize lost records");
+        idx.stats_mut().resizes.push(m.event());
+        idx.resize_deferred = false;
+    } else {
+        idx.migration = Some(m);
+    }
+    result
+}
+
+fn advance(
+    idx: &mut RhikIndex,
+    ftl: &mut Ftl,
+    m: &mut Migration,
+    max_slots: u32,
+    target: Option<u32>,
+) -> Result<u32, IndexError> {
+    let mut split = 0u32;
+    if let Some(slot) = target {
+        if !m.is_split(slot) {
+            split_one(idx, ftl, m, slot)?;
+            m.split_ahead[slot as usize] = true;
+            split += 1;
+        }
+    }
+    loop {
+        // Skip slots mutations already split ahead of the cursor (free).
+        while (m.cursor as usize) < m.split_ahead.len() && m.split_ahead[m.cursor as usize] {
+            m.cursor += 1;
+        }
+        if (m.cursor as usize) >= m.split_ahead.len() || split >= max_slots {
+            break;
+        }
+        let slot = m.cursor;
+        split_one(idx, ftl, m, slot)?;
+        m.cursor += 1;
+        split += 1;
+    }
+    if (m.cursor as usize) >= m.split_ahead.len() {
+        // Persist the new directory (the paper keeps a periodically-updated
+        // copy; once migration completes the old snapshot describes a dead
+        // configuration).
+        idx.flush_directory(ftl)?;
+        m.finalized = true;
+    }
+    Ok(split)
+}
+
+/// Split one old slot's records into its two successor slots by stored
+/// signature, write the successors to flash, and retire the old pages.
+fn split_one(
+    idx: &mut RhikIndex,
+    ftl: &mut Ftl,
+    m: &mut Migration,
+    slot: u32,
+) -> Result<(), IndexError> {
+    let page_size = ftl.geometry().page_size as usize;
+    // The pre-flight budgeted the whole migration, but foreground writes
+    // interleave with it; re-check the single-slot worst case (two
+    // successors, each with a fresh overflow) so a split never starts it
+    // cannot finish.
+    let ppb = ftl.geometry().pages_per_block as u64;
+    if (ftl.free_blocks() as u64) * ppb < 4 {
+        return Err(IndexError::NeedsGc);
+    }
+
     let records_per_table = idx.records_per_table();
     let hop_width = idx.config().hop_width;
-    let old_dir: Directory = idx.dir_mut().begin_doubling();
-    let old_bits = old_dir.bits();
+    let old_bits = m.old.bits();
+    let old_key = m.old.cache_key(slot);
+    let entry = *m.old.entry(slot);
 
-    let mut migrated = 0u64;
-    for slot in 0..old_dir.len() as u32 {
-        // Fetch the old table (and its hyper-local overflow, if any):
-        // cache first (old-generation keys), flash next.
-        let fetch = |ftl: &mut Ftl,
-                     idx: &mut RhikIndex,
-                     cache_key: u64,
-                     ppa: Option<rhik_nand::Ppa>|
-         -> Result<Option<RecordTable>, IndexError> {
-            if let Some(ev) = ftl.cache().remove(cache_key) {
-                return Ok(Some(RecordTable::from_page(&ev.data, records_per_table, hop_width)));
-            }
-            match ppa {
-                Some(ppa) => {
-                    let bytes = ftl.read_index_page(ppa)?;
-                    idx.stats_mut().metadata_flash_reads += 1;
-                    Ok(Some(RecordTable::from_page(&bytes, records_per_table, hop_width)))
-                }
-                None => Ok(None),
-            }
-        };
-        let old_key = old_dir.cache_key(slot);
-        let entry = *old_dir.entry(slot);
-        let table = fetch(ftl, idx, old_key, entry.table_ppa)?;
-        let overflow = if entry.has_overflow {
-            fetch(ftl, idx, crate::index::OVERFLOW_KEY | old_key, entry.overflow_ppa)?
-        } else {
-            None
-        };
-        if table.is_none() && overflow.is_none() {
-            debug_assert_eq!(entry.total_records(), 0);
-            continue;
+    // Fetch the old table (and its hyper-local overflow, if any): cache
+    // first (old-generation keys), flash next. Read non-destructively —
+    // the cached copy may be the only up-to-date one, and it must survive
+    // if a successor write fails below.
+    let fetch = |ftl: &mut Ftl,
+                 idx: &mut RhikIndex,
+                 cache_key: u64,
+                 ppa: Option<rhik_nand::Ppa>|
+     -> Result<Option<RecordTable>, IndexError> {
+        if let Some(bytes) = ftl.cache().get(cache_key) {
+            return Ok(Some(RecordTable::from_page(&bytes, records_per_table, hop_width)));
         }
+        match ppa {
+            Some(ppa) => {
+                let bytes = ftl.read_index_page(ppa)?;
+                idx.stats_mut().metadata_flash_reads += 1;
+                Ok(Some(RecordTable::from_page(&bytes, records_per_table, hop_width)))
+            }
+            None => Ok(None),
+        }
+    };
+    let table = fetch(ftl, idx, old_key, entry.table_ppa)?;
+    let overflow = if entry.has_overflow {
+        fetch(ftl, idx, OVERFLOW_KEY | old_key, entry.overflow_ppa)?
+    } else {
+        None
+    };
+    if table.is_none() && overflow.is_none() {
+        debug_assert_eq!(entry.total_records(), 0);
+        return Ok(());
+    }
 
-        // Split by the new low bit, re-homing every record by signature.
-        // Overflow records fold back into the halved primaries where they
-        // fit; if hopscotch clustering rejects a record mid-migration, it
-        // goes to a fresh overflow table for the target slot — the resize
-        // must never fail half-done.
-        let (lo_slot, hi_slot) = Directory::split_targets(slot, old_bits);
-        let mut lo = RecordTable::new(records_per_table, hop_width);
-        let mut hi = RecordTable::new(records_per_table, hop_width);
-        let mut lo_ovf: Option<RecordTable> = None;
-        let mut hi_ovf: Option<RecordTable> = None;
-        for (sig, ppa) in
-            table.iter().flat_map(|t| t.iter()).chain(overflow.iter().flat_map(|t| t.iter()))
-        {
-            let target_slot = idx.directory().slot_of(sig);
-            debug_assert!(target_slot == lo_slot || target_slot == hi_slot);
-            let (target, target_ovf) = if target_slot == lo_slot {
-                (&mut lo, &mut lo_ovf)
-            } else {
-                (&mut hi, &mut hi_ovf)
-            };
-            match target.insert(sig, ppa) {
-                TableInsert::Inserted => migrated += 1,
-                TableInsert::Updated { .. } => unreachable!("signatures unique within a table"),
-                TableInsert::Full => {
-                    let ovf = target_ovf
-                        .get_or_insert_with(|| RecordTable::new(records_per_table, hop_width));
-                    match ovf.insert(sig, ppa) {
-                        TableInsert::Inserted => migrated += 1,
-                        TableInsert::Updated { .. } => {
-                            unreachable!("signatures unique within a bucket")
-                        }
-                        TableInsert::Full => {
-                            // Primary and a whole fresh overflow both full
-                            // within hop range: statistically unreachable
-                            // (the overflow is at most half a table); a
-                            // half-done resize is unrecoverable, so fail
-                            // loudly rather than corrupt.
-                            panic!(
-                                "resize migration overflowed twice at slot {target_slot};                                  hop width {hop_width} cannot sustain this distribution"
-                            );
-                        }
+    // Split by the new low bit, re-homing every record by signature.
+    // Overflow records fold back into the halved primaries where they
+    // fit; if hopscotch clustering rejects a record mid-migration, it
+    // goes to a fresh overflow table for the target slot — the resize
+    // must never fail half-done.
+    let (lo_slot, hi_slot) = Directory::split_targets(slot, old_bits);
+    let mut lo = RecordTable::new(records_per_table, hop_width);
+    let mut hi = RecordTable::new(records_per_table, hop_width);
+    let mut lo_ovf: Option<RecordTable> = None;
+    let mut hi_ovf: Option<RecordTable> = None;
+    let mut moved = 0u64;
+    for (sig, ppa) in
+        table.iter().flat_map(|t| t.iter()).chain(overflow.iter().flat_map(|t| t.iter()))
+    {
+        let target_slot = idx.directory().slot_of(sig);
+        debug_assert!(target_slot == lo_slot || target_slot == hi_slot);
+        let (target, target_ovf) =
+            if target_slot == lo_slot { (&mut lo, &mut lo_ovf) } else { (&mut hi, &mut hi_ovf) };
+        match target.insert(sig, ppa) {
+            TableInsert::Inserted => moved += 1,
+            TableInsert::Updated { .. } => unreachable!("signatures unique within a table"),
+            TableInsert::Full => {
+                let ovf = target_ovf
+                    .get_or_insert_with(|| RecordTable::new(records_per_table, hop_width));
+                match ovf.insert(sig, ppa) {
+                    TableInsert::Inserted => moved += 1,
+                    TableInsert::Updated { .. } => {
+                        unreachable!("signatures unique within a bucket")
+                    }
+                    TableInsert::Full => {
+                        // Primary and a whole fresh overflow both full
+                        // within hop range: statistically unreachable
+                        // (the overflow is at most half a table); a
+                        // half-done resize is unrecoverable, so fail
+                        // loudly rather than corrupt.
+                        panic!(
+                            "resize migration overflowed twice at slot {target_slot}; \
+                             hop width {hop_width} cannot sustain this distribution"
+                        );
                     }
                 }
             }
         }
+    }
 
-        // Persist the successors immediately (streamed migration).
-        for (new_slot, new_table, new_ovf) in [(lo_slot, lo, lo_ovf), (hi_slot, hi, hi_ovf)] {
-            if !new_table.is_empty() {
-                let page = new_table.to_page(page_size);
-                let ppa = ftl.write_index_page(page, SpareMeta::index_page())?;
-                idx.stats_mut().metadata_flash_programs += 1;
-                let entry = idx.dir_mut().entry_mut(new_slot);
-                entry.table_ppa = Some(ppa);
-                entry.records = new_table.len();
-            }
-            if let Some(ovf) = new_ovf {
-                let page = ovf.to_page(page_size);
-                let ppa = ftl.write_index_page(page, SpareMeta::index_page())?;
-                idx.stats_mut().metadata_flash_programs += 1;
-                let entry = idx.dir_mut().entry_mut(new_slot);
-                entry.overflow_ppa = Some(ppa);
-                entry.overflow_records = ovf.len();
-                entry.has_overflow = true;
+    // Persist the successors immediately (streamed migration). Replacing
+    // (and retiring) any existing successor pointer makes a retry after a
+    // mid-slot flash failure clean: the losing attempt's pages go stale.
+    for (new_slot, new_table, new_ovf) in [(lo_slot, lo, lo_ovf), (hi_slot, hi, hi_ovf)] {
+        if !new_table.is_empty() {
+            let page = new_table.to_page(page_size);
+            let ppa = ftl.write_index_page(page, SpareMeta::index_page())?;
+            idx.stats_mut().metadata_flash_programs += 1;
+            let entry = idx.dir_mut().entry_mut(new_slot);
+            entry.records = new_table.len();
+            if let Some(prev) = entry.table_ppa.replace(ppa) {
+                ftl.retire_index_page(prev, page_size as u64);
             }
         }
-
-        // Retire the old pages for the garbage collector ("the flash pages
-        // containing the old index records are marked stale", §IV-A2).
-        for old_ppa in [entry.table_ppa, entry.overflow_ppa].into_iter().flatten() {
-            ftl.retire_index_page(old_ppa, page_size as u64);
+        if let Some(ovf) = new_ovf {
+            let page = ovf.to_page(page_size);
+            let ppa = ftl.write_index_page(page, SpareMeta::index_page())?;
+            idx.stats_mut().metadata_flash_programs += 1;
+            let entry = idx.dir_mut().entry_mut(new_slot);
+            entry.overflow_records = ovf.len();
+            entry.has_overflow = true;
+            if let Some(prev) = entry.overflow_ppa.replace(ppa) {
+                ftl.retire_index_page(prev, page_size as u64);
+            }
         }
     }
-    debug_assert_eq!(migrated, keys_before, "resize lost records");
-    idx.set_len(migrated);
 
-    // Persist the new directory (the paper keeps a periodically-updated
-    // copy; after a resize the old snapshot describes a dead configuration).
-    idx.flush_directory(ftl)?;
-
-    // ---- instrumentation for Fig. 7.
-    let stats_after = ftl.stats();
-    let flash_reads = stats_after.index_page_reads - stats_before.index_page_reads;
-    let flash_programs = stats_after.index_page_programs - stats_before.index_page_programs;
-    let lat = &ftl.profile().latency;
-    let page_bytes = ftl.geometry().page_size;
-    let zero = rhik_nand::Ppa::new(0, 0);
-    let media_ns = flash_reads * lat.duration_ns(&NandOp::Read { ppa: zero, bytes: page_bytes })
-        + flash_programs * lat.duration_ns(&NandOp::Program { ppa: zero, bytes: page_bytes });
-    idx.stats_mut().resizes.push(ResizeEvent {
-        keys_before,
-        tables_before: old_tables,
-        flash_reads,
-        flash_programs,
-        cpu_ns: t0.elapsed().as_nanos() as u64,
-        media_ns,
-    });
+    // Retire the old pages for the garbage collector ("the flash pages
+    // containing the old index records are marked stale", §IV-A2), and
+    // drop their now-dead cached copies.
+    for old_ppa in [entry.table_ppa, entry.overflow_ppa].into_iter().flatten() {
+        ftl.retire_index_page(old_ppa, page_size as u64);
+    }
+    ftl.cache().remove(old_key);
+    if entry.has_overflow {
+        ftl.cache().remove(OVERFLOW_KEY | old_key);
+    }
+    m.migrated += moved;
     Ok(())
 }
 
@@ -198,7 +381,7 @@ mod tests {
         KeySignature(z ^ (z >> 31))
     }
 
-    fn grown_index(keys: u64) -> (Ftl, RhikIndex) {
+    fn grown_index_with(keys: u64, stop_the_world: bool) -> (Ftl, RhikIndex) {
         let mut ftl = Ftl::new(FtlConfig {
             geometry: rhik_nand::NandGeometry {
                 blocks: 64,
@@ -215,6 +398,7 @@ mod tests {
                 dir_flush_interval: 1_000_000,
                 hop_width: 16,
                 occupancy_threshold: 0.6,
+                stop_the_world,
                 ..Default::default()
             },
             512,
@@ -223,6 +407,10 @@ mod tests {
             idx.insert(&mut ftl, sig(i), Ppa::new(0, 0)).unwrap();
         }
         (ftl, idx)
+    }
+
+    fn grown_index(keys: u64) -> (Ftl, RhikIndex) {
+        grown_index_with(keys, false)
     }
 
     #[test]
@@ -268,6 +456,46 @@ mod tests {
         // The superseded tables and snapshots appear as stale bytes on the
         // index stream.
         assert!(ftl.total_stale_bytes() > 0);
+    }
+
+    #[test]
+    fn incremental_spreads_migration_over_steps() {
+        let (_ftl, idx) = grown_index(500);
+        let last = *idx.stats().resizes.last().unwrap();
+        assert!(last.tables_before >= 8);
+        // Amortized over many operations: several steps, each touching a
+        // bounded slice of the media work.
+        assert!(last.steps > 1, "incremental resize ran as one stall: {last:?}");
+        assert!(
+            last.max_step_media_ns < last.media_ns,
+            "one step absorbed the whole migration: {last:?}"
+        );
+    }
+
+    #[test]
+    fn stop_the_world_runs_as_one_step() {
+        let (_ftl, idx) = grown_index_with(500, true);
+        assert!(idx.stats().resizes.len() >= 4);
+        for ev in &idx.stats().resizes {
+            assert_eq!(ev.steps, 1, "stop-the-world must migrate in one pass");
+            // The single step absorbs all migration media work (media_ns
+            // additionally counts the begin-time snapshot flush).
+            assert!(ev.max_step_media_ns > 0);
+            assert!(ev.max_step_media_ns <= ev.media_ns);
+        }
+    }
+
+    #[test]
+    fn incremental_and_monolithic_media_work_match() {
+        // Amortization must not inflate flash traffic: the same fill in
+        // both modes performs (nearly) identical migration reads/programs.
+        let (_f1, inc) = grown_index_with(800, false);
+        let (_f2, stw) = grown_index_with(800, true);
+        let sum = |idx: &RhikIndex| {
+            idx.stats().resizes.iter().map(|e| e.flash_reads + e.flash_programs).sum::<u64>()
+        };
+        let (a, b) = (sum(&inc) as f64, sum(&stw) as f64);
+        assert!((a - b).abs() / b.max(1.0) <= 0.10, "incremental media work diverged: {a} vs {b}");
     }
 
     #[test]

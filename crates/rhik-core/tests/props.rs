@@ -1,7 +1,10 @@
 //! Property tests: RHIK behaves exactly like a `HashMap<sig, ppa>` under
 //! arbitrary insert/update/remove/lookup interleavings — across resizes,
 //! cache evictions, and write-backs — and never needs more than one flash
-//! read per lookup.
+//! read per lookup. `resize_migration_batch: 1` stretches every doubling
+//! across as many operations as possible, so the interleavings routinely
+//! land mid-migration (keys split between the frozen old directory and
+//! the half-populated new one).
 
 use proptest::prelude::*;
 use rhik_core::{RecordTable, RhikConfig, RhikIndex, TableInsert};
@@ -37,6 +40,7 @@ fn index() -> RhikIndex {
             hop_width: 16,
             occupancy_threshold: 0.6,
             dir_flush_interval: 64,
+            resize_migration_batch: 1,
             ..Default::default()
         },
         512,
