@@ -17,10 +17,13 @@
 //!
 //! Emits `BENCH_resize_tail.json` plus `target/experiments/resize_tail.json`.
 
-use rhik_bench::{emit_json, render_table, Scale};
+use rhik_bench::{
+    attribution_json, attribution_table, emit_json, reads_per_lookup_json, render_table,
+    trace_dump_requested, Scale,
+};
 use rhik_core::RhikConfig;
 use rhik_ftl::IndexBackend;
-use rhik_kvssd::{DeviceConfig, KvssdDevice};
+use rhik_kvssd::{DeviceConfig, KvssdDevice, TelemetrySink};
 use rhik_nand::DeviceProfile;
 use serde_json::{json, Value};
 
@@ -43,7 +46,13 @@ struct ModeRun {
     device_secs: f64,
 }
 
-fn run_mode(label: &'static str, stop_the_world: bool, scale: Scale, keys: u64) -> ModeRun {
+fn run_mode(
+    label: &'static str,
+    stop_the_world: bool,
+    scale: Scale,
+    keys: u64,
+    sink: Option<TelemetrySink>,
+) -> ModeRun {
     let mut cfg = DeviceConfig::small().with_profile(DeviceProfile::kvemu_like());
     // Room for the whole fill.
     cfg.geometry.blocks = scale.pick(256, 2048);
@@ -58,6 +67,9 @@ fn run_mode(label: &'static str, stop_the_world: bool, scale: Scale, keys: u64) 
         ..Default::default()
     };
     let mut dev = KvssdDevice::rhik(cfg);
+    if let Some(s) = sink {
+        dev.set_telemetry(s);
+    }
 
     let mut latencies_ns = Vec::with_capacity(keys as usize);
     let mut begins = Vec::new();
@@ -140,8 +152,8 @@ fn main() {
     let keys: u64 = scale.pick(6_000, 25_000);
 
     let runs = [
-        run_mode("incremental", false, scale, keys),
-        run_mode("stop_the_world", true, scale, keys),
+        run_mode("incremental", false, scale, keys, None),
+        run_mode("stop_the_world", true, scale, keys, None),
     ];
 
     let mut rows = vec![vec![
@@ -219,5 +231,33 @@ fn main() {
         if std::fs::write(path, s).is_ok() {
             eprintln!("[wrote {path}]");
         }
+    }
+
+    // `--trace-dump`: rerun the incremental mode with a live telemetry
+    // sink and attribute per-op device time across stages — directory
+    // walks, flash reads/programs, cache traffic, GC, migration batches,
+    // and queue stalls all become visible, including mid-resize.
+    if trace_dump_requested() {
+        let sink = TelemetrySink::with_trace_capacity(keys as usize);
+        let _ = run_mode("incremental-traced", false, scale, keys, Some(sink.clone()));
+        let attr = sink.attribution();
+        let rpl = sink.reads_per_lookup().unwrap_or_default();
+        println!("per-stage device-time attribution (incremental run, telemetry on):");
+        println!("{}", attribution_table(&attr));
+        println!(
+            "traced reads-per-lookup: {} lookups, max {} ({})",
+            rpl.lookups,
+            rpl.max,
+            if rpl.invariant_ok() { "invariant holds" } else { "INVARIANT VIOLATED" },
+        );
+        let trace = json!({
+            "experiment": "resize_tail_trace",
+            "scale": scale.pick("small", "full"),
+            "keys": keys,
+            "attribution": attribution_json(&attr),
+            "reads_per_lookup": reads_per_lookup_json(&rpl),
+            "trace_spans_dropped": sink.trace_dropped(),
+        });
+        emit_json("resize_tail_trace", &trace);
     }
 }

@@ -19,8 +19,11 @@
 
 use std::time::Instant;
 
-use rhik_bench::{emit_json, render_table, Scale};
-use rhik_kvssd::{DeviceConfig, KvssdDevice, ShardedKvssd, SharedKvssd};
+use rhik_bench::{
+    attribution_json, attribution_table, emit_json, reads_per_lookup_json, render_table,
+    trace_dump_requested, Scale,
+};
+use rhik_kvssd::{DeviceConfig, KvssdDevice, ShardedKvssd, SharedKvssd, TelemetrySink};
 use rhik_nand::DeviceProfile;
 use rhik_workloads::{KeyStream, Keygen};
 use serde_json::{json, Value};
@@ -70,8 +73,18 @@ fn config() -> DeviceConfig {
 /// Each of `threads` workers loads a disjoint slice of the population,
 /// then issues `ops / threads` mixed commands (50 % get / 50 % update)
 /// with keys drawn from `dist`.
-fn run_sharded(shards: u32, threads: u64, dist: Dist, population: u64, ops: u64) -> RunResult {
+fn run_sharded(
+    shards: u32,
+    threads: u64,
+    dist: Dist,
+    population: u64,
+    ops: u64,
+    sink: Option<&TelemetrySink>,
+) -> RunResult {
     let dev = ShardedKvssd::rhik(config().with_shards(shards));
+    if let Some(s) = sink {
+        dev.set_telemetry(s.clone());
+    }
     let value = vec![0xAB; VALUE_BYTES];
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -206,7 +219,7 @@ fn main() {
                     "[run] dist={} mode=sharded threads={threads} shards={shards}",
                     dist.name
                 );
-                let r = run_sharded(shards, threads, dist, population, ops);
+                let r = run_sharded(shards, threads, dist, population, ops, None);
                 rows.push(vec![
                     dist.name.to_string(),
                     "sharded".to_string(),
@@ -277,5 +290,30 @@ fn main() {
         if std::fs::write(path, s).is_ok() {
             eprintln!("[wrote {path}]");
         }
+    }
+
+    // `--trace-dump`: one extra instrumented 4-shard run. Shards share
+    // the sink, spans are tagged per shard, and the dump attributes
+    // device time across stages for the merged multi-queue stream.
+    if trace_dump_requested() {
+        let sink = TelemetrySink::with_trace_capacity((population + ops) as usize);
+        let dist = dists[0];
+        eprintln!("[run] trace-dump dist={} mode=sharded threads=2 shards=4", dist.name);
+        let _ = run_sharded(4, 2, dist, population, ops, Some(&sink));
+        let attr = sink.attribution();
+        let rpl = sink.reads_per_lookup().unwrap_or_default();
+        println!("per-stage device-time attribution (sharded run, telemetry on):");
+        println!("{}", attribution_table(&attr));
+        let trace = json!({
+            "experiment": "scaling_trace",
+            "scale": scale.pick("small", "full"),
+            "dist": dist.name,
+            "shards": 4,
+            "threads": 2,
+            "attribution": attribution_json(&attr),
+            "reads_per_lookup": reads_per_lookup_json(&rpl),
+            "trace_spans_dropped": sink.trace_dropped(),
+        });
+        emit_json("scaling_trace", &trace);
     }
 }

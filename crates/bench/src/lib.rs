@@ -103,6 +103,75 @@ impl Scale {
     }
 }
 
+/// Whether `--trace-dump` was passed: figure binaries attach an enabled
+/// telemetry sink to an extra instrumented run and emit per-stage
+/// attribution JSON next to their normal results.
+pub fn trace_dump_requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--trace-dump")
+}
+
+/// Per-stage latency attribution as a JSON blob (only stages that fired).
+pub fn attribution_json(attr: &rhik_telemetry::Attribution) -> serde_json::Value {
+    let mut stages: Vec<serde_json::Value> = Vec::new();
+    for stage in rhik_telemetry::Stage::ALL {
+        let row = attr.row(stage);
+        if row.events == 0 {
+            continue;
+        }
+        stages.push(serde_json::json!({
+            "stage": stage.name(),
+            "events": row.events,
+            "total_ns": row.total_ns,
+            "mean_ns": row.mean_ns(),
+            "share_pct": attr.share_pct(stage),
+        }));
+    }
+    serde_json::json!({
+        "ops": attr.ops,
+        "total_stage_ns": attr.total_stage_ns,
+        "distinct_stages": attr.distinct_stages() as u64,
+        "stages": stages,
+    })
+}
+
+/// Traced flash-reads-per-lookup distribution as a JSON blob (the live
+/// ≤ 1-read invariant check).
+pub fn reads_per_lookup_json(rpl: &rhik_telemetry::ReadsPerLookup) -> serde_json::Value {
+    serde_json::json!({
+        "lookups": rpl.lookups,
+        "max_reads": rpl.max,
+        "invariant_ok": rpl.invariant_ok(),
+        "pct_within_1_read": rpl.pct_within(1),
+        "histo": rpl.histo.to_vec(),
+    })
+}
+
+/// Render per-stage attribution as an aligned table (printed by the
+/// `--trace-dump` modes and `obs_overhead`).
+pub fn attribution_table(attr: &rhik_telemetry::Attribution) -> String {
+    let mut rows = vec![vec![
+        "stage".to_string(),
+        "events".to_string(),
+        "total ms".to_string(),
+        "mean µs".to_string(),
+        "share %".to_string(),
+    ]];
+    for stage in rhik_telemetry::Stage::ALL {
+        let row = attr.row(stage);
+        if row.events == 0 {
+            continue;
+        }
+        rows.push(vec![
+            stage.name().to_string(),
+            row.events.to_string(),
+            format!("{:.3}", row.total_ns as f64 / 1e6),
+            format!("{:.2}", row.mean_ns() / 1e3),
+            format!("{:.1}", attr.share_pct(stage)),
+        ]);
+    }
+    render_table(&rows)
+}
+
 /// Write a JSON result blob next to the binary output for EXPERIMENTS.md.
 pub fn emit_json(experiment: &str, value: &serde_json::Value) {
     let dir = std::path::Path::new("target/experiments");

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use rhik_nand::{DeviceProfile, NandArray, NandGeometry, NandOp, Ppa};
 use rhik_sigs::KeySignature;
+use rhik_telemetry::{Stage, StageEvent, TelemetrySink};
 
 use crate::alloc::{BlockAllocator, NeedsGc, Stream};
 use crate::cache::IndexPageCache;
@@ -135,6 +136,14 @@ pub struct Ftl {
     cache: IndexPageCache,
     stats: FtlStats,
     timed_ops: Vec<TimedOp>,
+    telemetry: TelemetrySink,
+    /// Stage events accumulated since the last drain, tagged on the same
+    /// cadence as `timed_ops`; the device attaches them to the op span it
+    /// is building. Empty while telemetry is disabled.
+    stage_log: Vec<StageEvent>,
+    /// When set, media ops charged are attributed to this stage instead of
+    /// the plain flash-read/program stages (GC runs, resize batches).
+    stage_scope: Option<Stage>,
 
     /// Open head page being packed (DRAM write buffer).
     data_builder: Option<(Ppa, PageBuilder)>,
@@ -155,6 +164,9 @@ impl Ftl {
             cache: IndexPageCache::new(config.cache_budget_bytes),
             stats: FtlStats::default(),
             timed_ops: Vec::new(),
+            telemetry: TelemetrySink::disabled(),
+            stage_log: Vec::new(),
+            stage_scope: None,
             data_builder: None,
             pending: HashMap::new(),
         }
@@ -174,9 +186,45 @@ impl Ftl {
             cache: IndexPageCache::new(config.cache_budget_bytes),
             stats: FtlStats::default(),
             timed_ops: Vec::new(),
+            telemetry: TelemetrySink::disabled(),
+            stage_log: Vec::new(),
+            stage_scope: None,
             data_builder: None,
             pending: HashMap::new(),
         }
+    }
+
+    /// Install a telemetry sink (forwarded down to the NAND array). The
+    /// FTL tags every charged media op with the stage it serves.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.nand.set_telemetry(sink.clone());
+        self.telemetry = sink;
+    }
+
+    #[inline]
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// Attribute subsequently charged media ops to `scope` (GC run, resize
+    /// migration batch) instead of the raw flash stages. Returns the
+    /// previous scope so nested callers can restore it.
+    pub fn set_stage_scope(&mut self, scope: Option<Stage>) -> Option<Stage> {
+        std::mem::replace(&mut self.stage_scope, scope)
+    }
+
+    /// Append a stage event that does not correspond to a media op (e.g.
+    /// a DRAM directory walk). No-op while telemetry is disabled.
+    pub fn note_stage(&mut self, stage: Stage, dur_ns: u64) {
+        if self.telemetry.is_enabled() {
+            self.stage_log.push(StageEvent { stage, count: 1, dur_ns });
+        }
+    }
+
+    /// Take the stage events accumulated since the last drain — the device
+    /// attaches them to the span of the command it just executed.
+    pub fn drain_stage_log(&mut self) -> Vec<StageEvent> {
+        std::mem::take(&mut self.stage_log)
     }
 
     #[inline]
@@ -277,10 +325,17 @@ impl Ftl {
 
     fn charge(&mut self, op: NandOp) {
         let geometry = *self.nand.geometry();
-        self.timed_ops.push(TimedOp {
-            channel: op.channel(&geometry),
-            duration_ns: self.profile.latency.duration_ns(&op),
-        });
+        let duration_ns = self.profile.latency.duration_ns(&op);
+        self.timed_ops.push(TimedOp { channel: op.channel(&geometry), duration_ns });
+        if self.telemetry.is_enabled() {
+            let stage = self.stage_scope.unwrap_or(match op {
+                NandOp::Read { .. } => Stage::FlashRead,
+                NandOp::Program { .. } => Stage::FlashProgram,
+                // Erases happen only under GC.
+                NandOp::Erase { .. } => Stage::GcStep,
+            });
+            self.stage_log.push(StageEvent { stage, count: 1, dur_ns: duration_ns });
+        }
     }
 
     fn program(

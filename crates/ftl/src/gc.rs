@@ -111,8 +111,21 @@ pub fn run<I: IndexBackend>(
     let mut report = GcReport::default();
     ftl.note_gc_run();
     ftl.alloc_mut().set_gc_mode(true);
+    // Media ops charged during the run attribute to the gc_step stage, not
+    // to the command-level flash read/program stages.
+    let scope = ftl.set_stage_scope(Some(rhik_telemetry::Stage::GcStep));
     let result = run_inner(ftl, index, cfg, &mut report);
+    ftl.set_stage_scope(scope);
     ftl.alloc_mut().set_gc_mode(false);
+    let telemetry = ftl.telemetry();
+    if telemetry.is_enabled() {
+        telemetry.counter_add("ftl_gc_runs", 1);
+        telemetry.counter_add("ftl_gc_pairs_relocated", report.pairs_relocated);
+        telemetry.counter_add(
+            "ftl_gc_blocks_erased",
+            report.data_blocks_erased + report.index_blocks_erased,
+        );
+    }
     result.map(|()| report)
 }
 

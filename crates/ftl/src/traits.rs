@@ -241,6 +241,14 @@ pub trait IndexBackend {
         false
     }
 
+    /// Progress of an in-flight resize migration as
+    /// `(slots_migrated, slots_total)` over the frozen old directory —
+    /// `None` when no migration is running. Telemetry exports this as the
+    /// per-shard migration-cursor gauge.
+    fn migration_progress(&self) -> Option<(u64, u64)> {
+        None
+    }
+
     /// Visit every stored `(signature, ppa)` record. Used by the device's
     /// iterator support (§VI) and by consistency checks; cost is a full
     /// index sweep. The default refuses, for schemes without a cheap sweep.

@@ -5,8 +5,9 @@ use rhik_baseline::{LsmConfig, LsmIndex, MultiLevelConfig, MultiLevelIndex, Simp
 use rhik_core::RhikIndex;
 use rhik_ftl::layout::{self, PairEntry};
 use rhik_ftl::{gc, Ftl, FtlError, GcConfig, IndexBackend, IndexError, WrittenExtent};
-use rhik_nand::Ppa;
+use rhik_nand::{NandError, Ppa};
 use rhik_sigs::{KeySignature, SigHasher};
+use rhik_telemetry::{OpKind, OpSpan, Stage, StageEvent, TelemetrySink};
 
 use crate::config::DeviceConfig;
 use crate::engine::TimingEngine;
@@ -78,6 +79,23 @@ pub struct ExistReport {
     pub flash_reads: u64,
 }
 
+/// Per-shard gauge names, formatted once when a sink is installed so the
+/// per-command gauge refresh never allocates.
+struct GaugeNames {
+    queue_depth: String,
+    occupancy: String,
+    migration_slots: String,
+    migration_total: String,
+}
+
+/// Pre-command cache/lookup counters, snapshotted only while a telemetry
+/// sink is live; diffed at command end to synthesize span stage events.
+struct OpSnapshot {
+    cache_hits: u64,
+    cache_misses: u64,
+    lookup_histo: [u64; 16],
+}
+
 /// A KVSSD with a pluggable index scheme.
 pub struct KvssdDevice<I: IndexBackend> {
     ftl: Ftl,
@@ -91,6 +109,11 @@ pub struct KvssdDevice<I: IndexBackend> {
     /// Per-command-class latency (puts / gets), for tail analysis.
     put_latencies: crate::LatencyHistogram,
     get_latencies: crate::LatencyHistogram,
+    /// Observability sink (disabled by default: one branch per command).
+    telemetry: TelemetrySink,
+    /// Shard id stamped into op spans (0 for an unsharded device).
+    shard_id: u32,
+    gauge_names: Option<GaugeNames>,
 }
 
 impl KvssdDevice<RhikIndex> {
@@ -120,6 +143,9 @@ impl KvssdDevice<RhikIndex> {
             iter_sessions: Vec::new(),
             put_latencies: crate::LatencyHistogram::new(),
             get_latencies: crate::LatencyHistogram::new(),
+            telemetry: TelemetrySink::disabled(),
+            shard_id: 0,
+            gauge_names: None,
         })
     }
 }
@@ -169,6 +195,9 @@ impl<I: IndexBackend> KvssdDevice<I> {
             iter_sessions: Vec::new(),
             put_latencies: crate::LatencyHistogram::new(),
             get_latencies: crate::LatencyHistogram::new(),
+            telemetry: TelemetrySink::disabled(),
+            shard_id: 0,
+            gauge_names: None,
         }
     }
 
@@ -199,6 +228,32 @@ impl<I: IndexBackend> KvssdDevice<I> {
         &self.engine
     }
 
+    /// Install a telemetry sink (shard id 0). The sink is shared down the
+    /// stack (FTL, NAND) so media ops, cache traffic, GC and resize
+    /// progress all land in one registry and trace ring.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.set_telemetry_shard(sink, 0);
+    }
+
+    /// Install a telemetry sink with an explicit shard id (used by
+    /// [`crate::ShardedKvssd`]; spans and gauges are tagged per shard).
+    pub fn set_telemetry_shard(&mut self, sink: TelemetrySink, shard: u32) {
+        self.shard_id = shard;
+        self.gauge_names = sink.is_enabled().then(|| GaugeNames {
+            queue_depth: format!("shard{shard}_queue_depth"),
+            occupancy: format!("shard{shard}_index_occupancy"),
+            migration_slots: format!("shard{shard}_migration_slots_done"),
+            migration_total: format!("shard{shard}_migration_slots_total"),
+        });
+        self.ftl.set_telemetry(sink.clone());
+        self.telemetry = sink;
+    }
+
+    /// The installed telemetry sink (disabled unless one was set).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
     /// Keys currently stored.
     pub fn key_count(&self) -> u64 {
         self.index.len()
@@ -224,6 +279,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
             IndexError::CapacityExhausted => KvError::IndexFull,
             IndexError::NeedsGc => KvError::DeviceFull,
             IndexError::Unsupported(op) => KvError::Unsupported(op),
+            IndexError::Flash(NandError::ReadFailed(ppa)) => KvError::ReadFault { ppa },
             IndexError::Flash(f) => KvError::Media(f.to_string()),
         }
     }
@@ -233,6 +289,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
             FtlError::NeedsGc => KvError::DeviceFull,
             FtlError::ValueTooLarge { len, max } => KvError::ValueTooLarge { len, max },
             FtlError::KeyTooLarge { len } => KvError::KeyTooLarge { len },
+            FtlError::Flash(NandError::ReadFailed(ppa)) => KvError::ReadFault { ppa },
             FtlError::Flash(f) => KvError::Media(f.to_string()),
         }
     }
@@ -242,6 +299,107 @@ impl<I: IndexBackend> KvssdDevice<I> {
     fn settle(&mut self, host_bytes: u64) -> crate::CommandTiming {
         let ops = self.ftl.drain_timed_ops();
         self.engine.account(&ops, host_bytes)
+    }
+
+    // ---------------------------------------------------------- telemetry
+
+    /// Begin an op span: discard stage events left over from failed
+    /// commands or out-of-band maintenance, and snapshot the counters the
+    /// span will be diffed against. Returns `None` (one branch, no work)
+    /// when telemetry is disabled.
+    fn span_begin(&mut self) -> Option<OpSnapshot> {
+        if !self.telemetry.is_enabled() {
+            return None;
+        }
+        self.ftl.drain_stage_log();
+        let cache = self.ftl.cache_ref().stats();
+        Some(OpSnapshot {
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            lookup_histo: self.index.stats().reads_per_lookup_histo,
+        })
+    }
+
+    /// Finish an op span: drain the media stage events the FTL staged for
+    /// this command, synthesize cache and queue-wait events from counter
+    /// diffs, and publish the span, latency histogram, and shard gauges.
+    /// `stall_ns` is queue-hold time (GC/resize housekeeping) charged to
+    /// this command on top of its media timing.
+    fn span_finish(
+        &mut self,
+        snap: Option<OpSnapshot>,
+        kind: OpKind,
+        timing: crate::CommandTiming,
+        stall_ns: u64,
+    ) {
+        let Some(snap) = snap else { return };
+        let mut stages = self.ftl.drain_stage_log();
+        let cache = self.ftl.cache_ref().stats();
+        let hits = cache.hits - snap.cache_hits;
+        let misses = cache.misses - snap.cache_misses;
+        if hits > 0 {
+            stages.push(StageEvent { stage: Stage::CacheHit, count: hits as u32, dur_ns: 0 });
+        }
+        if misses > 0 {
+            stages.push(StageEvent { stage: Stage::CacheMiss, count: misses as u32, dur_ns: 0 });
+        }
+        if stall_ns > 0 {
+            stages.push(StageEvent { stage: Stage::QueueWait, count: 1, dur_ns: stall_ns });
+        }
+
+        // Flash reads this command's index lookup needed, taken from the
+        // index's own per-lookup distribution rather than raw FTL read
+        // counters — migration-batch reads are excluded, so the ≤ 1-read
+        // invariant stays measurable mid-resize. A GC retry can record
+        // more than one lookup; the highest changed bucket is the
+        // worst case this command saw.
+        let mut lookup_reads = None;
+        if kind == OpKind::Get {
+            let histo = self.index.stats().reads_per_lookup_histo;
+            lookup_reads = (0..histo.len())
+                .rev()
+                .find(|&i| histo[i] > snap.lookup_histo[i])
+                .map(|reads| reads as u64);
+        }
+
+        let (ops_counter, latency_histo) = match kind {
+            OpKind::Put => ("kvssd_puts", Some("put_latency_ns")),
+            OpKind::Get => ("kvssd_gets", Some("get_latency_ns")),
+            OpKind::Delete => ("kvssd_deletes", Some("delete_latency_ns")),
+            OpKind::Exist => ("kvssd_exists", None),
+            OpKind::Maintenance => ("kvssd_maintenance_steps", None),
+        };
+        let latency = latency_histo.map(|name| (name, timing.latency_ns() + stall_ns));
+        let span = OpSpan {
+            kind,
+            shard: self.shard_id,
+            submitted_ns: timing.submitted_ns,
+            completed_ns: timing.completed_ns + stall_ns,
+            lookup_flash_reads: lookup_reads.unwrap_or(0),
+            stages,
+        };
+
+        // Per-shard gauges: submission-queue depth, index occupancy, and
+        // the incremental-resize migration cursor. All recording — span,
+        // counter, histogram, lookup note, gauges — goes through one lock
+        // acquisition; the mutex dominates per-op telemetry cost.
+        if let Some(names) = &self.gauge_names {
+            let occupancy = self
+                .index
+                .capacity()
+                .filter(|&c| c > 0)
+                .map_or(0.0, |c| self.index.len() as f64 / c as f64);
+            let (done, total) = self.index.migration_progress().unwrap_or((0, 0));
+            let gauges = [
+                (names.queue_depth.as_str(), self.engine.inflight_commands() as f64),
+                (names.occupancy.as_str(), occupancy),
+                (names.migration_slots.as_str(), done as f64),
+                (names.migration_total.as_str(), total as f64),
+            ];
+            self.telemetry.record_op(span, ops_counter, latency, lookup_reads, &gauges);
+        } else {
+            self.telemetry.record_op(span, ops_counter, latency, lookup_reads, &[]);
+        }
     }
 
     /// Latency distribution of `put` commands (includes resize stalls).
@@ -346,6 +504,8 @@ impl<I: IndexBackend> KvssdDevice<I> {
     /// not to any command's latency — that is the whole point of moving the
     /// work off the foreground path.
     pub fn maintain_step(&mut self) -> Result<bool> {
+        let snap = self.span_begin();
+        let submitted_ns = self.engine.now_ns();
         let progressed = match self.index.maintain_step(&mut self.ftl) {
             Ok(p) => p,
             Err(IndexError::NeedsGc) => {
@@ -358,6 +518,10 @@ impl<I: IndexBackend> KvssdDevice<I> {
         let ops = self.ftl.drain_timed_ops();
         let stall: u64 = ops.iter().map(|o| o.duration_ns).sum();
         self.engine.stall_until(self.engine.now_ns() + stall);
+        if progressed {
+            let timing = crate::CommandTiming { submitted_ns, completed_ns: self.engine.now_ns() };
+            self.span_finish(snap, OpKind::Maintenance, timing, 0);
+        }
         Ok(progressed)
     }
 
@@ -442,6 +606,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
             return Err(KvError::EmptyKey);
         }
         self.stats.puts += 1;
+        let snap = self.span_begin();
         let sig = self.sign(key);
 
         // Exist check: if the signature is present, fetch and verify the
@@ -512,6 +677,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
         // charge that stall to this put's observed latency.
         let stall = self.engine.now_ns() - before_hk;
         self.put_latencies.record(timing.latency_ns() + stall);
+        self.span_finish(snap, OpKind::Put, timing, stall);
         Ok(())
     }
 
@@ -522,6 +688,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
             return Err(KvError::EmptyKey);
         }
         self.stats.gets += 1;
+        let snap = self.span_begin();
         let sig = self.sign(key);
         let result = match self.lookup_with_gc(sig)? {
             Some(head) => match self.read_pair(sig, head)? {
@@ -549,6 +716,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
         let host = key.len() as u64 + result.as_ref().map_or(0, |v| v.len() as u64);
         let timing = self.settle(host);
         self.get_latencies.record(timing.latency_ns());
+        self.span_finish(snap, OpKind::Get, timing, 0);
         Ok(result)
     }
 
@@ -559,6 +727,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
             return Err(KvError::EmptyKey);
         }
         self.stats.deletes += 1;
+        let snap = self.span_begin();
         let sig = self.sign(key);
         let Some(head) = self.lookup_with_gc(sig)? else {
             self.stats.not_found += 1;
@@ -585,8 +754,11 @@ impl<I: IndexBackend> KvssdDevice<I> {
         }
         self.ftl.mark_stale(&extent);
         self.ftl.drop_pending(sig);
-        self.settle(key.len() as u64);
+        let timing = self.settle(key.len() as u64);
+        let before_hk = self.engine.now_ns();
         self.housekeeping()?;
+        let stall = self.engine.now_ns() - before_hk;
+        self.span_finish(snap, OpKind::Delete, timing, stall);
         Ok(())
     }
 
@@ -598,11 +770,13 @@ impl<I: IndexBackend> KvssdDevice<I> {
             return Err(KvError::EmptyKey);
         }
         self.stats.exists += 1;
+        let snap = self.span_begin();
         let sig = self.sign(key);
         let reads_before = self.ftl.stats().index_page_reads;
         let hit = self.index.contains(&mut self.ftl, sig).map_err(Self::map_index_err)?;
         let flash_reads = self.ftl.stats().index_page_reads - reads_before;
-        self.settle(key.len() as u64);
+        let timing = self.settle(key.len() as u64);
+        self.span_finish(snap, OpKind::Exist, timing, 0);
         Ok(ExistReport { probably_exists: hit, flash_reads })
     }
 
@@ -1100,6 +1274,70 @@ mod tests {
         }
         assert!(dev.elapsed_secs() > 0.0);
         assert!(dev.engine().latencies().count() >= 50);
+    }
+
+    #[test]
+    fn read_fault_surfaces_as_typed_error() {
+        let mut dev = device();
+        dev.put(b"victim", b"payload").unwrap();
+        dev.flush().unwrap();
+        let ppa = dev.locate(b"victim").unwrap().expect("pair indexed");
+        dev.ftl_mut().faults_mut().fail_read(ppa);
+        // The faulted data page must surface as a typed error, not a panic
+        // and not an opaque Media(String).
+        assert_eq!(dev.get(b"victim").unwrap_err(), KvError::ReadFault { ppa });
+        // The fault is transient media state, not corruption: clearing it
+        // restores the pair and the device stays serviceable.
+        dev.ftl_mut().faults_mut().clear_read(ppa);
+        assert_eq!(&dev.get(b"victim").unwrap().unwrap()[..], b"payload");
+        dev.put(b"after", b"ok").unwrap();
+        assert!(dev.get(b"after").unwrap().is_some());
+    }
+
+    #[test]
+    fn telemetry_spans_and_metrics_capture_commands() {
+        let mut dev = device();
+        let sink = TelemetrySink::enabled();
+        dev.set_telemetry(sink.clone());
+        for i in 0..300u64 {
+            dev.put(format!("obs-{i:04}").as_bytes(), &[7u8; 256]).unwrap();
+        }
+        for i in 0..300u64 {
+            assert!(dev.get(format!("obs-{i:04}").as_bytes()).unwrap().is_some());
+        }
+        dev.delete(b"obs-0000").unwrap();
+        dev.exist(b"obs-0001").unwrap();
+
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.counter("kvssd_puts"), 300);
+        assert_eq!(snap.counter("kvssd_gets"), 300);
+        assert_eq!(snap.counter("kvssd_deletes"), 1);
+        assert_eq!(snap.counter("kvssd_exists"), 1);
+        assert!(snap.counter("nand_page_programs") > 0, "media counters wired through");
+        assert_eq!(snap.histogram("get_latency_ns").map(|h| h.count()), Some(300));
+        assert_eq!(snap.histogram("put_latency_ns").map(|h| h.count()), Some(300));
+        assert!(snap.gauge("shard0_index_occupancy").unwrap_or(0.0) > 0.0);
+
+        // Spans carry per-stage attribution: every op notes its directory
+        // walk, and the flash stages show up once traffic spills to media.
+        let attr = sink.attribution();
+        assert!(attr.ops > 0);
+        assert!(attr.row(Stage::DirLookup).events > 0);
+
+        // Every traced RHIK get stayed within one flash read.
+        let rpl = sink.reads_per_lookup().unwrap();
+        assert_eq!(rpl.lookups, 300);
+        assert!(rpl.invariant_ok(), "reads-per-lookup max {}", rpl.max);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let mut dev = device();
+        dev.set_telemetry(TelemetrySink::disabled());
+        dev.put(b"k", b"v").unwrap();
+        assert_eq!(&dev.get(b"k").unwrap().unwrap()[..], b"v");
+        assert!(dev.telemetry().snapshot().is_none());
+        assert!(dev.telemetry().spans().is_empty());
     }
 
     #[test]

@@ -86,6 +86,13 @@ impl TimingEngine {
         &self.latencies
     }
 
+    /// Commands still in flight (async mode; always 0 in sync mode, where
+    /// the host blocks per command). Telemetry exports this as the
+    /// per-shard submission-queue-depth gauge.
+    pub fn inflight_commands(&self) -> usize {
+        self.inflight.len()
+    }
+
     /// Account one command: its media ops, plus `host_bytes` moved across
     /// the host interface.
     pub fn account(&mut self, ops: &[TimedOp], host_bytes: u64) -> CommandTiming {

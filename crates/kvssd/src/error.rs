@@ -1,5 +1,7 @@
 //! Device-level error taxonomy (SNIA KV API-flavoured status codes).
 
+use rhik_nand::Ppa;
+
 /// Errors a KV command can return to the host.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum KvError {
@@ -25,6 +27,10 @@ pub enum KvError {
     /// The installed index cannot serve this operation (e.g. `iterate` on
     /// a scheme without record scans).
     Unsupported(&'static str),
+    /// A flash page read failed (injected or modeled media fault). Carries
+    /// the failing physical address so hosts and tests can correlate the
+    /// error with the device's fault plan instead of parsing a message.
+    ReadFault { ppa: Ppa },
     /// Unrecoverable media error.
     Media(String),
 }
@@ -41,6 +47,7 @@ impl std::fmt::Display for KvError {
             KvError::KeyTooLarge { len } => write!(f, "key {len} B over page limit"),
             KvError::EmptyKey => write!(f, "empty key"),
             KvError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            KvError::ReadFault { ppa } => write!(f, "media read failure at {ppa:?}"),
             KvError::Media(m) => write!(f, "media error: {m}"),
         }
     }
@@ -56,5 +63,6 @@ mod tests {
     fn display_messages() {
         assert!(KvError::KeyCollision.to_string().contains("collision"));
         assert!(KvError::ValueTooLarge { len: 10, max: 5 }.to_string().contains("10"));
+        assert!(KvError::ReadFault { ppa: Ppa::new(3, 7) }.to_string().contains("read failure"));
     }
 }

@@ -1,154 +1,8 @@
-//! Log-bucketed latency histogram (power-of-two buckets, zero allocation
-//! per sample).
+//! Latency histogram, re-exported from the telemetry crate.
+//!
+//! The log-bucketed [`LatencyHistogram`] started life here; it now lives in
+//! `rhik-telemetry` so the metric registry can bucket arbitrary named
+//! distributions with the same machinery. This module keeps the historical
+//! `rhik_kvssd::LatencyHistogram` path working.
 
-/// Latency histogram with 64 power-of-two nanosecond buckets.
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    sum_ns: u64,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: [0; 64], count: 0, sum_ns: 0, max_ns: 0 }
-    }
-}
-
-impl LatencyHistogram {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one latency sample.
-    #[inline]
-    pub fn record(&mut self, ns: u64) {
-        let bucket = 64 - ns.leading_zeros().min(63) as usize - 1;
-        // ns = 0 → bucket 0 via the min() clamp above mapping to index 0.
-        self.buckets[if ns == 0 { 0 } else { bucket }] += 1;
-        self.count += 1;
-        self.sum_ns += ns;
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_ns as f64 / self.count as f64
-        }
-    }
-
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Approximate percentile (upper edge of the containing bucket).
-    pub fn percentile_ns(&self, p: f64) -> u64 {
-        assert!((0.0..=100.0).contains(&p));
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        self.max_ns
-    }
-
-    /// Median latency (upper bucket edge).
-    pub fn p50_ns(&self) -> u64 {
-        self.percentile_ns(50.0)
-    }
-
-    /// 99th-percentile latency (upper bucket edge).
-    pub fn p99_ns(&self) -> u64 {
-        self.percentile_ns(99.0)
-    }
-
-    /// 99.9th-percentile latency (upper bucket edge) — the tail that resize
-    /// stalls dominate.
-    pub fn p999_ns(&self) -> u64 {
-        self.percentile_ns(99.9)
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_ns(), 0.0);
-        assert_eq!(h.percentile_ns(99.0), 0);
-    }
-
-    #[test]
-    fn records_and_percentiles() {
-        let mut h = LatencyHistogram::new();
-        for _ in 0..99 {
-            h.record(1_000); // bucket ~2^9
-        }
-        h.record(1_000_000);
-        assert_eq!(h.count(), 100);
-        assert!(h.percentile_ns(50.0) < 5_000);
-        assert!(h.percentile_ns(100.0) >= 1_000_000 / 2);
-        assert_eq!(h.max_ns(), 1_000_000);
-        assert!((h.mean_ns() - (99.0 * 1000.0 + 1e6) / 100.0).abs() < 1.0);
-    }
-
-    #[test]
-    fn zero_latency_is_fine() {
-        let mut h = LatencyHistogram::new();
-        h.record(0);
-        h.record(1);
-        assert_eq!(h.count(), 2);
-    }
-
-    #[test]
-    fn merge_combines() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(100);
-        b.record(10_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max_ns(), 10_000);
-    }
-
-    #[test]
-    fn percentile_monotone() {
-        let mut h = LatencyHistogram::new();
-        for i in 1..=1000u64 {
-            h.record(i * 17);
-        }
-        let p50 = h.percentile_ns(50.0);
-        let p90 = h.percentile_ns(90.0);
-        let p99 = h.percentile_ns(99.0);
-        assert!(p50 <= p90 && p90 <= p99);
-        assert!(h.p99_ns() <= h.p999_ns());
-        assert_eq!(h.p50_ns(), p50);
-        assert_eq!(h.p999_ns(), h.percentile_ns(99.9));
-    }
-}
+pub use rhik_telemetry::LatencyHistogram;

@@ -47,5 +47,12 @@ pub use histogram::LatencyHistogram;
 pub use sharded::ShardedKvssd;
 pub use shared::SharedKvssd;
 
+// Observability types, re-exported so device users need not depend on the
+// telemetry crate directly.
+pub use rhik_telemetry::{
+    Attribution, MetricRegistry, MetricSnapshot, OpKind, OpSpan, ReadsPerLookup, Stage, StageEvent,
+    TelemetrySink, TraceRing,
+};
+
 /// Result alias for device commands.
 pub type Result<T> = std::result::Result<T, KvError>;

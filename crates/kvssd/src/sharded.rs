@@ -324,6 +324,16 @@ impl<I: IndexBackend + Send> ShardedKvssd<I> {
         f(&mut self.lock(shard))
     }
 
+    /// Install one telemetry sink across every shard. Shards share the
+    /// sink's registry and trace ring; spans and gauges are tagged with
+    /// the shard id, so per-queue behaviour (resize stalls, queue depth,
+    /// occupancy skew) stays distinguishable in the merged stream.
+    pub fn set_telemetry(&self, sink: rhik_telemetry::TelemetrySink) {
+        for shard in 0..self.shards.len() {
+            self.lock(shard).set_telemetry_shard(sink.clone(), shard as u32);
+        }
+    }
+
     /// Whether any shard is mid-way through an incremental directory
     /// doubling.
     pub fn resize_in_progress(&self) -> bool {
@@ -486,6 +496,27 @@ mod tests {
         // Writing through any shard consumes device-wide capacity.
         assert!(dev.pool().free_blocks_raw() < before);
         assert_eq!(dev.pool().total_blocks(), DeviceConfig::small().geometry.blocks);
+    }
+
+    #[test]
+    fn sharded_telemetry_tags_spans_per_shard() {
+        let dev = sharded(4);
+        let sink = rhik_telemetry::TelemetrySink::enabled();
+        dev.set_telemetry(sink.clone());
+        for i in 0..400u64 {
+            dev.put(format!("obs-{i}").as_bytes(), b"v").unwrap();
+            dev.get(format!("obs-{i}").as_bytes()).unwrap();
+        }
+        let spans = sink.spans();
+        let shards_seen: std::collections::BTreeSet<u32> = spans.iter().map(|s| s.shard).collect();
+        assert!(shards_seen.len() > 1, "spans from one shard only: {shards_seen:?}");
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.counter("kvssd_puts"), 400);
+        assert_eq!(snap.counter("kvssd_gets"), 400);
+        // Per-shard gauges exist for every shard that saw traffic.
+        for s in &shards_seen {
+            assert!(snap.gauge(&format!("shard{s}_index_occupancy")).is_some());
+        }
     }
 
     #[test]

@@ -77,6 +77,11 @@ impl<I: IndexBackend + Send> SharedKvssd<I> {
         self.lock().resize_in_progress()
     }
 
+    /// Install a telemetry sink on the wrapped device (shard id 0).
+    pub fn set_telemetry(&self, sink: rhik_telemetry::TelemetrySink) {
+        self.lock().set_telemetry(sink)
+    }
+
     /// Run `f` with exclusive access to the device (diagnostics, bulk ops).
     pub fn with_device<R>(&self, f: impl FnOnce(&mut KvssdDevice<I>) -> R) -> R {
         f(&mut self.lock())

@@ -2,6 +2,7 @@
 //! discipline.
 
 use bytes::Bytes;
+use rhik_telemetry::TelemetrySink;
 
 use crate::block::{Block, BlockState};
 use crate::fault::FaultPlan;
@@ -33,6 +34,7 @@ pub struct NandArray {
     pages: Vec<Option<PageStore>>,
     stats: NandStats,
     faults: FaultPlan,
+    telemetry: TelemetrySink,
 }
 
 impl NandArray {
@@ -42,7 +44,20 @@ impl NandArray {
         geometry.validate().expect("invalid NAND geometry");
         let blocks = (0..geometry.blocks).map(|_| Block::new(geometry.pages_per_block)).collect();
         let pages = vec![None; geometry.total_pages() as usize];
-        NandArray { geometry, blocks, pages, stats: NandStats::default(), faults: FaultPlan::new() }
+        NandArray {
+            geometry,
+            blocks,
+            pages,
+            stats: NandStats::default(),
+            faults: FaultPlan::new(),
+            telemetry: TelemetrySink::disabled(),
+        }
+    }
+
+    /// Install a telemetry sink; media ops are mirrored into it as
+    /// `nand_*` counters.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     #[inline]
@@ -115,6 +130,7 @@ impl NandArray {
         }
         if !self.faults.is_empty() && self.faults.take_program_fault(ppa) {
             self.stats.program_failures += 1;
+            self.telemetry.counter_add("nand_program_failures", 1);
             // A failed program still consumes the page: real NAND marks it
             // unusable until erase, and the FTL must move on.
             self.blocks[ppa.block as usize].advance();
@@ -123,6 +139,7 @@ impl NandArray {
 
         self.stats.page_programs += 1;
         self.stats.bytes_programmed += (data.len() + spare.len()) as u64;
+        self.telemetry.counter_add("nand_page_programs", 1);
         let idx = self.page_index(ppa);
         self.pages[idx] = Some(PageStore { data, spare });
         self.blocks[ppa.block as usize].advance();
@@ -136,6 +153,7 @@ impl NandArray {
         }
         if !self.faults.is_empty() && self.faults.has_read_fault(ppa) {
             self.stats.read_failures += 1;
+            self.telemetry.counter_add("nand_read_failures", 1);
             return Err(NandError::ReadFailed(ppa));
         }
         let idx = self.page_index(ppa);
@@ -143,6 +161,7 @@ impl NandArray {
             Some(store) => {
                 self.stats.page_reads += 1;
                 self.stats.bytes_read += (store.data.len() + store.spare.len()) as u64;
+                self.telemetry.counter_add("nand_page_reads", 1);
                 Ok((store.data.clone(), store.spare.clone()))
             }
             None => Err(NandError::ReadUnwritten(ppa)),
@@ -169,6 +188,7 @@ impl NandArray {
         }
         self.blocks[block as usize].erase();
         self.stats.block_erases += 1;
+        self.telemetry.counter_add("nand_block_erases", 1);
         Ok(())
     }
 
@@ -320,6 +340,25 @@ mod tests {
         assert_eq!(a.stats().read_failures, 2);
         a.faults_mut().clear_read(ppa);
         assert!(a.read(ppa).is_ok());
+    }
+
+    #[test]
+    fn telemetry_mirrors_media_ops() {
+        let mut a = array();
+        let sink = rhik_telemetry::TelemetrySink::enabled();
+        a.set_telemetry(sink.clone());
+        let ppa = Ppa::new(0, 0);
+        a.program(ppa, bytes(b"x"), Bytes::new()).unwrap();
+        a.read(ppa).unwrap();
+        a.erase(0).unwrap();
+        a.faults_mut().fail_read(ppa);
+        a.program(ppa, bytes(b"x"), Bytes::new()).unwrap();
+        assert!(a.read(ppa).is_err());
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.counter("nand_page_programs"), 2);
+        assert_eq!(snap.counter("nand_page_reads"), 1);
+        assert_eq!(snap.counter("nand_block_erases"), 1);
+        assert_eq!(snap.counter("nand_read_failures"), 1);
     }
 
     #[test]

@@ -18,17 +18,19 @@ pub struct NandStats {
 }
 
 impl NandStats {
-    /// Element-wise difference `self - earlier` (panics on counter
-    /// regression, which would indicate state corruption).
+    /// Element-wise difference `self - earlier`, saturating at zero. A
+    /// snapshot taken before a device reset can be diffed against the
+    /// fresh counters without underflowing — regressed counters simply
+    /// read as zero delta.
     pub fn since(&self, earlier: &NandStats) -> NandStats {
         NandStats {
-            page_reads: self.page_reads - earlier.page_reads,
-            page_programs: self.page_programs - earlier.page_programs,
-            block_erases: self.block_erases - earlier.block_erases,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            bytes_programmed: self.bytes_programmed - earlier.bytes_programmed,
-            program_failures: self.program_failures - earlier.program_failures,
-            read_failures: self.read_failures - earlier.read_failures,
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_programs: self.page_programs.saturating_sub(earlier.page_programs),
+            block_erases: self.block_erases.saturating_sub(earlier.block_erases),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_programmed: self.bytes_programmed.saturating_sub(earlier.bytes_programmed),
+            program_failures: self.program_failures.saturating_sub(earlier.program_failures),
+            read_failures: self.read_failures.saturating_sub(earlier.read_failures),
         }
     }
 
@@ -52,5 +54,31 @@ mod tests {
         assert_eq!(d.page_programs, 3);
         assert_eq!(d.block_erases, 2);
         assert_eq!(d.total_ops(), 12);
+    }
+
+    #[test]
+    fn since_saturates_across_reset() {
+        // Snapshot taken on a long-running device, then the device (and its
+        // counters) is reset: every "current" counter is behind the
+        // snapshot. The diff must read as zero, not wrap.
+        let before_reset = NandStats {
+            page_reads: 1000,
+            page_programs: 500,
+            block_erases: 20,
+            bytes_read: 1 << 30,
+            bytes_programmed: 1 << 29,
+            program_failures: 3,
+            read_failures: 2,
+        };
+        let after_reset = NandStats { page_reads: 5, ..Default::default() };
+        let d = after_reset.since(&before_reset);
+        assert_eq!(d, NandStats::default());
+        assert_eq!(d.total_ops(), 0);
+        // Partial regression: only the regressed fields clamp.
+        let skewed = NandStats { page_reads: 2000, page_programs: 100, ..before_reset };
+        let d = skewed.since(&before_reset);
+        assert_eq!(d.page_reads, 1000);
+        assert_eq!(d.page_programs, 0);
+        assert_eq!(d.block_erases, 0);
     }
 }

@@ -35,6 +35,9 @@ pub struct RecordTable {
     slots: Vec<IndexRecord>,
     hop_width: u32,
     len: u32,
+    /// Hopscotch displacements performed by inserts on this in-DRAM copy
+    /// (not serialized; telemetry drains it per operation).
+    displacements: u64,
 }
 
 impl RecordTable {
@@ -43,7 +46,18 @@ impl RecordTable {
         assert!(records > 0, "table needs at least one slot");
         assert!((1..=32).contains(&hop_width), "hop width must be 1..=32");
         assert!(hop_width <= records, "hop width cannot exceed table size");
-        RecordTable { slots: vec![IndexRecord::empty(); records as usize], hop_width, len: 0 }
+        RecordTable {
+            slots: vec![IndexRecord::empty(); records as usize],
+            hop_width,
+            len: 0,
+            displacements: 0,
+        }
+    }
+
+    /// Hopscotch displacements inserts have performed on this copy.
+    #[inline]
+    pub fn displacements(&self) -> u64 {
+        self.displacements
     }
 
     /// Records currently stored.
@@ -139,7 +153,10 @@ impl RecordTable {
         // move an earlier-homed record into it to pull the hole closer.
         while free_dist >= self.hop_width {
             match self.pull_hole_closer(home, free_dist) {
-                Some(new_dist) => free_dist = new_dist,
+                Some(new_dist) => {
+                    free_dist = new_dist;
+                    self.displacements += 1;
+                }
                 None => return TableInsert::Full,
             }
         }

@@ -484,6 +484,7 @@ impl IndexBackend for RhikIndex {
         ppa: Ppa,
     ) -> Result<InsertOutcome, IndexError> {
         self.stats.inserts += 1;
+        ftl.note_stage(rhik_telemetry::Stage::DirLookup, 0);
         self.migration_work(ftl, Some(sig))?;
         let slot = self.dir.slot_of(sig);
         let (mut table, _reads) = self.load_table(ftl, slot)?;
@@ -539,6 +540,9 @@ impl IndexBackend for RhikIndex {
                 return Err(IndexError::TableFull { table: slot as u64 });
             }
         };
+        if table.displacements() > 0 {
+            ftl.telemetry().counter_add("rhik_hopscotch_displacements", table.displacements());
+        }
         self.maybe_resize(ftl)?;
         self.maybe_flush_directory(ftl)?;
         Ok(outcome)
@@ -546,6 +550,7 @@ impl IndexBackend for RhikIndex {
 
     fn lookup(&mut self, ftl: &mut Ftl, sig: KeySignature) -> Result<Option<Ppa>, IndexError> {
         self.stats.lookups += 1;
+        ftl.note_stage(rhik_telemetry::Stage::DirLookup, 0);
         self.migration_work(ftl, None)?;
         if let Some((key, entry)) = self.old_route(sig) {
             // Un-migrated slot: serve from the frozen old table, same
@@ -588,6 +593,7 @@ impl IndexBackend for RhikIndex {
 
     fn remove(&mut self, ftl: &mut Ftl, sig: KeySignature) -> Result<Option<Ppa>, IndexError> {
         self.stats.removes += 1;
+        ftl.note_stage(rhik_telemetry::Stage::DirLookup, 0);
         self.migration_work(ftl, Some(sig))?;
         let slot = self.dir.slot_of(sig);
         let (mut table, _) = self.load_table(ftl, slot)?;
@@ -730,6 +736,10 @@ impl IndexBackend for RhikIndex {
 
     fn resize_in_progress(&self) -> bool {
         self.migration.is_some()
+    }
+
+    fn migration_progress(&self) -> Option<(u64, u64)> {
+        self.migration.as_ref().map(|m| m.progress())
     }
 
     fn scan_records(

@@ -75,6 +75,14 @@ impl Migration {
         old_slot < self.cursor || self.split_ahead[old_slot as usize]
     }
 
+    /// `(slots_migrated, slots_total)` over the frozen old directory,
+    /// counting out-of-order splits forced by mutations.
+    pub(crate) fn progress(&self) -> (u64, u64) {
+        let total = self.split_ahead.len() as u64;
+        let done = (0..self.split_ahead.len() as u32).filter(|&s| self.is_split(s)).count() as u64;
+        (done, total)
+    }
+
     fn event(&self) -> ResizeEvent {
         ResizeEvent {
             keys_before: self.keys_before,
@@ -145,6 +153,7 @@ pub(crate) fn begin(idx: &mut RhikIndex, ftl: &mut Ftl) -> Result<(), IndexError
         steps: 0,
         max_step_media_ns: 0,
     });
+    ftl.telemetry().counter_add("rhik_resizes_started", 1);
     Ok(())
 }
 
@@ -165,7 +174,11 @@ pub(crate) fn step(
     let Some(mut m) = idx.migration.take() else { return Ok(0) };
     let t0 = std::time::Instant::now();
     let before = ftl.stats();
+    // Media ops in this batch attribute to the resize stage, not to the
+    // command-level flash read/program stages of the op that triggered it.
+    let scope = ftl.set_stage_scope(Some(rhik_telemetry::Stage::ResizeMigrateBatch));
     let result = advance(idx, ftl, &mut m, max_slots, target);
+    ftl.set_stage_scope(scope);
     let after = ftl.stats();
     let reads = after.index_page_reads - before.index_page_reads;
     let programs = after.index_page_programs - before.index_page_programs;
@@ -176,6 +189,16 @@ pub(crate) fn step(
     m.media_ns += step_media;
     m.steps += 1;
     m.max_step_media_ns = m.max_step_media_ns.max(step_media);
+    let telemetry = ftl.telemetry();
+    if telemetry.is_enabled() {
+        telemetry.counter_add("rhik_resize_steps", 1);
+        if let Ok(split) = &result {
+            telemetry.counter_add("rhik_resize_slots_migrated", *split as u64);
+        }
+        if m.finalized {
+            telemetry.counter_add("rhik_resizes_completed", 1);
+        }
+    }
     if m.finalized {
         debug_assert_eq!(m.migrated, m.keys_before, "resize lost records");
         idx.stats_mut().resizes.push(m.event());

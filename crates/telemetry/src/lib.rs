@@ -1,0 +1,31 @@
+//! Observability for the RHIK stack: a metric registry, a virtual-clock
+//! span tracer, and derived attribution views — with zero external
+//! dependencies and near-zero overhead when disabled.
+//!
+//! Three layers:
+//!
+//! * [`MetricRegistry`] — named monotonic counters, gauges, and
+//!   log-bucketed [`LatencyHistogram`]s, with [`MetricSnapshot`] for
+//!   snapshot-and-diff plus JSON and Prometheus text export.
+//! * [`TraceRing`] — per-command [`OpSpan`]s carrying [`StageEvent`]s
+//!   timed on the *simulated* device clock, in a fixed-capacity ring with
+//!   drop counting.
+//! * [`Attribution`] / [`ReadsPerLookup`] — derived views: where device
+//!   time went per stage, and the flash-reads-per-lookup distribution that
+//!   checks RHIK's ≤1-read invariant on live traffic (Fig. 5b), including
+//!   mid-resize.
+//!
+//! The stack holds a [`TelemetrySink`]: a cloneable handle that defaults
+//! to a no-op, so the hot path pays one branch when telemetry is off.
+
+mod histogram;
+mod registry;
+mod sink;
+mod trace;
+mod views;
+
+pub use histogram::LatencyHistogram;
+pub use registry::{MetricRegistry, MetricSnapshot};
+pub use sink::{TelemetrySink, TelemetryState, DEFAULT_TRACE_CAPACITY};
+pub use trace::{OpKind, OpSpan, Stage, StageEvent, TraceRing};
+pub use views::{Attribution, ReadsPerLookup, StageRow};

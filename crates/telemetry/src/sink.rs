@@ -1,0 +1,207 @@
+//! The handle the rest of the stack holds. A disabled sink is a `None` —
+//! every recording call is one branch and returns. An enabled sink shares
+//! one mutex-guarded state (registry + trace ring + invariant distribution)
+//! across clones, so sharded engines report into a single place.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::registry::{MetricRegistry, MetricSnapshot};
+use crate::trace::{OpSpan, TraceRing};
+use crate::views::{Attribution, ReadsPerLookup};
+
+/// Everything an enabled sink accumulates.
+#[derive(Debug)]
+pub struct TelemetryState {
+    pub registry: MetricRegistry,
+    pub trace: TraceRing,
+    pub reads_per_lookup: ReadsPerLookup,
+}
+
+/// Cloneable telemetry handle. [`TelemetrySink::disabled`] (the default)
+/// is a no-op: recording costs one branch. Clones of an enabled sink share
+/// the same state.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySink {
+    inner: Option<Arc<Mutex<TelemetryState>>>,
+}
+
+/// Default span-ring capacity for [`TelemetrySink::enabled`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+impl TelemetrySink {
+    /// The no-op sink: nothing is recorded, nothing is allocated.
+    pub fn disabled() -> Self {
+        TelemetrySink { inner: None }
+    }
+
+    /// An enabled sink with the default trace-ring capacity.
+    pub fn enabled() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled sink retaining at most `capacity` spans.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        TelemetrySink {
+            inner: Some(Arc::new(Mutex::new(TelemetryState {
+                registry: MetricRegistry::new(),
+                trace: TraceRing::with_capacity(capacity),
+                reads_per_lookup: ReadsPerLookup::default(),
+            }))),
+        }
+    }
+
+    /// Whether recording calls do anything. Layers use this to skip the
+    /// work of *building* events, not just recording them.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, TelemetryState>> {
+        self.inner.as_ref().map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(mut s) = self.lock() {
+            s.registry.counter_add(name, delta);
+        }
+    }
+
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(mut s) = self.lock() {
+            s.registry.gauge_set(name, value);
+        }
+    }
+
+    pub fn histogram_record(&self, name: &str, ns: u64) {
+        if let Some(mut s) = self.lock() {
+            s.registry.histogram_record(name, ns);
+        }
+    }
+
+    /// Push a completed op span into the trace ring.
+    pub fn record_span(&self, span: OpSpan) {
+        if let Some(mut s) = self.lock() {
+            s.trace.push(span);
+        }
+    }
+
+    /// Record one completed command under a single lock acquisition: its
+    /// span, per-op counter, optional latency histogram sample, optional
+    /// lookup-read observation, and any gauge refreshes. Device hot paths
+    /// use this instead of six separate recording calls — the mutex, not
+    /// the map updates, dominates per-op telemetry cost.
+    pub fn record_op(
+        &self,
+        span: OpSpan,
+        op_counter: &str,
+        latency: Option<(&str, u64)>,
+        lookup_reads: Option<u64>,
+        gauges: &[(&str, f64)],
+    ) {
+        let Some(mut s) = self.lock() else { return };
+        s.registry.counter_add(op_counter, 1);
+        if let Some((name, ns)) = latency {
+            s.registry.histogram_record(name, ns);
+        }
+        if let Some(reads) = lookup_reads {
+            s.reads_per_lookup.note(reads);
+        }
+        for &(name, value) in gauges {
+            s.registry.gauge_set(name, value);
+        }
+        s.trace.push(span);
+    }
+
+    /// Feed one observed lookup into the ≤1-flash-read distribution.
+    pub fn note_lookup_reads(&self, reads: u64) {
+        if let Some(mut s) = self.lock() {
+            s.reads_per_lookup.note(reads);
+        }
+    }
+
+    /// Point-in-time copy of the registry (None when disabled).
+    pub fn snapshot(&self) -> Option<MetricSnapshot> {
+        self.lock().map(|s| s.registry.snapshot())
+    }
+
+    /// Copy of the live reads-per-lookup distribution (None when disabled).
+    pub fn reads_per_lookup(&self) -> Option<ReadsPerLookup> {
+        self.lock().map(|s| s.reads_per_lookup)
+    }
+
+    /// Retained spans, oldest first (empty when disabled).
+    pub fn spans(&self) -> Vec<OpSpan> {
+        self.lock().map(|s| s.trace.to_vec()).unwrap_or_default()
+    }
+
+    /// Spans overwritten because the ring was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.lock().map(|s| s.trace.dropped()).unwrap_or(0)
+    }
+
+    /// Per-stage attribution over the currently retained spans.
+    pub fn attribution(&self) -> Attribution {
+        self.lock().map(|s| Attribution::from_spans(s.trace.iter())).unwrap_or_default()
+    }
+
+    /// Drop all retained spans (the registry is left intact).
+    pub fn clear_trace(&self) {
+        if let Some(mut s) = self.lock() {
+            s.trace.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{OpKind, Stage, StageEvent};
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = TelemetrySink::disabled();
+        assert!(!sink.is_enabled());
+        sink.counter_add("ops", 1);
+        sink.note_lookup_reads(5);
+        assert!(sink.snapshot().is_none());
+        assert!(sink.reads_per_lookup().is_none());
+        assert!(sink.spans().is_empty());
+        assert_eq!(sink.attribution().ops, 0);
+        assert!(!TelemetrySink::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let sink = TelemetrySink::with_trace_capacity(8);
+        let other = sink.clone();
+        other.counter_add("ops", 3);
+        sink.counter_add("ops", 2);
+        other.gauge_set("depth", 1.5);
+        other.histogram_record("lat", 500);
+        assert_eq!(sink.snapshot().unwrap().counter("ops"), 5);
+        assert_eq!(sink.snapshot().unwrap().gauge("depth"), Some(1.5));
+        assert_eq!(sink.snapshot().unwrap().histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn spans_and_attribution_flow() {
+        let sink = TelemetrySink::enabled();
+        sink.record_span(OpSpan {
+            kind: OpKind::Put,
+            shard: 2,
+            submitted_ns: 0,
+            completed_ns: 100,
+            lookup_flash_reads: 0,
+            stages: vec![StageEvent { stage: Stage::FlashProgram, count: 1, dur_ns: 100 }],
+        });
+        sink.note_lookup_reads(1);
+        assert_eq!(sink.spans().len(), 1);
+        assert_eq!(sink.trace_dropped(), 0);
+        let a = sink.attribution();
+        assert_eq!(a.row(Stage::FlashProgram).total_ns, 100);
+        assert!(sink.reads_per_lookup().unwrap().invariant_ok());
+        sink.clear_trace();
+        assert!(sink.spans().is_empty());
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`kvssd`] — the KVSSD device emulator (SNIA-style command set,
 //!   sync/async engines, GC and resize integration),
 //! * [`workloads`] — key generators, trace synthesizers, and the
-//!   KVBench-style driver.
+//!   KVBench-style driver,
+//! * [`telemetry`] — metric registry, virtual-clock op tracing, and
+//!   per-stage latency attribution (disabled by default, zero deps).
 //!
 //! ## Quickstart
 //!
@@ -34,4 +36,5 @@ pub use rhik_ftl as ftl;
 pub use rhik_kvssd as kvssd;
 pub use rhik_nand as nand;
 pub use rhik_sigs as sigs;
+pub use rhik_telemetry as telemetry;
 pub use rhik_workloads as workloads;

@@ -130,8 +130,10 @@ fn injected_read_fault_is_contained() {
     dev.ftl_mut().faults_mut().fail_read(head);
 
     match dev.get(b"victim") {
-        Err(KvError::Media(_)) => {}
-        other => panic!("expected media error, got {other:?}"),
+        // Typed fault carrying the failing physical address, so hosts can
+        // correlate it with the device's fault plan.
+        Err(KvError::ReadFault { ppa }) => assert_eq!(ppa, head),
+        other => panic!("expected read fault, got {other:?}"),
     }
     // Other keys unaffected; clearing the fault restores the victim.
     assert_eq!(&dev.get(b"bystander").unwrap().unwrap()[..], b"fine");
