@@ -18,8 +18,8 @@
 //! Emits `BENCH_resize_tail.json` plus `target/experiments/resize_tail.json`.
 
 use rhik_bench::{
-    attribution_json, attribution_table, emit_json, reads_per_lookup_json, render_table,
-    trace_dump_requested, Scale,
+    attribution_json, attribution_table, audit_requested, emit_json, reads_per_lookup_json,
+    render_table, trace_dump_requested, BenchAuditor, Scale,
 };
 use rhik_core::RhikConfig;
 use rhik_ftl::IndexBackend;
@@ -71,6 +71,11 @@ fn run_mode(
         dev.set_telemetry(s);
     }
 
+    // `--audit`: prove cross-layer consistency of this exact run every
+    // 500 ops (and at the end). Latencies are simulated device time, so
+    // the host-side audit cost never shows in the measurements.
+    let mut audit = BenchAuditor::new(audit_requested(), 500);
+
     let mut latencies_ns = Vec::with_capacity(keys as usize);
     let mut begins = Vec::new();
     let mut ends = Vec::new();
@@ -80,6 +85,7 @@ fn run_mode(
         let t0 = dev.engine().now_ns();
         dev.put(format!("rt-{i:010}").as_bytes(), &[0u8; 64]).expect("put");
         latencies_ns.push(dev.engine().now_ns() - t0);
+        audit.tick(&dev, i + 1 == keys);
 
         let now_done = dev.index().stats().resizes.len();
         if now_done > completed {
@@ -97,6 +103,9 @@ fn run_mode(
         }
     }
 
+    if audit.audits_run > 0 {
+        eprintln!("[{label}] --audit: {} clean cross-layer audits", audit.audits_run);
+    }
     if std::env::var_os("RHIK_RT_DEBUG").is_some() {
         let mut worst: Vec<(u64, usize)> =
             latencies_ns.iter().enumerate().map(|(i, &l)| (l, i)).collect();

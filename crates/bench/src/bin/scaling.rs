@@ -20,8 +20,8 @@
 use std::time::Instant;
 
 use rhik_bench::{
-    attribution_json, attribution_table, emit_json, reads_per_lookup_json, render_table,
-    trace_dump_requested, Scale,
+    attribution_json, attribution_table, audit_requested, emit_json, reads_per_lookup_json,
+    render_table, trace_dump_requested, Scale,
 };
 use rhik_kvssd::{DeviceConfig, KvssdDevice, ShardedKvssd, SharedKvssd, TelemetrySink};
 use rhik_nand::DeviceProfile;
@@ -110,6 +110,14 @@ fn run_sharded(
             });
         }
     });
+    // `--audit`: with all submitters joined, every shard is at a command
+    // boundary — walk the full cross-layer state (fresh auditor per
+    // device; cursors must not mix across runs).
+    if audit_requested() {
+        let report = dev.audit(&mut rhik_audit::DeviceAuditor::new());
+        assert!(report.is_ok(), "--audit found invariant violations:\n{report}");
+        eprintln!("[audit] sharded {shards}s/{threads}t: clean");
+    }
     let puts = dev.put_latencies();
     RunResult {
         total_ops: population + (ops / threads) * threads,
@@ -147,6 +155,11 @@ fn run_shared(threads: u64, dist: Dist, population: u64, ops: u64) -> RunResult 
             });
         }
     });
+    if audit_requested() {
+        let report = dev.audit(&mut rhik_audit::DeviceAuditor::new());
+        assert!(report.is_ok(), "--audit found invariant violations:\n{report}");
+        eprintln!("[audit] shared {threads}t: clean");
+    }
     let (device_secs, put_p99_ns, put_p999_ns) = dev.with_device(|d| {
         (d.elapsed_secs(), d.put_latencies().p99_ns(), d.put_latencies().p999_ns())
     });

@@ -110,6 +110,52 @@ pub fn trace_dump_requested() -> bool {
     std::env::args().skip(1).any(|a| a == "--trace-dump")
 }
 
+/// Whether `--audit` was passed: bench binaries run the cross-layer
+/// [`rhik_audit::DeviceAuditor`] at checkpoints during the workload and
+/// abort on the first invariant violation, trading throughput for a
+/// full-state consistency proof of the exact configuration being measured.
+pub fn audit_requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--audit")
+}
+
+/// Audit checkpoint for bench loops: every `ops` per-device operations
+/// (and once more on the final op), walk the whole cross-layer state and
+/// panic with the violation list if anything disagrees. No-op when
+/// `enabled` is false so measured runs stay unperturbed.
+pub struct BenchAuditor {
+    auditor: rhik_audit::DeviceAuditor,
+    every: u64,
+    seen: u64,
+    pub audits_run: u64,
+    enabled: bool,
+}
+
+impl BenchAuditor {
+    pub fn new(enabled: bool, every: u64) -> Self {
+        BenchAuditor {
+            auditor: rhik_audit::DeviceAuditor::new(),
+            every: every.max(1),
+            seen: 0,
+            audits_run: 0,
+            enabled,
+        }
+    }
+
+    /// Count one op; audit the device when the checkpoint interval fires
+    /// or `last` marks the end of the workload.
+    pub fn tick(&mut self, dev: &rhik_kvssd::KvssdDevice<rhik_core::RhikIndex>, last: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.every) || last {
+            let report = dev.audit(&mut self.auditor);
+            assert!(report.is_ok(), "--audit found invariant violations:\n{report}");
+            self.audits_run += 1;
+        }
+    }
+}
+
 /// Per-stage latency attribution as a JSON blob (only stages that fired).
 pub fn attribution_json(attr: &rhik_telemetry::Attribution) -> serde_json::Value {
     let mut stages: Vec<serde_json::Value> = Vec::new();

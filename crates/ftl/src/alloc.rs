@@ -354,7 +354,8 @@ impl BlockAllocator {
         debug_assert!(
             self.open_data != Some(block)
                 && self.open_extent != Some(block)
-                && self.open_index != Some(block)
+                && self.open_index != Some(block),
+            "released block {block} is still an open write target"
         );
         self.parked_extent.retain(|&b| b != block);
         self.meta[block as usize] = BlockMeta::fresh();

@@ -25,6 +25,11 @@ pub enum FtlError {
     KeyTooLarge { len: usize },
     /// Media error.
     Flash(rhik_nand::NandError),
+    /// A cross-layer invariant broke mid-operation (e.g. GC met a record
+    /// the index cannot re-point). Surfaced as a typed error instead of a
+    /// panic so firmware paths stay panic-free; the audit layer is the
+    /// tool for localizing which layer disagrees.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for FtlError {
@@ -36,6 +41,7 @@ impl std::fmt::Display for FtlError {
             }
             FtlError::KeyTooLarge { len } => write!(f, "key of {len} B cannot fit a flash page"),
             FtlError::Flash(e) => write!(f, "flash error: {e}"),
+            FtlError::Corrupt(detail) => write!(f, "cross-layer invariant broken: {detail}"),
         }
     }
 }
@@ -391,7 +397,10 @@ impl Ftl {
             frag = 0;
         }
         let body_bytes = value.len() - frag;
-        debug_assert!(cont_pages * page >= body_bytes);
+        debug_assert!(
+            cont_pages * page >= body_bytes,
+            "continuation pages must cover the value body past the head fragment"
+        );
 
         // Write the body first: its pages live in a different partition, so
         // ordering never conflicts with the buffered head page.
@@ -667,6 +676,49 @@ impl Ftl {
     pub(crate) fn block_write_ptr(&self, block: u32) -> u32 {
         self.nand.write_ptr(block).unwrap_or(0)
     }
+
+    // -------------------------------------------------------------- audit
+
+    /// Inspect a page without charging a flash read — the invariant
+    /// auditor's window into media state (audits must not perturb the
+    /// read counters the ≤1-read bound is proved against).
+    pub fn peek_page(&self, ppa: Ppa) -> Option<(Bytes, Bytes)> {
+        self.nand.peek(ppa)
+    }
+
+    /// Snapshot this FTL's flash-side accounting for the cross-layer
+    /// auditor: per-block allocator metadata joined with the NAND write
+    /// pointers, plus the NAND array's own physical-discipline audit.
+    ///
+    /// `shard` only labels the snapshot (pass 0 for an unsharded device).
+    pub fn audit_flash(&self, shard: u32) -> rhik_audit::FlashAudit {
+        let geometry = *self.geometry();
+        let blocks = (0..geometry.blocks)
+            .map(|b| {
+                let meta = self.alloc.meta(b);
+                rhik_audit::BlockAccounting {
+                    block: b,
+                    stream: meta.stream.map(|s| match s {
+                        Stream::Data => "data",
+                        Stream::Extent => "extent",
+                        Stream::Index => "index",
+                    }),
+                    live_bytes: meta.live_bytes,
+                    stale_bytes: meta.stale_bytes,
+                    pages_allocated: meta.pages_used,
+                    pages_programmed: self.nand.write_ptr(b).unwrap_or(0),
+                }
+            })
+            .collect();
+        rhik_audit::FlashAudit {
+            shard,
+            page_size: geometry.page_size,
+            total_blocks: geometry.blocks,
+            free_raw: self.alloc.free_blocks_raw(),
+            blocks,
+            nand_violations: self.nand.audit(),
+        }
+    }
 }
 
 impl std::fmt::Debug for Ftl {
@@ -891,6 +943,30 @@ mod tests {
         assert_eq!(f.pending_pair(sig(1)), None);
         // The lost pair's bytes are accounted stale so GC can reclaim.
         assert!(f.total_stale_bytes() > 0);
+    }
+
+    #[test]
+    fn audit_kind_tags_match_layout() {
+        // The dependency-free audit crate mirrors the spare-area kind tags
+        // as constants; pin them to the layout's actual encoding.
+        assert_eq!(SpareMeta::head_page().encode()[0], rhik_audit::KIND_HEAD);
+        assert_eq!(SpareMeta::cont_page(sig(1)).encode()[0], rhik_audit::KIND_CONT);
+        assert_eq!(SpareMeta::index_page().encode()[0], rhik_audit::KIND_INDEX);
+        assert_eq!(SpareMeta::directory_page().encode()[0], rhik_audit::KIND_DIRECTORY);
+    }
+
+    #[test]
+    fn audit_flash_reflects_accounting() {
+        let mut f = ftl();
+        f.store_pair(sig(1), b"k", &[0u8; 64], 0).unwrap();
+        f.flush_data_builder().unwrap();
+        let snap = f.audit_flash(0);
+        assert_eq!(snap.total_blocks, f.geometry().blocks);
+        assert_eq!(snap.free_raw, f.free_blocks_raw());
+        assert!(snap.nand_violations.is_empty());
+        let live: u64 = snap.blocks.iter().map(|b| b.live_bytes).sum();
+        assert_eq!(live, f.total_live_bytes());
+        assert!(snap.blocks.iter().any(|b| b.stream == Some("data") && b.pages_programmed > 0));
     }
 
     #[test]

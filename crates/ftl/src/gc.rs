@@ -380,7 +380,11 @@ fn relocate_pair<I: IndexBackend>(
     let mut value = entry.value_frag.to_vec();
     let mut remaining = (entry.val_total_len - entry.frag_len) as usize;
     if remaining > 0 {
-        let start = entry.cont_start.expect("overflowing entry has a body");
+        let Some(start) = entry.cont_start else {
+            return Err(FtlError::Corrupt(
+                "GC victim holds an overflowing pair without a continuation extent".into(),
+            ));
+        };
         let mut i = 0;
         while remaining > 0 {
             let (cd, _) = ftl.read_data_page(Ppa::new(start.block, start.page + i))?;
@@ -404,7 +408,14 @@ fn relocate_pair<I: IndexBackend>(
             ftl.drop_pending(sig);
             return Err(FtlError::NeedsGc);
         }
-        Err(e) => panic!("GC relocation lost index record: {e}"),
+        Err(e) => {
+            // Same recovery as NeedsGc: abandon the new copy before the
+            // victim is erased, so the index keeps pointing at intact
+            // data while the error propagates.
+            ftl.mark_stale(&extent);
+            ftl.drop_pending(sig);
+            return Err(FtlError::Corrupt(format!("GC relocation lost index record: {e}")));
+        }
     }
     report.pairs_relocated += 1;
     ftl.note_gc_relocation(1);
@@ -433,7 +444,10 @@ fn clean_index_block<I: IndexBackend>(
             // Pages already moved are re-pointed; the rest stay live in
             // this (uncollected) block.
             Err(IndexError::NeedsGc) => return Err(FtlError::NeedsGc),
-            Err(e) => panic!("index page relocation failed: {e}"),
+            // Any other index failure aborts before the erase, like
+            // NeedsGc above: pages already moved are re-pointed, the
+            // rest stay live in this (uncollected) block.
+            Err(e) => return Err(FtlError::Corrupt(format!("index page relocation failed: {e}"))),
         }
     }
     ftl.erase_block(block)?;

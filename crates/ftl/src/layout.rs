@@ -274,7 +274,11 @@ impl PageBuilder {
         // The info area occupies the last pair_count * SIG_ENTRY_LEN bytes,
         // entry i at page_end - (pair_count - i) * SIG_ENTRY_LEN.
         self.data.extend_from_slice(&self.sig_entries);
-        debug_assert_eq!(self.data.len(), self.page_size);
+        debug_assert_eq!(
+            self.data.len(),
+            self.page_size,
+            "sealed head page must fill the flash page exactly"
+        );
         Bytes::from(self.data)
     }
 }

@@ -19,8 +19,20 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+
+// Under `RUSTFLAGS="--cfg loom"` every primitive in this module swaps to
+// the loom model types, so the loom tests in `tests/loom_pool.rs` explore
+// the pool's interleavings without a parallel implementation. The rest of
+// the workspace imports `Mutex`/`MutexGuard` from here (not `std::sync`)
+// for the same reason — wslint rule `std-mutex-outside-sync` enforces it.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU32, Ordering};
+#[cfg(loom)]
+pub use loom::sync::{Mutex, MutexGuard};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
+#[cfg(not(loom))]
+pub use std::sync::{Mutex, MutexGuard};
 
 use rhik_nand::{BlockId, NandGeometry};
 
@@ -65,13 +77,13 @@ impl FlashPool {
     /// which is what the reserve is sized for — and mirrors real
     /// devices, where a single GC engine serves all queues. Waiters
     /// block until the current collection finishes.
-    pub fn gc_permit(&self) -> std::sync::MutexGuard<'_, ()> {
+    pub fn gc_permit(&self) -> MutexGuard<'_, ()> {
         // The permit guards no data, so a poisoned lock carries no
         // broken invariant.
         self.gc_permit.lock().unwrap_or_else(|poison| poison.into_inner())
     }
 
-    fn queue(&self) -> std::sync::MutexGuard<'_, VecDeque<BlockId>> {
+    fn queue(&self) -> MutexGuard<'_, VecDeque<BlockId>> {
         // A panic can only poison the lock between a pop/push pair; the
         // queue itself is always consistent.
         self.free.lock().unwrap_or_else(|poison| poison.into_inner())

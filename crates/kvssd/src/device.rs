@@ -148,6 +148,52 @@ impl KvssdDevice<RhikIndex> {
             gauge_names: None,
         })
     }
+
+    /// Raw material for the cross-layer invariant auditor: the FTL's flash
+    /// accounting, the index's ownership claims, and — when telemetry is
+    /// live — the occupancy/migration gauges last published, paired with
+    /// their recomputed ground truth. Read-only: charges no flash reads
+    /// and perturbs no statistics.
+    ///
+    /// Call between commands. Gauges refresh at the end of every traced
+    /// command (`span_finish` runs after housekeeping), so between
+    /// commands the published values must agree with live index state.
+    pub fn audit_parts(
+        &self,
+    ) -> (rhik_audit::FlashAudit, rhik_audit::IndexAuditSnapshot, Vec<rhik_audit::GaugeCheck>) {
+        let flash = self.ftl.audit_flash(self.shard_id);
+        let index = self.index.audit_snapshot(&self.ftl, self.shard_id);
+        let mut gauges = Vec::new();
+        if let Some(names) = &self.gauge_names {
+            let snap = self.telemetry.snapshot();
+            let occupancy = self
+                .index
+                .capacity()
+                .filter(|&c| c > 0)
+                .map_or(0.0, |c| self.index.len() as f64 / c as f64);
+            let (done, total) = self.index.migration_progress().unwrap_or((0, 0));
+            for (name, actual) in [
+                (&names.occupancy, occupancy),
+                (&names.migration_slots, done as f64),
+                (&names.migration_total, total as f64),
+            ] {
+                gauges.push(rhik_audit::GaugeCheck {
+                    gauge: name.clone(),
+                    reported: snap.as_ref().and_then(|s| s.gauge(name)),
+                    actual,
+                });
+            }
+        }
+        (flash, index, gauges)
+    }
+
+    /// Run the full cross-layer audit on this device's current state.
+    /// `auditor` carries cursor watermarks across calls, so repeated
+    /// audits additionally verify migration-cursor monotonicity.
+    pub fn audit(&self, auditor: &mut rhik_audit::DeviceAuditor) -> rhik_audit::AuditReport {
+        let (flash, index, gauges) = self.audit_parts();
+        auditor.check_device(&flash, &index, &gauges)
+    }
 }
 
 impl KvssdDevice<MultiLevelIndex> {
@@ -291,6 +337,7 @@ impl<I: IndexBackend> KvssdDevice<I> {
             FtlError::KeyTooLarge { len } => KvError::KeyTooLarge { len },
             FtlError::Flash(NandError::ReadFailed(ppa)) => KvError::ReadFault { ppa },
             FtlError::Flash(f) => KvError::Media(f.to_string()),
+            FtlError::Corrupt(detail) => KvError::Corrupt(detail),
         }
     }
 
@@ -581,7 +628,11 @@ impl<I: IndexBackend> KvssdDevice<I> {
         let mut value = entry.value_frag.to_vec();
         let mut remaining = (entry.val_total_len - entry.frag_len) as usize;
         if remaining > 0 {
-            let start = entry.cont_start.expect("overflowing entry has a body");
+            let Some(start) = entry.cont_start else {
+                return Err(KvError::Corrupt(
+                    "stored pair overflows its head page but has no continuation extent".into(),
+                ));
+            };
             let mut i = 0;
             while remaining > 0 {
                 let (cd, _) = self

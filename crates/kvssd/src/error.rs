@@ -33,6 +33,10 @@ pub enum KvError {
     ReadFault { ppa: Ppa },
     /// Unrecoverable media error.
     Media(String),
+    /// A cross-layer invariant broke while serving the command (the
+    /// firmware refuses to guess; run the device audit to localize the
+    /// disagreeing layer).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for KvError {
@@ -49,6 +53,7 @@ impl std::fmt::Display for KvError {
             KvError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             KvError::ReadFault { ppa } => write!(f, "media read failure at {ppa:?}"),
             KvError::Media(m) => write!(f, "media error: {m}"),
+            KvError::Corrupt(detail) => write!(f, "device state corrupt: {detail}"),
         }
     }
 }

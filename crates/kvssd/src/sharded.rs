@@ -31,10 +31,13 @@
 //! surfacing `DeviceFull`. The single-queue `SharedKvssd` remains the
 //! baseline for timing-faithful single-stream experiments.
 
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rhik_core::RhikIndex;
+// Per-shard locks via ftl::sync so `cfg(loom)` builds model them (and
+// wslint's `std-mutex-outside-sync` rule holds workspace-wide).
+use rhik_ftl::sync::{Mutex, MutexGuard};
 use rhik_ftl::{FlashPool, Ftl, IndexBackend};
 use rhik_sigs::{KeySignature, SigHasher};
 
@@ -120,6 +123,23 @@ impl ShardedKvssd<RhikIndex> {
             .collect();
 
         ShardedKvssd { shards: shards.into(), pool, hasher: cfg.hasher, shard_bits }
+    }
+
+    /// Cross-layer audit over every shard, including the global checks no
+    /// single shard can run: no PPA claimed by two shards' directories,
+    /// no erase block leased twice, and free + leased covering the pool
+    /// exactly. Takes every shard's queue lock in turn, so call between
+    /// command batches.
+    pub fn audit(&self, auditor: &mut rhik_audit::DeviceAuditor) -> rhik_audit::AuditReport {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut gauges = Vec::new();
+        for shard in 0..self.shards.len() {
+            let dev = self.lock(shard);
+            let (flash, index, shard_gauges) = dev.audit_parts();
+            shards.push((flash, index));
+            gauges.extend(shard_gauges);
+        }
+        auditor.check_sharded(&shards, &gauges)
     }
 }
 
@@ -525,5 +545,29 @@ mod tests {
         dev.put(b"present", b"v").unwrap();
         assert!(dev.exist(b"present").unwrap().probably_exists);
         assert!(!dev.exist(b"absent-key").unwrap().probably_exists);
+    }
+
+    #[test]
+    fn sharded_audit_stays_clean_under_load() {
+        let dev = sharded(4);
+        let sink = rhik_telemetry::TelemetrySink::enabled();
+        dev.set_telemetry(sink);
+        let mut auditor = rhik_audit::DeviceAuditor::new();
+        for i in 0..600u64 {
+            dev.put(format!("audit-{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            if i % 3 == 0 {
+                dev.get(format!("audit-{i:04}").as_bytes()).unwrap();
+            }
+            if i % 7 == 0 && i > 0 {
+                let _ = dev.delete(format!("audit-{:04}", i - 7).as_bytes());
+            }
+            if i % 50 == 0 {
+                let report = dev.audit(&mut auditor);
+                assert!(report.is_ok(), "audit after op {i}:\n{report}");
+            }
+        }
+        dev.flush().unwrap();
+        let report = dev.audit(&mut auditor);
+        assert!(report.is_ok(), "final audit:\n{report}");
     }
 }

@@ -7,9 +7,12 @@
 //! engine still sees one serialized command stream, exactly like commands
 //! interleaving on the device's submission queue.
 
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use bytes::Bytes;
+// Mutex via ftl::sync so `cfg(loom)` builds model the lock (and wslint's
+// `std-mutex-outside-sync` rule holds workspace-wide).
+use rhik_ftl::sync::{Mutex, MutexGuard};
 use rhik_ftl::IndexBackend;
 
 use crate::device::{DeviceStats, ExistReport, KvssdDevice};
@@ -93,6 +96,14 @@ impl<I: IndexBackend + Send> SharedKvssd<I> {
             Ok(mutex) => Ok(mutex.into_inner().unwrap_or_else(|poison| poison.into_inner())),
             Err(inner) => Err(SharedKvssd { inner }),
         }
+    }
+}
+
+impl SharedKvssd<rhik_core::RhikIndex> {
+    /// Cross-layer invariant audit of the wrapped device (see
+    /// [`KvssdDevice::audit`]); takes the submission-queue lock.
+    pub fn audit(&self, auditor: &mut rhik_audit::DeviceAuditor) -> rhik_audit::AuditReport {
+        self.lock().audit(auditor)
     }
 }
 

@@ -201,6 +201,49 @@ impl NandArray {
     pub fn resident_bytes(&self) -> u64 {
         self.pages.iter().flatten().map(|s| (s.data.len() + s.spare.len()) as u64).sum()
     }
+
+    /// Audit the array's own physical-discipline invariants.
+    ///
+    /// Checks that stored payloads agree with each block's write pointer:
+    /// no payload may sit at or beyond the write pointer (a failed program
+    /// consumes the page but stores nothing, so holes *below* it are
+    /// legal), and payloads must fit the data/spare areas. Returns one
+    /// [`rhik_audit::InvariantViolation::NandStateMismatch`] per offence.
+    pub fn audit(&self) -> Vec<rhik_audit::InvariantViolation> {
+        use rhik_audit::InvariantViolation;
+        let mut out = Vec::new();
+        for (b, block) in self.blocks.iter().enumerate() {
+            let base = b * self.geometry.pages_per_block as usize;
+            for p in 0..self.geometry.pages_per_block {
+                let store = &self.pages[base + p as usize];
+                let ppa = (b as u32, p);
+                if p >= block.write_ptr() {
+                    if store.is_some() {
+                        out.push(InvariantViolation::NandStateMismatch {
+                            ppa,
+                            detail: "payload stored at or beyond the block write pointer",
+                        });
+                    }
+                    continue;
+                }
+                if let Some(s) = store {
+                    if s.data.len() > self.geometry.page_size as usize {
+                        out.push(InvariantViolation::NandStateMismatch {
+                            ppa,
+                            detail: "stored data exceeds the page size",
+                        });
+                    }
+                    if s.spare.len() > self.geometry.spare_size as usize {
+                        out.push(InvariantViolation::NandStateMismatch {
+                            ppa,
+                            detail: "stored spare exceeds the spare size",
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 impl std::fmt::Debug for NandArray {

@@ -64,7 +64,10 @@ impl Block {
     }
 
     pub(crate) fn advance(&mut self) {
-        debug_assert!(self.write_ptr < self.pages_per_block);
+        debug_assert!(
+            self.write_ptr < self.pages_per_block,
+            "program past the last page of the block"
+        );
         self.write_ptr += 1;
     }
 

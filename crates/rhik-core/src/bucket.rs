@@ -12,6 +12,7 @@
 //! low signature bits, so the home hash mixes the full signature.
 
 use bytes::Bytes;
+use rhik_audit::InvariantViolation;
 use rhik_nand::Ppa;
 use rhik_sigs::KeySignature;
 
@@ -272,11 +273,13 @@ impl RecordTable {
         table
     }
 
-    /// Internal consistency check (tests): every hopinfo bit points at an
-    /// occupied slot homed at that bucket, and every occupied slot is
-    /// covered by exactly one hopinfo bit of its home.
+    /// Internal consistency check (tests and the device auditor): every
+    /// hopinfo bit points at an occupied slot homed at that bucket, and
+    /// every occupied slot is covered by exactly one hopinfo bit of its
+    /// home. Violations carry structured context (slot, home, signature)
+    /// so callers can assert on the failure class.
     #[doc(hidden)]
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
         let cap = self.slots.len() as u32;
         let mut covered = vec![false; self.slots.len()];
         for home in 0..cap {
@@ -284,18 +287,33 @@ impl RecordTable {
             while hops != 0 {
                 let d = hops.trailing_zeros();
                 if d >= self.hop_width {
-                    return Err(format!("home {home}: hop bit {d} beyond width"));
+                    return Err(InvariantViolation::HopBitOutOfRange {
+                        home,
+                        bit: d,
+                        hop_width: self.hop_width,
+                    });
                 }
                 let idx = self.at(home, d);
                 let slot = &self.slots[idx];
                 if !slot.is_occupied() {
-                    return Err(format!("home {home}: hop bit {d} points at empty slot {idx}"));
+                    return Err(InvariantViolation::HopBitTargetsEmptySlot {
+                        home,
+                        bit: d,
+                        slot: idx as u32,
+                    });
                 }
                 if self.home_slot(slot.sig) != home {
-                    return Err(format!("slot {idx} homed at {home} but hashes elsewhere"));
+                    return Err(InvariantViolation::MisHomedRecord {
+                        slot: idx as u32,
+                        home,
+                        sig: slot.sig.0,
+                    });
                 }
                 if covered[idx] {
-                    return Err(format!("slot {idx} covered twice"));
+                    return Err(InvariantViolation::SlotCoveredTwice {
+                        slot: idx as u32,
+                        sig: slot.sig.0,
+                    });
                 }
                 covered[idx] = true;
                 hops &= hops - 1;
@@ -304,10 +322,11 @@ impl RecordTable {
         let covered_count = covered.iter().filter(|&&c| c).count() as u32;
         let occupied = self.slots.iter().filter(|s| s.is_occupied()).count() as u32;
         if covered_count != occupied || occupied != self.len {
-            return Err(format!(
-                "coverage {covered_count} / occupied {occupied} / len {} mismatch",
-                self.len
-            ));
+            return Err(InvariantViolation::CoverageMismatch {
+                covered: covered_count,
+                occupied,
+                len: self.len,
+            });
         }
         Ok(())
     }

@@ -474,6 +474,95 @@ impl RhikIndex {
     pub fn dir_snapshot(&self) -> &[Ppa] {
         &self.dir_snapshot
     }
+
+    /// Snapshot the index's cross-layer claims for the invariant auditor:
+    /// every flash page the directory owns (with the spare-area kind the
+    /// auditor should find there), per-entry record counts, and the state
+    /// of any in-flight migration. Pages are observed through
+    /// [`Ftl::peek_page`], so the audit charges no flash reads and cannot
+    /// disturb the ≤1-read statistics.
+    pub fn audit_snapshot(&self, ftl: &Ftl, shard: u32) -> rhik_audit::IndexAuditSnapshot {
+        use rhik_audit::{ObservedPage, OwnedPage, KIND_DIRECTORY, KIND_INDEX};
+
+        let observe = |ppa: Ppa| -> ObservedPage {
+            match ftl.peek_page(ppa) {
+                None => ObservedPage::Unprogrammed,
+                Some((_, spare)) => match SpareMeta::decode(&spare) {
+                    Some(_) => ObservedPage::Kind(spare[0]),
+                    None => ObservedPage::Undecodable,
+                },
+            }
+        };
+        let mut owned_pages = Vec::new();
+        let mut own = |key: u64, ppa: Ppa, expected_kind: u8| {
+            owned_pages.push(OwnedPage {
+                key,
+                ppa: (ppa.block, ppa.page),
+                expected_kind,
+                observed: observe(ppa),
+            });
+        };
+
+        let mut entries = Vec::with_capacity(self.dir.len());
+        let mut directory_records = 0u64;
+        for slot in 0..self.dir.len() as u32 {
+            let e = self.dir.entry(slot);
+            entries.push(rhik_audit::EntryAudit {
+                slot,
+                records: e.records,
+                overflow_records: e.overflow_records,
+                has_overflow: e.has_overflow,
+            });
+            directory_records += e.total_records() as u64;
+            if let Some(ppa) = e.table_ppa {
+                own(self.dir.cache_key(slot), ppa, KIND_INDEX);
+            }
+            if let Some(ppa) = e.overflow_ppa {
+                own(OVERFLOW_KEY | self.dir.cache_key(slot), ppa, KIND_INDEX);
+            }
+        }
+
+        // Mid-migration, un-split slots of the frozen old directory still
+        // own their pages and hold the authoritative copy of their records.
+        let migration = self.migration.as_ref().map(|m| {
+            let mut pending = 0u64;
+            for slot in 0..m.old.len() as u32 {
+                if m.is_split(slot) {
+                    continue;
+                }
+                let e = m.old.entry(slot);
+                pending += e.total_records() as u64;
+                if let Some(ppa) = e.table_ppa {
+                    own(m.old.cache_key(slot), ppa, KIND_INDEX);
+                }
+                if let Some(ppa) = e.overflow_ppa {
+                    own(OVERFLOW_KEY | m.old.cache_key(slot), ppa, KIND_INDEX);
+                }
+            }
+            directory_records += pending;
+            rhik_audit::MigrationAudit {
+                generation: self.dir.generation() as u64,
+                cursor: m.cursor(),
+                migrated: m.migrated(),
+                keys_before: m.keys_before(),
+                pending,
+            }
+        });
+
+        for (i, &ppa) in self.dir_snapshot.iter().enumerate() {
+            own(DIR_PAGE_KEY | i as u64, ppa, KIND_DIRECTORY);
+        }
+
+        rhik_audit::IndexAuditSnapshot {
+            shard,
+            len: self.len,
+            records_per_table: self.records_per_table,
+            directory_records,
+            entries,
+            owned_pages,
+            migration,
+        }
+    }
 }
 
 impl IndexBackend for RhikIndex {
@@ -1263,6 +1352,58 @@ mod tests {
         for k in 0..i {
             assert!(idx.lookup(&mut ftl, sig(k ^ 0xEEEE_0000)).unwrap().is_some(), "key {k} lost");
         }
+    }
+
+    #[test]
+    fn audit_snapshot_stays_clean_through_resizes() {
+        let (mut ftl, mut idx) = setup_with_blocks(512);
+        let mut auditor = rhik_audit::DeviceAuditor::new();
+        for i in 0..400u64 {
+            idx.insert(&mut ftl, sig(i ^ 0xF00D_0000), Ppa::new(0, (i % 8) as u32)).unwrap();
+            if i % 50 == 0 {
+                let report =
+                    auditor.check_device(&ftl.audit_flash(0), &idx.audit_snapshot(&ftl, 0), &[]);
+                assert!(report.is_ok(), "mid-fill audit failed: {report}");
+            }
+        }
+        assert!(idx.stats().resizes.len() >= 2, "audit must cover post-resize state");
+        idx.flush(&mut ftl).unwrap();
+        let report = auditor.check_device(&ftl.audit_flash(0), &idx.audit_snapshot(&ftl, 0), &[]);
+        assert!(report.is_ok(), "post-flush audit failed: {report}");
+        let snap = idx.audit_snapshot(&ftl, 0);
+        assert_eq!(snap.len, idx.len());
+        assert_eq!(snap.directory_records, idx.len());
+        assert!(!snap.owned_pages.is_empty());
+    }
+
+    #[test]
+    fn audit_snapshot_tracks_migration_accounting() {
+        let (mut ftl, _) = setup_with_blocks(512);
+        let mut idx = RhikIndex::new(
+            RhikConfig {
+                initial_dir_bits: 1,
+                dir_flush_interval: 1_000_000,
+                hop_width: 16,
+                occupancy_threshold: 0.6,
+                resize_migration_batch: 1,
+                ..Default::default()
+            },
+            512,
+        );
+        let mut auditor = rhik_audit::DeviceAuditor::new();
+        let mut saw_migration = false;
+        for i in 0..600u64 {
+            idx.insert(&mut ftl, sig(i ^ 0xBEEF_0000), Ppa::new(0, 0)).unwrap();
+            if idx.resize_in_progress() {
+                saw_migration = true;
+                let snap = idx.audit_snapshot(&ftl, 0);
+                let m = snap.migration.as_ref().expect("migration reported");
+                assert_eq!(m.migrated + m.pending, m.keys_before, "accounting broke mid-split");
+                let report = auditor.check_device(&ftl.audit_flash(0), &snap, &[]);
+                assert!(report.is_ok(), "mid-migration audit failed: {report}");
+            }
+        }
+        assert!(saw_migration, "batch 1 must leave migrations observable");
     }
 
     #[test]

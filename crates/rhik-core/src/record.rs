@@ -42,7 +42,7 @@ impl IndexRecord {
     /// The stored physical address (must be occupied).
     #[inline]
     pub fn ppa(&self) -> Ppa {
-        debug_assert!(self.is_occupied());
+        debug_assert!(self.is_occupied(), "ppa() on an empty record slot");
         Ppa::unpack(self.ppa_raw)
     }
 
@@ -63,7 +63,7 @@ impl IndexRecord {
 
     /// Serialize into `out` (exactly [`IndexRecord::PACKED_LEN`] bytes).
     pub fn encode_into(&self, out: &mut [u8]) {
-        debug_assert_eq!(out.len(), Self::PACKED_LEN);
+        debug_assert_eq!(out.len(), Self::PACKED_LEN, "encode buffer must be exactly one record");
         out[..8].copy_from_slice(&self.sig.0.to_le_bytes());
         let ppa = self.ppa_raw.to_le_bytes();
         out[8..13].copy_from_slice(&ppa[..5]);
@@ -72,7 +72,7 @@ impl IndexRecord {
 
     /// Deserialize from exactly [`IndexRecord::PACKED_LEN`] bytes.
     pub fn decode(raw: &[u8]) -> Self {
-        debug_assert_eq!(raw.len(), Self::PACKED_LEN);
+        debug_assert_eq!(raw.len(), Self::PACKED_LEN, "decode input must be exactly one record");
         let sig = KeySignature(u64::from_le_bytes(raw[..8].try_into().expect("8 bytes")));
         let mut ppa = [0u8; 8];
         ppa[..5].copy_from_slice(&raw[8..13]);

@@ -83,6 +83,22 @@ impl Migration {
         (done, total)
     }
 
+    /// Position of the in-order migration cursor (audit).
+    pub(crate) fn cursor(&self) -> u32 {
+        self.cursor
+    }
+
+    /// Records moved to the new generation so far (audit).
+    pub(crate) fn migrated(&self) -> u64 {
+        self.migrated
+    }
+
+    /// Index size captured at [`begin`] (audit: `migrated + pending`
+    /// over the frozen old tables must equal this).
+    pub(crate) fn keys_before(&self) -> u64 {
+        self.keys_before
+    }
+
     fn event(&self) -> ResizeEvent {
         ResizeEvent {
             keys_before: self.keys_before,
@@ -299,7 +315,11 @@ fn split_one(
         None
     };
     if table.is_none() && overflow.is_none() {
-        debug_assert_eq!(entry.total_records(), 0);
+        debug_assert_eq!(
+            entry.total_records(),
+            0,
+            "pageless directory entry must count no records"
+        );
         return Ok(());
     }
 
@@ -318,7 +338,10 @@ fn split_one(
         table.iter().flat_map(|t| t.iter()).chain(overflow.iter().flat_map(|t| t.iter()))
     {
         let target_slot = idx.directory().slot_of(sig);
-        debug_assert!(target_slot == lo_slot || target_slot == hi_slot);
+        debug_assert!(
+            target_slot == lo_slot || target_slot == hi_slot,
+            "split record re-homed outside the two successor slots"
+        );
         let (target, target_ovf) =
             if target_slot == lo_slot { (&mut lo, &mut lo_ovf) } else { (&mut hi, &mut hi_ovf) };
         match target.insert(sig, ppa) {

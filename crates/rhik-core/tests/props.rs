@@ -138,7 +138,7 @@ proptest! {
             } else {
                 prop_assert_eq!(t.remove(sig), model.remove(&sig.0));
             }
-            t.check_invariants().map_err(TestCaseError::fail)?;
+            t.check_invariants().map_err(|e| TestCaseError::fail(e.to_string()))?;
             prop_assert_eq!(t.len() as usize, model.len());
         }
         for (&raw, &ppa) in &model {
@@ -159,7 +159,7 @@ proptest! {
         for (sig, ppa) in t.iter() {
             prop_assert_eq!(back.lookup(sig), Some(ppa));
         }
-        back.check_invariants().map_err(TestCaseError::fail)?;
+        back.check_invariants().map_err(|e| TestCaseError::fail(e.to_string()))?;
     }
 }
 

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `loom` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the loom API subset its concurrency models use: [`model`],
+//! [`thread::spawn`]/[`thread::yield_now`], [`sync::Arc`], [`sync::Mutex`]
+//! and the atomics behind the FlashPool free count. Instead of loom's
+//! exhaustive DPOR state-space enumeration, [`model`] runs the closure
+//! under many deterministic pseudo-random schedules: each iteration
+//! reseeds a shared generator, and every mutex acquisition consults it to
+//! maybe spin through `yield_now`, shifting thread interleavings between
+//! iterations. That is strictly weaker than real loom — it samples
+//! schedules rather than enumerating them — but keeps `cfg(loom)` models
+//! compiling and meaningfully stressed until the real crate can be
+//! vendored. Models written against this shim use only the portable API,
+//! so they upgrade to exhaustive checking by swapping the dependency.
+
+mod sched {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SEED: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+    pub(crate) fn reseed(iteration: u64) {
+        let mixed = 0x9e37_79b9_7f4a_7c15u64 ^ iteration.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        SEED.store(mixed, Ordering::Relaxed);
+    }
+
+    /// One splitmix64 step off a seed shared by all model threads; the
+    /// contention on the atomic is itself a source of schedule variation.
+    pub(crate) fn perturb() {
+        let x = SEED.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        for _ in 0..(z % 4) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Run `f` under many perturbed schedules (loom runs it under every
+/// schedule). Assertions inside `f` fire on the iteration that found the
+/// bad interleaving, same as with the real crate.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    const ITERATIONS: u64 = 64;
+    for iteration in 0..ITERATIONS {
+        sched::reseed(iteration);
+        f();
+    }
+}
+
+pub mod thread {
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// Spawn a model thread. The schedule perturbation lives in the sync
+    /// primitives, so plain `std::thread::spawn` is enough here.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(f)
+    }
+}
+
+pub mod sync {
+    pub use std::sync::{Arc, LockResult, MutexGuard, TryLockError, TryLockResult};
+
+    /// Mutex with the std API whose acquisitions vary the thread schedule
+    /// between model iterations.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex { inner: std::sync::Mutex::new(value) }
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            crate::sched::perturb();
+            self.inner.lock()
+        }
+
+        pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+            crate::sched::perturb();
+            self.inner.try_lock()
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            self.inner.into_inner()
+        }
+    }
+
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}

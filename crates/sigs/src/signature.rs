@@ -15,7 +15,7 @@ impl KeySignature {
     /// variable hash function ("D least significant bits", §IV-A).
     #[inline]
     pub fn low_bits(self, bits: u32) -> u64 {
-        debug_assert!(bits <= 64);
+        debug_assert!(bits <= 64, "low_bits width exceeds the signature");
         if bits == 64 {
             self.0
         } else {
@@ -28,7 +28,7 @@ impl KeySignature {
     /// independent.
     #[inline]
     pub fn high_bits(self, skip: u32) -> u64 {
-        debug_assert!(skip <= 64);
+        debug_assert!(skip <= 64, "high_bits skip exceeds the signature");
         if skip == 64 {
             0
         } else {

@@ -6,6 +6,7 @@
 //! single dependency:
 //!
 //! * [`nand`] — deterministic NAND flash array model,
+//! * [`audit`] — the cross-layer invariant catalog and [`audit::DeviceAuditor`],
 //! * [`ftl`] — FTL services: data layout, allocator, cache, GC,
 //! * [`sigs`] — key signature hashing (MurmurHash2 et al.),
 //! * [`index`] — the RHIK two-level re-configurable hash index,
@@ -30,6 +31,7 @@
 //! assert!(dev.get(b"hello").unwrap().is_none());
 //! ```
 
+pub use rhik_audit as audit;
 pub use rhik_baseline as baseline;
 pub use rhik_core as index;
 pub use rhik_ftl as ftl;

@@ -3,6 +3,7 @@
 //! interleavings — through write buffering, GC, resizes, and flushes.
 
 use proptest::prelude::*;
+use rhik::audit::DeviceAuditor;
 use rhik::ftl::IndexBackend;
 use rhik::kvssd::{DeviceConfig, KvError, KvssdDevice};
 use std::collections::HashMap;
@@ -42,6 +43,8 @@ proptest! {
     fn device_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..250)) {
         let mut dev = KvssdDevice::rhik(DeviceConfig::small());
         let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        let mut auditor = DeviceAuditor::new();
+        let mut since_audit = 0u32;
 
         for op in ops {
             match op {
@@ -91,6 +94,14 @@ proptest! {
                 Op::Flush => dev.flush().unwrap(),
             }
             prop_assert_eq!(dev.key_count(), model.len() as u64);
+
+            // Cross-layer invariant audit after every mutation batch.
+            since_audit += 1;
+            if since_audit == 25 {
+                since_audit = 0;
+                let report = dev.audit(&mut auditor);
+                prop_assert!(report.is_ok(), "cross-layer audit failed:\n{}", report);
+            }
         }
 
         // Final audit, plus invariants.
@@ -98,6 +109,8 @@ proptest! {
             let got = dev.get(k).unwrap();
             prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
         }
+        let report = dev.audit(&mut auditor);
+        prop_assert!(report.is_ok(), "final cross-layer audit failed:\n{}", report);
         prop_assert!(dev.index().stats().pct_lookups_within(1) > 100.0 - 1e-9);
     }
 }
@@ -125,6 +138,11 @@ proptest! {
         ftl.simulate_power_loss();
         let mut dev = KvssdDevice::recover_rhik(DeviceConfig::small(), ftl).unwrap();
 
+        // The rebuilt cross-layer state must satisfy every invariant.
+        let mut auditor = DeviceAuditor::new();
+        let report = dev.audit(&mut auditor);
+        prop_assert!(report.is_ok(), "post-recovery audit failed:\n{}", report);
+
         // Everything flushed must be there.
         for (k, v) in &model {
             let got = dev.get(k).unwrap();
@@ -141,5 +159,7 @@ proptest! {
             let got = dev.get(k).unwrap();
             prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
         }
+        let report = dev.audit(&mut auditor);
+        prop_assert!(report.is_ok(), "final audit after recovered writes failed:\n{}", report);
     }
 }

@@ -1,0 +1,128 @@
+//! Adversarial interleaving of garbage collection and incremental
+//! directory resize on the sharded device, with the cross-layer auditor
+//! run between steps.
+//!
+//! The schedule is built to keep both subsystems active at once: fresh
+//! inserts drive occupancy over the resize threshold (starting lazy
+//! migrations), while overwrites and deletes churn out stale pages until
+//! command-triggered GC collects blocks *while migrations are mid-way*.
+//! The invariant pinned hardest here is single PPA ownership: a flash
+//! page must never be claimed both by a GC victim's relocated record and
+//! by a resize migration's un-split source table.
+
+use rhik::audit::{DeviceAuditor, InvariantViolation};
+use rhik::kvssd::{DeviceConfig, KvError, ShardedKvssd};
+
+fn key(k: u64) -> Vec<u8> {
+    format!("gcrz-{k:06}").into_bytes()
+}
+
+/// Value derived from (key, generation) so overwrites change content,
+/// sized 2000–3500 B so most pairs fill a head page and some spill into
+/// continuation pages.
+fn val(k: u64, generation: u32) -> Vec<u8> {
+    let len = 2000 + ((k * 37) % 1500) as usize;
+    vec![(k as u8) ^ generation as u8; len]
+}
+
+fn assert_clean(report: &rhik::audit::AuditReport, context: &str) {
+    // The blanket check subsumes it, but double PPA ownership is the
+    // invariant this test exists to pin — name it in the failure.
+    let double_owned = report
+        .violations
+        .iter()
+        .any(|v| matches!(v, InvariantViolation::DoublePpaOwnership { .. }));
+    assert!(!double_owned, "{context}: PPA owned by two keys (GC vs resize):\n{report}");
+    assert!(report.is_ok(), "{context}:\n{report}");
+}
+
+#[test]
+fn gc_and_resize_interleave_cleanly() {
+    let mut cfg = DeviceConfig::small().with_shards(2);
+    // One slot per migration slice keeps resizes in flight across many
+    // rounds, so audits genuinely observe GC churning mid-migration.
+    cfg.rhik.resize_migration_batch = 1;
+    let dev = ShardedKvssd::rhik(cfg);
+    let sink = rhik::telemetry::TelemetrySink::enabled();
+    dev.set_telemetry(sink);
+    let mut auditor = DeviceAuditor::new();
+
+    let mut next_key = 0u64;
+    let mut live: Vec<u64> = Vec::new();
+    let mut mid_resize_audits = 0u32;
+
+    for round in 0..120u32 {
+        // Growth: fresh inserts push occupancy toward the next doubling.
+        // The first put that lands mid-migration gets an immediate audit —
+        // those are the states where GC and the resize genuinely overlap.
+        let mut audited_mid_resize = false;
+        for _ in 0..24 {
+            match dev.put(&key(next_key), &val(next_key, 0)) {
+                Ok(()) => live.push(next_key),
+                Err(KvError::KeyRejected) | Err(KvError::KeyCollision) => {}
+                Err(e) => panic!("round {round}: put failed: {e}"),
+            }
+            next_key += 1;
+            if !audited_mid_resize && dev.resize_in_progress() {
+                audited_mid_resize = true;
+                mid_resize_audits += 1;
+                assert_clean(&dev.audit(&mut auditor), &format!("round {round} mid-resize"));
+            }
+        }
+
+        // Churn: overwrite and delete from the oldest third, making the
+        // stale pages GC needs while the resize is still migrating.
+        for i in 0..8usize {
+            if live.len() > 3 * i {
+                let k = live[i * 3];
+                match dev.put(&key(k), &val(k, round + 1)) {
+                    Ok(()) | Err(KvError::KeyRejected) | Err(KvError::KeyCollision) => {}
+                    Err(e) => panic!("round {round}: overwrite failed: {e}"),
+                }
+            }
+        }
+        for _ in 0..8 {
+            if live.len() > 16 {
+                let k = live.remove(0);
+                match dev.delete(&key(k)) {
+                    Ok(()) | Err(KvError::KeyNotFound) => {}
+                    Err(e) => panic!("round {round}: delete failed: {e}"),
+                }
+            }
+        }
+
+        // A bounded slice of idle-time migration, then audit the full
+        // device state between steps — mid-migration audits are the
+        // interesting ones.
+        let _ = dev.maintain_idle().expect("maintain_idle");
+        if dev.resize_in_progress() {
+            mid_resize_audits += 1;
+        }
+        assert_clean(&dev.audit(&mut auditor), &format!("round {round}"));
+    }
+
+    let stats = dev.stats();
+    assert!(stats.gc_invocations > 0, "schedule never triggered GC: {stats:?}");
+    assert!(
+        stats.resizes > 0 || dev.resize_in_progress(),
+        "schedule never triggered a resize: {stats:?}"
+    );
+    assert!(mid_resize_audits > 0, "no audit ever observed an in-flight migration");
+
+    // Drain the remaining migration slices, auditing after each.
+    let mut budget = 10_000u32;
+    while dev.resize_in_progress() && budget > 0 {
+        dev.maintain_idle().expect("maintain_idle");
+        budget -= 1;
+    }
+    assert!(budget > 0, "migration never drained");
+    assert_clean(&dev.audit(&mut auditor), "after drain");
+
+    dev.flush().expect("flush");
+    assert_clean(&dev.audit(&mut auditor), "final");
+
+    // The data plane survived the adversarial schedule.
+    for &k in live.iter().rev().take(64) {
+        assert!(dev.get(&key(k)).expect("get").is_some(), "lost key {k}");
+    }
+}

@@ -1,0 +1,435 @@
+//! Workspace lint pass — `cargo run -p wslint` (CI runs it too).
+//!
+//! Four lexical rules over the workspace's library sources, each guarding
+//! a discipline the type system cannot:
+//!
+//! * `unwrap-in-lib` — no `.unwrap()` / `.expect(` in non-test library
+//!   code of `kvssd`, `ftl`, `rhik-core`, `nand`. Firmware-path code must
+//!   surface typed errors; the vetted remainder lives in
+//!   `tools/wslint/allowlist.txt`, which only ever shrinks.
+//! * `std-mutex-outside-sync` — `std::sync::Mutex` may be named only in
+//!   `ftl::sync` (the loom-swappable primitive module) and `telemetry`.
+//!   Everything else imports locks from `rhik_ftl::sync`, so
+//!   `cfg(loom)` builds model them.
+//! * `instant-off-sim-clock` — device-model crates must not read the
+//!   host clock with `Instant::now()`; timing flows from the simulated
+//!   NAND timing model. (Bench crates measure wall clock and are out of
+//!   scope.)
+//! * `debug-assert-message` — every `debug_assert!`-family invocation
+//!   carries a message naming the violated invariant.
+//!
+//! The scanner strips comments and string/char literals first, then
+//! masks `#[cfg(test)]` regions by brace tracking, so prose and test
+//! code never trip a rule. Findings not covered by the allowlist fail
+//! the run (exit code 1) with `rule file:line` output; stale allowlist
+//! entries are reported so the list keeps shrinking. `--print-allowlist`
+//! emits current findings in allowlist format for vetting.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const RULE_UNWRAP: &str = "unwrap-in-lib";
+const RULE_MUTEX: &str = "std-mutex-outside-sync";
+const RULE_CLOCK: &str = "instant-off-sim-clock";
+const RULE_ASSERT: &str = "debug-assert-message";
+
+/// Library crates that must stay panic-free outside tests.
+const PANIC_FREE: &[&str] =
+    &["crates/kvssd/src", "crates/ftl/src", "crates/rhik-core/src", "crates/nand/src"];
+/// Crates whose timing must come off the simulated clock.
+const SIM_CLOCK: &[&str] = &[
+    "crates/nand/src",
+    "crates/ftl/src",
+    "crates/rhik-core/src",
+    "crates/kvssd/src",
+    "crates/baseline/src",
+    "crates/sigs/src",
+];
+/// The only places allowed to name `std::sync::Mutex`.
+const MUTEX_ALLOWED: &[&str] = &["crates/ftl/src/sync.rs", "crates/telemetry/src"];
+
+struct Finding {
+    rule: &'static str,
+    path: String,
+    line: usize,
+    excerpt: String,
+}
+
+fn main() -> ExitCode {
+    let print_allowlist = std::env::args().any(|a| a == "--print-allowlist");
+    // tools/wslint/ → repo root is two levels up from the manifest.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = root.parent().and_then(Path::parent).expect("repo root").to_path_buf();
+
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &root, &mut files);
+    collect_rs(&root.join("src"), &root, &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        match fs::read_to_string(root.join(rel)) {
+            Ok(source) => lint_file(rel, &source, &mut findings),
+            Err(e) => {
+                eprintln!("wslint: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if print_allowlist {
+        for f in &findings {
+            println!("{}\t{}\t{}", f.rule, f.path, f.excerpt);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Allowlist entries form a multiset keyed on (rule, path, trimmed
+    // line); each entry excuses exactly one occurrence, so duplicating a
+    // vetted pattern still fails until it is re-vetted.
+    let allowlist_path = root.join("tools/wslint/allowlist.txt");
+    let mut allowed: HashMap<(String, String, String), usize> = HashMap::new();
+    if let Ok(text) = fs::read_to_string(&allowlist_path) {
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(excerpt)) => {
+                    *allowed
+                        .entry((rule.to_string(), path.to_string(), excerpt.to_string()))
+                        .or_insert(0) += 1;
+                }
+                _ => eprintln!("wslint: malformed allowlist line: {line}"),
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    for f in &findings {
+        let key = (f.rule.to_string(), f.path.clone(), f.excerpt.clone());
+        if let Some(n) = allowed.get_mut(&key) {
+            *n -= 1;
+            if *n == 0 {
+                allowed.remove(&key);
+            }
+            continue;
+        }
+        failures += 1;
+        println!("error[{}] {}:{}: {}", f.rule, f.path, f.line, f.excerpt);
+    }
+    for ((rule, path, excerpt), n) in &allowed {
+        eprintln!("wslint: stale allowlist entry (×{n}): {rule}\t{path}\t{excerpt}");
+    }
+
+    if failures > 0 {
+        eprintln!("wslint: {failures} violation(s); scanned {} files", files.len());
+        ExitCode::FAILURE
+    } else {
+        eprintln!("wslint: clean; scanned {} files", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+/// Recursively collect `.rs` files under `dir` as root-relative paths,
+/// skipping vendored shims and build output.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "shims" || name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs(&path, root, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
+    let raw: Vec<&str> = source.lines().collect();
+    let cleaned = clean(source);
+    let test_mask = mask_test_regions(&cleaned);
+
+    let in_lib = PANIC_FREE.iter().any(|p| rel.starts_with(p));
+    let in_clock = SIM_CLOCK.iter().any(|p| rel.starts_with(p));
+    let mutex_ok = MUTEX_ALLOWED.iter().any(|p| rel.starts_with(p));
+
+    let mut push = |rule: &'static str, line: usize| {
+        let excerpt: String = raw.get(line).map_or("", |l| l.trim()).chars().take(160).collect();
+        findings.push(Finding { rule, path: rel.to_string(), line: line + 1, excerpt });
+    };
+
+    for (i, line) in cleaned.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        if in_lib && (line.contains(".unwrap()") || line.contains(".expect(")) {
+            push(RULE_UNWRAP, i);
+        }
+        if !mutex_ok && line.contains("std::sync") && line.contains("Mutex") {
+            push(RULE_MUTEX, i);
+        }
+        if in_clock && line.contains("Instant::now") {
+            push(RULE_CLOCK, i);
+        }
+    }
+
+    for (line, needs) in debug_asserts_without_message(&cleaned, &test_mask) {
+        let _ = needs;
+        push(RULE_ASSERT, line);
+    }
+}
+
+/// Replace comments and string/char literal contents with spaces, keeping
+/// line structure intact, so substring rules never match prose.
+fn clean(source: &str) -> Vec<String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut state = State::Code;
+    let mut out = String::with_capacity(source.len());
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut prev_ident = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            out.push('\n');
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                } else if c == 'r' && !prev_ident {
+                    // Possible raw string: r"…", r#"…"#, …
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        prev_ident = true;
+                        i += 1;
+                        continue;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    if next == Some('\\') {
+                        let mut j = i + 2; // skip escape lead-in
+                        if j < bytes.len() {
+                            j += 1; // the escaped char (covers \n, \', \\ …)
+                        }
+                        while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
+                            j += 1; // \u{…} and friends
+                        }
+                        for _ in i..=j.min(bytes.len() - 1) {
+                            out.push(' ');
+                        }
+                        i = (j + 1).min(bytes.len());
+                    } else if bytes.get(i + 2) == Some(&'\'') {
+                        out.push_str("   ");
+                        i += 3;
+                    } else {
+                        out.push('\''); // lifetime
+                        i += 1;
+                    }
+                    prev_ident = false;
+                    continue;
+                } else {
+                    out.push(c);
+                    prev_ident = c.is_alphanumeric() || c == '_';
+                    i += 1;
+                    continue;
+                }
+                prev_ident = false;
+            }
+            State::LineComment => {
+                out.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closed = (0..hashes).all(|k| bytes.get(i + 1 + k) == Some(&'#'));
+                    if closed {
+                        state = State::Code;
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                out.push(' ');
+                i += 1;
+            }
+        }
+    }
+    out.lines().map(str::to_string).collect()
+}
+
+/// Mark every line inside a `#[cfg(test)]` item (attribute line through
+/// the item's closing brace) so rules skip test code embedded in src.
+fn mask_test_regions(cleaned: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; cleaned.len()];
+    let mut pending = false; // saw the attribute, waiting for the item's `{`
+    let mut depth = 0i32;
+    for (i, line) in cleaned.iter().enumerate() {
+        if !pending && depth == 0 {
+            if line.contains("#[cfg(test)]") {
+                pending = true;
+                mask[i] = true;
+            }
+            continue;
+        }
+        mask[i] = true;
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    pending = false;
+                    depth += 1;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if !pending && depth <= 0 {
+            depth = 0;
+        }
+    }
+    mask
+}
+
+/// Find `debug_assert!`-family invocations whose argument list lacks a
+/// message (fewer top-level commas than the macro's value arity allows).
+fn debug_asserts_without_message(cleaned: &[String], test_mask: &[bool]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, line) in cleaned.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(pos) = line[from..].find("debug_assert") {
+            let start = from + pos;
+            // Must be a free-standing macro name, not a suffix of another
+            // identifier.
+            let pre_ok = start == 0
+                || !line[..start]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let rest = &line[start + "debug_assert".len()..];
+            let (needs, tail) = if let Some(t) = rest.strip_prefix("_eq!") {
+                (2, t)
+            } else if let Some(t) = rest.strip_prefix("_ne!") {
+                (2, t)
+            } else if let Some(t) = rest.strip_prefix('!') {
+                (1, t)
+            } else {
+                from = start + 1;
+                continue;
+            };
+            if pre_ok && tail.trim_start().starts_with('(') {
+                let col = line.len() - tail.trim_start().len();
+                if count_top_level_commas(cleaned, i, col) < needs {
+                    out.push((i, needs));
+                }
+            }
+            from = start + 1;
+        }
+    }
+    out
+}
+
+/// Count commas at paren depth 1 of the group opening at (line, col),
+/// scanning across lines (the source is already comment/string-free).
+fn count_top_level_commas(cleaned: &[String], line: usize, col: usize) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0;
+    for (li, text) in cleaned.iter().enumerate().skip(line) {
+        let start = if li == line { col } else { 0 };
+        for c in text[start.min(text.len())..].chars() {
+            match c {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return commas;
+                    }
+                }
+                ',' if depth == 1 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    commas
+}
