@@ -64,6 +64,24 @@ impl RunResult {
     }
 }
 
+/// `--gate-min-ratio <f>`: fail the run (exit 1) unless, for every
+/// distribution, the sharded 4-thread/4-shard wall-clock throughput is
+/// at least `f` times the 1-thread/1-shard figure. CI passes a factor
+/// suited to the runner's core count; multi-core hosts can demand the
+/// near-linear headline, single-core smoke runs assert no collapse.
+fn gate_min_ratio() -> Option<f64> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--gate-min-ratio" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--gate-min-ratio=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
 fn config() -> DeviceConfig {
     // Realistic (KVEMU-like) timing so the simulated clock measures
     // something; `small()` uses the instant profile.
@@ -194,6 +212,8 @@ fn main() {
     let mut results: Vec<Value> = Vec::new();
     // dist name -> (shared@4t, sharded@4t4s) device-time ops/s.
     let mut acceptance: Vec<(String, f64, f64)> = Vec::new();
+    // dist name -> (sharded 1t/1s, sharded 4t/4s) wall-clock ops/s.
+    let mut wall_scaling: Vec<(String, f64, f64)> = Vec::new();
 
     for dist in dists {
         for &threads in &thread_counts {
@@ -250,6 +270,15 @@ fn main() {
                         .expect("shared baseline ran first");
                     slot.2 = r.device_ops_per_sec();
                 }
+                if threads == 1 && shards == 1 {
+                    wall_scaling.push((dist.name.to_string(), r.wall_ops_per_sec(), 0.0));
+                } else if threads == 4 && shards == 4 {
+                    let slot = wall_scaling
+                        .iter_mut()
+                        .find(|(name, _, _)| name == dist.name)
+                        .expect("1t/1s cell ran first");
+                    slot.2 = r.wall_ops_per_sec();
+                }
                 results.push(json!({
                     "dist": dist.name,
                     "mode": "sharded",
@@ -285,6 +314,22 @@ fn main() {
         }));
     }
 
+    let mut wall_ratios: Vec<Value> = Vec::new();
+    for (name, one, four) in &wall_scaling {
+        let ratio = four / one.max(1e-9);
+        println!(
+            "{name}: wall-clock 4t/4s vs 1t/1s — {ratio:.2}x \
+             ({:.0} vs {:.0} ops/s; parallelism needs host cores)",
+            four, one
+        );
+        wall_ratios.push(json!({
+            "dist": name.clone(),
+            "sharded_1t1s_wall_ops_per_sec": *one,
+            "sharded_4t4s_wall_ops_per_sec": *four,
+            "ratio": ratio,
+        }));
+    }
+
     let blob = json!({
         "experiment": "scaling",
         "scale": scale.pick("small", "full"),
@@ -296,6 +341,7 @@ fn main() {
         "key_bytes": KEY_BYTES as u64,
         "results": results,
         "speedup_4t4s_vs_shared_4t": speedups,
+        "wall_scaling_4t4s_vs_1t1s": wall_ratios,
     });
     emit_json("scaling", &blob);
     if let Ok(s) = serde_json::to_string_pretty(&blob) {
@@ -303,6 +349,26 @@ fn main() {
         if std::fs::write(path, s).is_ok() {
             eprintln!("[wrote {path}]");
         }
+    }
+
+    // The smoke gate runs after the artifacts are written, so a failing
+    // run still leaves the numbers behind for diagnosis.
+    if let Some(min) = gate_min_ratio() {
+        let mut failed = false;
+        for (name, one, four) in &wall_scaling {
+            let ratio = four / one.max(1e-9);
+            if ratio < min {
+                eprintln!(
+                    "[gate] {name}: 4t/4s wall throughput is {ratio:.2}x of 1t/1s, \
+                     below --gate-min-ratio {min}"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("[gate] wall-clock 4t/4s >= {min}x of 1t/1s for every distribution");
     }
 
     // `--trace-dump`: one extra instrumented 4-shard run. Shards share

@@ -1,6 +1,7 @@
 //! The firmware context: flash + allocator + cache + log writers.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rhik_nand::{DeviceProfile, NandArray, NandGeometry, NandOp, Ppa};
@@ -10,6 +11,7 @@ use rhik_telemetry::{Stage, StageEvent, TelemetrySink};
 use crate::alloc::{BlockAllocator, NeedsGc, Stream};
 use crate::cache::IndexPageCache;
 use crate::layout::{PageBuilder, SpareMeta, RECORD_PREFIX_LEN, SIG_ENTRY_LEN};
+use crate::sync::{Mutex, MutexGuard};
 use crate::traits::TimedOp;
 
 /// Errors surfaced by FTL services.
@@ -136,7 +138,14 @@ pub struct FtlStats {
 
 /// The firmware context every index implementation and the device share.
 pub struct Ftl {
-    nand: NandArray,
+    /// The physical media behind the *media lock* — the one narrow
+    /// critical section the lock-free read path shares with the command
+    /// path. Everything else in the FTL stays single-owner. See
+    /// [`Ftl::media_reader`].
+    nand: Arc<Mutex<NandArray>>,
+    /// Cached from construction so geometry queries never take the media
+    /// lock (geometry is immutable after `NandArray::new`).
+    geometry: NandGeometry,
     profile: DeviceProfile,
     alloc: BlockAllocator,
     cache: IndexPageCache,
@@ -164,7 +173,8 @@ impl Ftl {
     pub fn new(config: FtlConfig) -> Self {
         config.geometry.validate().expect("invalid geometry");
         Ftl {
-            nand: NandArray::new(config.geometry),
+            nand: Arc::new(Mutex::new(NandArray::new(config.geometry))),
+            geometry: config.geometry,
             profile: config.profile,
             alloc: BlockAllocator::new(config.geometry, config.gc_reserve_blocks),
             cache: IndexPageCache::new(config.cache_budget_bytes),
@@ -186,7 +196,8 @@ impl Ftl {
     pub fn with_pool(config: FtlConfig, pool: std::sync::Arc<crate::sync::FlashPool>) -> Self {
         config.geometry.validate().expect("invalid geometry");
         Ftl {
-            nand: NandArray::new(config.geometry),
+            nand: Arc::new(Mutex::new(NandArray::new(config.geometry))),
+            geometry: config.geometry,
             profile: config.profile,
             alloc: BlockAllocator::with_pool(config.geometry, pool),
             cache: IndexPageCache::new(config.cache_budget_bytes),
@@ -200,10 +211,33 @@ impl Ftl {
         }
     }
 
+    /// The media lock. Held only for single NAND operations — never
+    /// across allocator, cache or builder work — so the lock-free read
+    /// path contends with the command path one page at a time.
+    fn nand_guard(&self) -> MutexGuard<'_, NandArray> {
+        // A panic cannot leave the array mid-operation inconsistent; its
+        // per-call state changes are atomic wrt. the guard.
+        self.nand.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// A cloneable handle for reading record pages directly off the media
+    /// lock, bypassing the FTL front-end entirely — the lock-free get
+    /// path's only way to touch flash. Reads through it are charged to
+    /// the NAND array's counters but not to this FTL's op log; callers
+    /// account simulated time via [`MediaReader::page_read_ns`].
+    pub fn media_reader(&self) -> MediaReader {
+        let read = NandOp::Read { ppa: Ppa::new(0, 0), bytes: self.geometry.page_size };
+        MediaReader {
+            nand: Arc::clone(&self.nand),
+            geometry: self.geometry,
+            page_read_ns: self.profile.latency.duration_ns(&read),
+        }
+    }
+
     /// Install a telemetry sink (forwarded down to the NAND array). The
     /// FTL tags every charged media op with the stage it serves.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
-        self.nand.set_telemetry(sink.clone());
+        self.nand_guard().set_telemetry(sink.clone());
         self.telemetry = sink;
     }
 
@@ -235,7 +269,7 @@ impl Ftl {
 
     #[inline]
     pub fn geometry(&self) -> &NandGeometry {
-        self.nand.geometry()
+        &self.geometry
     }
 
     #[inline]
@@ -252,7 +286,7 @@ impl Ftl {
 
     #[inline]
     pub fn nand_stats(&self) -> rhik_nand::NandStats {
-        self.nand.stats()
+        self.nand_guard().stats()
     }
 
     /// The shared index-page cache (Fig. 5's "SSD DRAM cache budget").
@@ -266,9 +300,10 @@ impl Ftl {
         &self.cache
     }
 
-    /// Fault-injection handle (tests).
-    pub fn faults_mut(&mut self) -> &mut rhik_nand::FaultPlan {
-        self.nand.faults_mut()
+    /// Fault-injection handle (tests). Holds the media lock while the
+    /// guard is alive.
+    pub fn faults_mut(&mut self) -> FaultsGuard<'_> {
+        FaultsGuard(self.nand_guard())
     }
 
     /// Allocator introspection for GC policy decisions.
@@ -314,8 +349,9 @@ impl Ftl {
         let mut min = u64::MAX;
         let mut max = 0u64;
         let mut sum = 0u64;
+        let nand = self.nand_guard();
         for b in 0..blocks {
-            let e = self.nand.erase_count(b).expect("in range");
+            let e = nand.erase_count(b).expect("in range");
             min = min.min(e);
             max = max.max(e);
             sum += e;
@@ -330,7 +366,7 @@ impl Ftl {
     }
 
     fn charge(&mut self, op: NandOp) {
-        let geometry = *self.nand.geometry();
+        let geometry = self.geometry;
         let duration_ns = self.profile.latency.duration_ns(&op);
         self.timed_ops.push(TimedOp { channel: op.channel(&geometry), duration_ns });
         if self.telemetry.is_enabled() {
@@ -352,7 +388,7 @@ impl Ftl {
         is_index: bool,
     ) -> Result<(), FtlError> {
         let bytes = data.len() as u32;
-        self.nand.program(ppa, data, spare.encode())?;
+        self.nand_guard().program(ppa, data, spare.encode())?;
         self.charge(NandOp::Program { ppa, bytes });
         if is_index {
             self.stats.index_page_programs += 1;
@@ -538,8 +574,9 @@ impl Ftl {
     /// mount-time scan recovery uses to find metadata.
     pub fn programmed_pages(&self) -> Vec<Ppa> {
         let mut out = Vec::new();
-        for block in 0..self.geometry().blocks {
-            let ptr = self.nand.write_ptr(block).unwrap_or(0);
+        let nand = self.nand_guard();
+        for block in 0..self.geometry.blocks {
+            let ptr = nand.write_ptr(block).unwrap_or(0);
             for page in 0..ptr {
                 out.push(Ppa::new(block, page));
             }
@@ -597,7 +634,7 @@ impl Ftl {
 
     /// Read a data page (head or continuation).
     pub fn read_data_page(&mut self, ppa: Ppa) -> Result<(Bytes, Bytes), FtlError> {
-        let (d, s) = self.nand.read(ppa)?;
+        let (d, s) = self.nand_guard().read(ppa)?;
         self.charge(NandOp::Read { ppa, bytes: d.len() as u32 });
         self.stats.data_page_reads += 1;
         Ok((d, s))
@@ -638,7 +675,7 @@ impl Ftl {
 
     /// Read an index page from flash.
     pub fn read_index_page(&mut self, ppa: Ppa) -> Result<Bytes, FtlError> {
-        let (d, _) = self.nand.read(ppa)?;
+        let (d, _) = self.nand_guard().read(ppa)?;
         self.charge(NandOp::Read { ppa, bytes: d.len() as u32 });
         self.stats.index_page_reads += 1;
         Ok(d)
@@ -654,7 +691,7 @@ impl Ftl {
     // ----------------------------------------------------------------- gc
 
     pub(crate) fn erase_block(&mut self, block: u32) -> Result<(), FtlError> {
-        self.nand.erase(block)?;
+        self.nand_guard().erase(block)?;
         self.charge(NandOp::Erase { block });
         self.stats.block_erases += 1;
         self.alloc.release(block);
@@ -674,7 +711,7 @@ impl Ftl {
     }
 
     pub(crate) fn block_write_ptr(&self, block: u32) -> u32 {
-        self.nand.write_ptr(block).unwrap_or(0)
+        self.nand_guard().write_ptr(block).unwrap_or(0)
     }
 
     // -------------------------------------------------------------- audit
@@ -683,7 +720,7 @@ impl Ftl {
     /// auditor's window into media state (audits must not perturb the
     /// read counters the ≤1-read bound is proved against).
     pub fn peek_page(&self, ppa: Ppa) -> Option<(Bytes, Bytes)> {
-        self.nand.peek(ppa)
+        self.nand_guard().peek(ppa)
     }
 
     /// Snapshot this FTL's flash-side accounting for the cross-layer
@@ -692,7 +729,8 @@ impl Ftl {
     ///
     /// `shard` only labels the snapshot (pass 0 for an unsharded device).
     pub fn audit_flash(&self, shard: u32) -> rhik_audit::FlashAudit {
-        let geometry = *self.geometry();
+        let geometry = self.geometry;
+        let nand = self.nand_guard();
         let blocks = (0..geometry.blocks)
             .map(|b| {
                 let meta = self.alloc.meta(b);
@@ -706,7 +744,7 @@ impl Ftl {
                     live_bytes: meta.live_bytes,
                     stale_bytes: meta.stale_bytes,
                     pages_allocated: meta.pages_used,
-                    pages_programmed: self.nand.write_ptr(b).unwrap_or(0),
+                    pages_programmed: nand.write_ptr(b).unwrap_or(0),
                 }
             })
             .collect();
@@ -716,7 +754,7 @@ impl Ftl {
             total_blocks: geometry.blocks,
             free_raw: self.alloc.free_blocks_raw(),
             blocks,
-            nand_violations: self.nand.audit(),
+            nand_violations: nand.audit(),
         }
     }
 }
@@ -727,6 +765,70 @@ impl std::fmt::Debug for Ftl {
             .field("geometry", self.geometry())
             .field("stats", &self.stats)
             .field("free_blocks", &self.alloc.free_blocks())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fault-plan access that holds the media lock for its lifetime, keeping
+/// the `ftl.faults_mut().fail_read(..)` call shape tests already use.
+pub struct FaultsGuard<'a>(MutexGuard<'a, NandArray>);
+
+impl std::ops::Deref for FaultsGuard<'_> {
+    type Target = rhik_nand::FaultPlan;
+
+    fn deref(&self) -> &Self::Target {
+        self.0.faults()
+    }
+}
+
+impl std::ops::DerefMut for FaultsGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.0.faults_mut()
+    }
+}
+
+/// Direct record-page access over the media lock — the lock-free read
+/// path's handle onto flash. Cloning is cheap (one `Arc`); every clone
+/// shares the same NAND array and lock as the owning [`Ftl`].
+///
+/// A `MediaReader` read bypasses the FTL front-end: no allocator, cache,
+/// or op-log involvement, just the physical page. Unwritten pages (a
+/// record still in the DRAM write buffer) and fault-injected pages
+/// surface as errors, which callers treat as "fall back to the locked
+/// path".
+#[derive(Clone)]
+pub struct MediaReader {
+    nand: Arc<Mutex<NandArray>>,
+    geometry: NandGeometry,
+    page_read_ns: u64,
+}
+
+impl MediaReader {
+    /// Read one page (data + spare), charging the NAND counters.
+    pub fn read_page(&self, ppa: Ppa) -> Result<(Bytes, Bytes), rhik_nand::NandError> {
+        let mut nand = self.nand.lock().unwrap_or_else(|poison| poison.into_inner());
+        nand.read(ppa)
+    }
+
+    #[inline]
+    pub fn geometry(&self) -> &NandGeometry {
+        &self.geometry
+    }
+
+    /// Simulated media latency of one full-page read — what a lock-free
+    /// get charges its shard clock per page in lieu of the timing
+    /// engine's per-command accounting.
+    #[inline]
+    pub fn page_read_ns(&self) -> u64 {
+        self.page_read_ns
+    }
+}
+
+impl std::fmt::Debug for MediaReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MediaReader")
+            .field("geometry", &self.geometry)
+            .field("page_read_ns", &self.page_read_ns)
             .finish_non_exhaustive()
     }
 }

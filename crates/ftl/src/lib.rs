@@ -22,6 +22,7 @@
 pub mod cache;
 pub mod gc;
 pub mod layout;
+pub mod readview;
 pub mod sync;
 
 mod alloc;
@@ -30,7 +31,8 @@ mod traits;
 
 pub use alloc::{AcquireClass, BlockMeta, NeedsGc, Stream};
 pub use cache::IndexPageCache;
-pub use ftl::{Ftl, FtlConfig, FtlError, FtlStats, WrittenExtent};
+pub use ftl::{Ftl, FtlConfig, FtlError, FtlStats, MediaReader, WrittenExtent};
 pub use gc::{GcConfig, GcPolicy, GcReport};
+pub use readview::{GenSnapshot, Lookup, ReadHit, ReadView};
 pub use sync::FlashPool;
 pub use traits::{IndexBackend, IndexError, IndexStats, InsertOutcome, ResizeEvent, TimedOp};

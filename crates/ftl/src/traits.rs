@@ -259,6 +259,23 @@ pub trait IndexBackend {
     ) -> Result<(), IndexError> {
         Err(IndexError::Unsupported("scan_records"))
     }
+
+    /// Attach a generation-published [`ReadView`](crate::readview::ReadView)
+    /// for this index to mirror: every `sig → head PPA` change (insert,
+    /// update, delete, GC relocation) must be reflected into the view,
+    /// and a directory doubling must publish a new view generation, so
+    /// the device's lock-free get path stays coherent.
+    ///
+    /// Returns `true` iff the backend accepted the view and will keep it
+    /// coherent from now on — a backend may only accept while it is
+    /// empty (the view starts empty, so attaching to a populated index
+    /// would let lock-free lookups miss live keys). The default (no
+    /// mirroring, `false`) is correct for backends without lock-free
+    /// read support: the device keeps every get on the locked path.
+    fn attach_read_view(&mut self, view: std::sync::Arc<crate::readview::ReadView>) -> bool {
+        let _ = view;
+        false
+    }
 }
 
 #[cfg(test)]

@@ -274,6 +274,21 @@ impl<I: IndexBackend> KvssdDevice<I> {
         &self.engine
     }
 
+    /// A cloneable handle that reads record pages through the narrow
+    /// media lock, bypassing this device's command mutex (the sharded
+    /// lock-free get path).
+    pub fn media_reader(&self) -> rhik_ftl::MediaReader {
+        self.ftl.media_reader()
+    }
+
+    /// Offer a generation-published read view to the index backend.
+    /// Returns `true` iff the backend accepted it and will keep it
+    /// coherent (backends may only accept while empty); `false` leaves
+    /// every get on the locked path.
+    pub fn attach_read_view(&mut self, view: std::sync::Arc<rhik_ftl::ReadView>) -> bool {
+        self.index.attach_read_view(view)
+    }
+
     /// Install a telemetry sink (shard id 0). The sink is shared down the
     /// stack (FTL, NAND) so media ops, cache traffic, GC and resize
     /// progress all land in one registry and trace ring.

@@ -1,0 +1,189 @@
+//! Adversarial test for the lock-free read path: concurrent gets race a
+//! directory doubling on the same shard and must stay correct, the
+//! RHIK ≤1-flash-read-per-lookup bound must hold on the lock-free
+//! counters, and the cross-layer auditor must come back clean after the
+//! dust settles. A second test proves the structural claim directly:
+//! gets complete while their own shard's queue mutex is held.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use rhik_audit::DeviceAuditor;
+use rhik_kvssd::{DeviceConfig, ShardedKvssd};
+use rhik_sigs::SigHasher;
+
+fn keys_for_shard(dev: &ShardedKvssd<rhik_core::RhikIndex>, shard: usize, n: usize) -> Vec<String> {
+    let hasher = SigHasher::default();
+    let mut keys = Vec::new();
+    let mut i = 0u64;
+    while keys.len() < n {
+        let key = format!("snap-{i:06}");
+        if dev.shard_of(hasher.sign(key.as_bytes())) == shard {
+            keys.push(key);
+        }
+        i += 1;
+    }
+    keys
+}
+
+fn value_of(key: &str) -> Vec<u8> {
+    format!("v-{key}").into_bytes()
+}
+
+/// Readers hammer shard 0 with gets while a writer drives the shard
+/// through directory doublings (migration batch 1 stretches each
+/// doubling across many commands, so most reads land mid-migration).
+/// Every get must return the key's one immutable value; afterwards the
+/// lock-free counters must show the ≤1-read bound and real lock-free
+/// traffic, and the device must audit clean.
+#[test]
+fn gen_snapshot_reads_survive_directory_doubling() {
+    let mut cfg = DeviceConfig::small().with_shards(4);
+    cfg.rhik.resize_migration_batch = 1;
+    let dev = ShardedKvssd::rhik(cfg);
+
+    // Warm keys: written and flushed before the race, so they are
+    // servable by the lock-free path from the first doubling onwards.
+    let keys = keys_for_shard(&dev, 0, 480);
+    const WARM: usize = 60;
+    for k in &keys[..WARM] {
+        dev.put(k.as_bytes(), &value_of(k)).unwrap();
+    }
+    dev.flush().unwrap();
+
+    let written = AtomicUsize::new(WARM);
+    let done = AtomicBool::new(false);
+    let start = std::sync::Barrier::new(3);
+    std::thread::scope(|scope| {
+        // Writer: fill shard 0 through at least two doublings, flushing
+        // periodically so freshly written keys become lock-free-readable
+        // mid-race rather than sitting in the pending write buffer. The
+        // yields and mid-migration naps keep the readers scheduled into
+        // the doubling windows even on a single-core host.
+        scope.spawn(|| {
+            start.wait();
+            for (i, k) in keys.iter().enumerate().skip(WARM) {
+                dev.put(k.as_bytes(), &value_of(k)).unwrap();
+                if i % 32 == 0 {
+                    dev.flush().unwrap();
+                }
+                written.store(i + 1, Ordering::Release);
+                if i % 8 == 0 && dev.with_shard(0, |d| d.resize_in_progress()) {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                std::thread::yield_now();
+            }
+            dev.flush().unwrap();
+            done.store(true, Ordering::Release);
+        });
+        // Readers: probe only keys at indices below the published
+        // watermark, so each probed key has one committed value. Each
+        // reader performs at least MIN_READS gets, however fast the
+        // writer finishes.
+        const MIN_READS: usize = 500;
+        for t in 0..2usize {
+            let (dev, keys, written, done, start) = (&dev, &keys, &written, &done, &start);
+            scope.spawn(move || {
+                start.wait();
+                let mut probe = t;
+                let mut reads = 0usize;
+                loop {
+                    let upto = written.load(Ordering::Acquire);
+                    let k = &keys[probe % upto];
+                    let got = dev.get(k.as_bytes()).unwrap().expect("committed key lost mid-race");
+                    assert_eq!(&got[..], &value_of(k)[..], "stale or torn value for {k}");
+                    probe += 3;
+                    reads += 1;
+                    if reads >= MIN_READS && done.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // The race really crossed doublings, confined to shard 0.
+    assert!(dev.shard_stats(0).resizes >= 2, "shard 0 resized < 2 times: {:?}", dev.shard_stats(0));
+    for s in 1..4 {
+        assert_eq!(dev.shard_stats(s).resizes, 0, "resize leaked into shard {s}");
+    }
+    let racing = dev.lockfree_read_stats();
+    assert!(racing.gets > 0, "no get completed lock-free during the race: {racing:?}");
+
+    // Quiet aftermath: every key reads back correctly, entirely on the
+    // lock-free path (no writes in flight, everything flushed).
+    let before = dev.lockfree_read_stats();
+    for k in &keys {
+        let got = dev.get(k.as_bytes()).unwrap().expect("key lost across doubling");
+        assert_eq!(&got[..], &value_of(k)[..]);
+    }
+    let after = dev.lockfree_read_stats();
+    assert_eq!(
+        after.hits - before.hits,
+        keys.len() as u64,
+        "quiet post-doubling gets left the lock-free path: {after:?}"
+    );
+
+    // RHIK's ≤1-flash-read bound, on the lock-free counters: every hit
+    // costs exactly one record-page read (single-page values), every
+    // abandoned optimistic attempt at most one, and misses are free.
+    assert!(
+        after.pages_read <= after.hits + after.fallbacks,
+        "lock-free path exceeded 1 flash read per lookup: {after:?}"
+    );
+
+    let mut auditor = DeviceAuditor::new();
+    let report = dev.audit(&mut auditor);
+    assert!(report.is_ok(), "{report}");
+}
+
+/// The structural claim behind the tentpole: a get on shard 0 completes
+/// while shard 0's queue mutex is *held*. With reads serialized behind
+/// the shard lock this deadlocks; the 10 s timeout is the proof budget.
+#[test]
+fn gets_complete_while_their_own_shard_lock_is_held() {
+    let dev = ShardedKvssd::rhik(DeviceConfig::small().with_shards(4));
+    let keys = keys_for_shard(&dev, 0, 20);
+    for k in &keys {
+        dev.put(k.as_bytes(), &value_of(k)).unwrap();
+    }
+    dev.flush().unwrap();
+    // Prime one lock-free read so a cold cache can't masquerade as a
+    // lock dependency.
+    assert!(dev.get(keys[0].as_bytes()).unwrap().is_some());
+
+    let (held_tx, held_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    std::thread::scope(|scope| {
+        let holder = dev.clone();
+        scope.spawn(move || {
+            holder.with_shard(0, |_| {
+                held_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            });
+        });
+        let reader = dev.clone();
+        let keys = &keys;
+        scope.spawn(move || {
+            held_rx.recv().unwrap();
+            let before = reader.lockfree_read_stats();
+            for k in keys {
+                let got = reader.get(k.as_bytes()).unwrap().unwrap();
+                assert_eq!(&got[..], &value_of(k)[..]);
+            }
+            let after = reader.lockfree_read_stats();
+            assert_eq!(
+                after.hits - before.hits,
+                keys.len() as u64,
+                "gets under a held shard lock dodged the lock-free path"
+            );
+            done_tx.send(()).unwrap();
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("gets on shard 0 blocked behind shard 0's own queue lock");
+        release_tx.send(()).unwrap();
+    });
+}

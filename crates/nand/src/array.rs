@@ -76,6 +76,11 @@ impl NandArray {
         &mut self.faults
     }
 
+    /// Read-only view of the fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// State of `block`.
     pub fn block_state(&self, block: BlockId) -> Result<BlockState> {
         self.block_ref(block).map(Block::state)

@@ -42,6 +42,11 @@ pub struct RhikIndex {
     /// Buckets lost at mount time because GC had reclaimed their
     /// snapshot-referenced pages (see [`RhikIndex::recover`]).
     recovery_lost_tables: u64,
+    /// Generation-published mirror of the `sig → head PPA` mapping for
+    /// the device's lock-free read path (attached by the sharded device;
+    /// `None` on single-owner devices). Every mutation that changes where
+    /// a pair lives funnels through the `note_view_*` helpers.
+    view: Option<std::sync::Arc<rhik_ftl::ReadView>>,
 }
 
 impl RhikIndex {
@@ -62,6 +67,7 @@ impl RhikIndex {
             resize_deferred: false,
             migration: None,
             recovery_lost_tables: 0,
+            view: None,
         }
     }
 
@@ -171,6 +177,7 @@ impl RhikIndex {
             resize_deferred: false,
             migration: None,
             recovery_lost_tables: lost_tables,
+            view: None,
         };
         // The snapshot pages just consumed may themselves have been retired
         // (GC churn); re-anchor the persistent copy immediately so the next
@@ -402,6 +409,33 @@ impl RhikIndex {
         Ok(())
     }
 
+    /// Mirror a `sig → head` change into the attached read view (no-op
+    /// without one). Called at every insert/update success point,
+    /// including GC relocation, which funnels through `insert`.
+    #[inline]
+    pub(crate) fn note_view_upsert(&self, sig: KeySignature, ppa: Ppa) {
+        if let Some(view) = &self.view {
+            view.upsert(sig.0, ppa);
+        }
+    }
+
+    /// Mirror a deletion into the attached read view (no-op without one).
+    #[inline]
+    pub(crate) fn note_view_remove(&self, sig: KeySignature) {
+        if let Some(view) = &self.view {
+            view.remove(sig.0);
+        }
+    }
+
+    /// Publish the read view's next generation after the directory
+    /// doubled (`resize::begin`): readers re-walk under the new bits and
+    /// stale-snapshot holders are poisoned into the locked path.
+    pub(crate) fn note_view_doubled(&self) {
+        if let Some(view) = &self.view {
+            view.publish_generation(self.dir.bits());
+        }
+    }
+
     /// Resize check: called after each insert (§IV-A2 "once the total
     /// occupancy of RHIK reaches a pre-defined threshold, its resizing
     /// function is triggered").
@@ -588,6 +622,7 @@ impl IndexBackend for RhikIndex {
                     unreachable!("lookup said present");
                 };
                 self.store_overflow(ftl, slot, &overflow)?;
+                self.note_view_upsert(sig, ppa);
                 self.maybe_flush_directory(ftl)?;
                 return Ok(InsertOutcome::Updated { old });
             }
@@ -632,6 +667,7 @@ impl IndexBackend for RhikIndex {
         if table.displacements() > 0 {
             ftl.telemetry().counter_add("rhik_hopscotch_displacements", table.displacements());
         }
+        self.note_view_upsert(sig, ppa);
         self.maybe_resize(ftl)?;
         self.maybe_flush_directory(ftl)?;
         Ok(outcome)
@@ -699,6 +735,7 @@ impl IndexBackend for RhikIndex {
         }
         if removed.is_some() {
             self.len -= 1;
+            self.note_view_remove(sig);
             self.maybe_flush_directory(ftl)?;
         }
         Ok(removed)
@@ -829,6 +866,19 @@ impl IndexBackend for RhikIndex {
 
     fn migration_progress(&self) -> Option<(u64, u64)> {
         self.migration.as_ref().map(|m| m.progress())
+    }
+
+    fn attach_read_view(&mut self, view: std::sync::Arc<rhik_ftl::ReadView>) -> bool {
+        if self.len != 0 {
+            // The view starts empty; adopting it now would make every
+            // pre-existing key a (validated) lock-free miss.
+            return false;
+        }
+        if view.snapshot().bits() != self.dir.bits() {
+            view.publish_generation(self.dir.bits());
+        }
+        self.view = Some(view);
+        true
     }
 
     fn scan_records(

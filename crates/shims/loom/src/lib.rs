@@ -67,7 +67,49 @@ pub mod thread {
 }
 
 pub mod sync {
-    pub use std::sync::{Arc, LockResult, MutexGuard, TryLockError, TryLockResult};
+    use std::time::Duration;
+
+    pub use std::sync::{
+        Arc, LockResult, MutexGuard, TryLockError, TryLockResult, WaitTimeoutResult,
+    };
+
+    /// Condition variable with the std API whose wakeups vary the thread
+    /// schedule between model iterations. It composes with the shim
+    /// [`Mutex`] because that mutex hands out plain std `MutexGuard`s.
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar { inner: std::sync::Condvar::new() }
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            crate::sched::perturb();
+            self.inner.wait(guard)
+        }
+
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            crate::sched::perturb();
+            self.inner.wait_timeout(guard, dur)
+        }
+
+        pub fn notify_one(&self) {
+            crate::sched::perturb();
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            crate::sched::perturb();
+            self.inner.notify_all();
+        }
+    }
 
     /// Mutex with the std API whose acquisitions vary the thread schedule
     /// between model iterations.
@@ -97,6 +139,8 @@ pub mod sync {
     }
 
     pub mod atomic {
-        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
     }
 }

@@ -1,10 +1,29 @@
-//! Log-bucketed latency histogram (power-of-two buckets, zero allocation
-//! per sample).
+//! Log-linear latency histogram (HDR-style, zero allocation per sample).
+//!
+//! Pure power-of-two buckets cap relative error at 100%: every sample in
+//! `[2^21, 2^22)` reports its percentile as 2 097 152 ns, which is how a
+//! put tail comes out as exactly `p99 = 2097152` regardless of where in
+//! that 1 ms-wide bucket the distribution actually sits. Splitting each
+//! power-of-two *major* bucket into [`SUB_BUCKETS`] linear sub-buckets
+//! bounds the relative error of any reported edge by
+//! `1 / SUB_BUCKETS = 25%` while keeping the record path branch-free
+//! arithmetic on the sample's leading zeros.
 
-/// Latency histogram with 64 power-of-two nanosecond buckets.
+/// Linear sub-buckets per power-of-two major bucket (must stay a power
+/// of two; 4 bounds bucket-edge relative error at 25%).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+const SUB_BITS: u32 = 2;
+
+/// Total bucket count: values `< SUB_BUCKETS` map one-to-one, and every
+/// major bucket `[2^m, 2^(m+1))` for `m in SUB_BITS..64` contributes
+/// `SUB_BUCKETS` sub-buckets — enough to cover all of `u64`.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) << SUB_BITS;
+
+/// Latency histogram with log-linear nanosecond buckets: power-of-two
+/// majors, [`SUB_BUCKETS`] linear sub-buckets each (≤25% edge error).
 #[derive(Clone, Debug)]
 pub struct LatencyHistogram {
-    buckets: [u64; 64],
+    buckets: [u64; NUM_BUCKETS],
     count: u64,
     sum_ns: u64,
     max_ns: u64,
@@ -12,8 +31,19 @@ pub struct LatencyHistogram {
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        LatencyHistogram { buckets: [0; 64], count: 0, sum_ns: 0, max_ns: 0 }
+        LatencyHistogram { buckets: [0; NUM_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
     }
+}
+
+/// Bucket index of a sample value.
+#[inline]
+fn index_of(ns: u64) -> usize {
+    if ns < SUB_BUCKETS as u64 {
+        return ns as usize;
+    }
+    let major = 63 - ns.leading_zeros(); // ns ∈ [2^major, 2^(major+1))
+    let sub = (ns >> (major - SUB_BITS)) & (SUB_BUCKETS as u64 - 1);
+    (((major - SUB_BITS + 1) << SUB_BITS) + sub as u32) as usize
 }
 
 impl LatencyHistogram {
@@ -24,9 +54,7 @@ impl LatencyHistogram {
     /// Record one latency sample.
     #[inline]
     pub fn record(&mut self, ns: u64) {
-        let bucket = 64 - ns.leading_zeros().min(63) as usize - 1;
-        // ns = 0 → bucket 0 via the min() clamp above mapping to index 0.
-        self.buckets[if ns == 0 { 0 } else { bucket }] += 1;
+        self.buckets[index_of(ns)] += 1;
         self.count += 1;
         self.sum_ns += ns;
         self.max_ns = self.max_ns.max(ns);
@@ -52,18 +80,36 @@ impl LatencyHistogram {
         self.max_ns
     }
 
-    /// Raw bucket counts; bucket `i` covers `[2^i, 2^(i+1))` ns (bucket 0
-    /// additionally absorbs zero-latency samples).
-    pub fn bucket_counts(&self) -> &[u64; 64] {
+    /// Raw bucket counts; bucket `i` covers
+    /// `[bucket_lower_ns(i), bucket_upper_ns(i))`.
+    pub fn bucket_counts(&self) -> &[u64; NUM_BUCKETS] {
         &self.buckets
     }
 
-    /// Upper edge (exclusive) of bucket `i` in nanoseconds.
-    pub fn bucket_upper_ns(i: usize) -> u64 {
-        1u64 << (i + 1).min(63)
+    /// Lower edge (inclusive) of bucket `i` in nanoseconds.
+    pub fn bucket_lower_ns(i: usize) -> u64 {
+        if i < SUB_BUCKETS {
+            return i as u64;
+        }
+        let major = (i >> SUB_BITS) as u32 - 1 + SUB_BITS;
+        let sub = (i & (SUB_BUCKETS - 1)) as u64;
+        let width = 1u64 << (major - SUB_BITS);
+        (1u64 << major) + sub * width
     }
 
-    /// Approximate percentile (upper edge of the containing bucket).
+    /// Upper edge (exclusive) of bucket `i` in nanoseconds (saturating:
+    /// the last sub-bucket's edge would be `2^64`).
+    pub fn bucket_upper_ns(i: usize) -> u64 {
+        if i < SUB_BUCKETS {
+            return i as u64 + 1;
+        }
+        let major = (i >> SUB_BITS) as u32 - 1 + SUB_BITS;
+        let width = 1u64 << (major - SUB_BITS);
+        Self::bucket_lower_ns(i).saturating_add(width)
+    }
+
+    /// Approximate percentile (upper edge of the containing bucket, so
+    /// over-reported by at most `1 / SUB_BUCKETS`).
     pub fn percentile_ns(&self, p: f64) -> u64 {
         assert!((0.0..=100.0).contains(&p));
         if self.count == 0 {
@@ -74,7 +120,9 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return 1u64 << (i + 1).min(63);
+                // Never report past the observed maximum (the last
+                // occupied bucket's edge can overshoot it).
+                return Self::bucket_upper_ns(i).min(self.max_ns.max(1));
             }
         }
         self.max_ns
@@ -110,7 +158,7 @@ impl LatencyHistogram {
     /// snapshot taken across a reset yields zeros rather than wrapping.
     /// `max_ns` carries over from `self` (a maximum cannot be diffed).
     pub fn since(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
-        let mut buckets = [0u64; 64];
+        let mut buckets = [0u64; NUM_BUCKETS];
         for (i, b) in buckets.iter_mut().enumerate() {
             *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
         }
@@ -139,7 +187,7 @@ mod tests {
     fn records_and_percentiles() {
         let mut h = LatencyHistogram::new();
         for _ in 0..99 {
-            h.record(1_000); // bucket ~2^9
+            h.record(1_000);
         }
         h.record(1_000_000);
         assert_eq!(h.count(), 100);
@@ -155,6 +203,59 @@ mod tests {
         h.record(0);
         h.record(1);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn bucket_edges_are_contiguous_and_cover_u64() {
+        let mut prev_upper = 0u64;
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(
+                LatencyHistogram::bucket_lower_ns(i),
+                prev_upper,
+                "gap or overlap at bucket {i}"
+            );
+            let upper = LatencyHistogram::bucket_upper_ns(i);
+            assert!(upper > prev_upper || i == NUM_BUCKETS - 1);
+            prev_upper = upper;
+        }
+        assert_eq!(prev_upper, u64::MAX, "last bucket edge saturates at u64::MAX");
+        // Every value lands in the bucket whose range contains it.
+        for ns in [0, 1, 3, 4, 5, 7, 8, 1_000, 2_097_152, 3_000_000, u64::MAX] {
+            let i = index_of(ns);
+            assert!(LatencyHistogram::bucket_lower_ns(i) <= ns, "value {ns} below bucket {i}");
+            assert!(
+                ns < LatencyHistogram::bucket_upper_ns(i) || i == NUM_BUCKETS - 1,
+                "value {ns} above bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_buckets_bound_percentile_error_at_25_percent() {
+        // The regression this layout fixes: a put tail near 1.6 ms used
+        // to report p99 = 2 097 152 ns (the full 2^21 bucket edge, 31%
+        // high). Any constant-valued distribution must now report a p99
+        // within 25% of the true value.
+        for &true_ns in &[1_600_000u64, 2_000_000, 2_097_153, 12_345, 999] {
+            let mut h = LatencyHistogram::new();
+            for _ in 0..1000 {
+                h.record(true_ns);
+            }
+            let p99 = h.p99_ns();
+            assert!(p99 >= true_ns, "p99 {p99} under-reports {true_ns}");
+            assert!(
+                (p99 - true_ns) as f64 <= 0.25 * true_ns as f64,
+                "p99 {p99} overshoots {true_ns} by more than 25%"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_never_exceeds_observed_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(2_097_153); // just past a major-bucket edge
+        assert_eq!(h.percentile_ns(100.0), 2_097_153);
+        assert_eq!(h.p99_ns(), 2_097_153);
     }
 
     #[test]

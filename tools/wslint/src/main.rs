@@ -11,6 +11,12 @@
 //!   `ftl::sync` (the loom-swappable primitive module) and `telemetry`.
 //!   Everything else imports locks from `rhik_ftl::sync`, so
 //!   `cfg(loom)` builds model them.
+//! * `raw-atomic-outside-sync` — library sources must not name
+//!   `std::sync::atomic` / `core::sync::atomic` (types or orderings)
+//!   outside `ftl::sync` and `telemetry`; atomics come from
+//!   `rhik_ftl::sync::atomic` so loom models see them. Integration
+//!   tests are exempt (they coordinate test threads, not device state,
+//!   and never compile under `--cfg loom`).
 //! * `instant-off-sim-clock` — device-model crates must not read the
 //!   host clock with `Instant::now()`; timing flows from the simulated
 //!   NAND timing model. (Bench crates measure wall clock and are out of
@@ -32,6 +38,7 @@ use std::process::ExitCode;
 
 const RULE_UNWRAP: &str = "unwrap-in-lib";
 const RULE_MUTEX: &str = "std-mutex-outside-sync";
+const RULE_ATOMIC: &str = "raw-atomic-outside-sync";
 const RULE_CLOCK: &str = "instant-off-sim-clock";
 const RULE_ASSERT: &str = "debug-assert-message";
 
@@ -49,6 +56,10 @@ const SIM_CLOCK: &[&str] = &[
 ];
 /// The only places allowed to name `std::sync::Mutex`.
 const MUTEX_ALLOWED: &[&str] = &["crates/ftl/src/sync.rs", "crates/telemetry/src"];
+/// The only library sources allowed to name `std::sync::atomic` /
+/// `core::sync::atomic` directly; everything else goes through the
+/// loom-swappable `rhik_ftl::sync::atomic` re-exports.
+const ATOMIC_ALLOWED: &[&str] = &["crates/ftl/src/sync.rs", "crates/telemetry/src"];
 
 struct Finding {
     rule: &'static str,
@@ -164,6 +175,9 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let in_lib = PANIC_FREE.iter().any(|p| rel.starts_with(p));
     let in_clock = SIM_CLOCK.iter().any(|p| rel.starts_with(p));
     let mutex_ok = MUTEX_ALLOWED.iter().any(|p| rel.starts_with(p));
+    // Library sources only: `crates/<name>/src/**` and the root `src/`.
+    let in_src = rel.contains("/src/") || rel.starts_with("src/");
+    let atomic_ok = !in_src || ATOMIC_ALLOWED.iter().any(|p| rel.starts_with(p));
 
     let mut push = |rule: &'static str, line: usize| {
         let excerpt: String = raw.get(line).map_or("", |l| l.trim()).chars().take(160).collect();
@@ -179,6 +193,10 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
         }
         if !mutex_ok && line.contains("std::sync") && line.contains("Mutex") {
             push(RULE_MUTEX, i);
+        }
+        if !atomic_ok && (line.contains("std::sync::atomic") || line.contains("core::sync::atomic"))
+        {
+            push(RULE_ATOMIC, i);
         }
         if in_clock && line.contains("Instant::now") {
             push(RULE_CLOCK, i);
