@@ -126,6 +126,12 @@ pub enum InvariantViolation {
     /// A published gauge disagrees with ground truth recomputed from the
     /// live structures.
     GaugeDrift { gauge: String, reported: f64, actual: f64 },
+
+    // -------------------------------------------------- hot-object cache
+    /// A current-version cache entry disagrees with the directory →
+    /// record-page → FTL chain — the cache would serve a value the index
+    /// does not hold.
+    CacheIncoherent { shard: u32, sig: u64, detail: &'static str },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -202,6 +208,9 @@ impl fmt::Display for InvariantViolation {
             NandStateMismatch { ppa, detail } => write!(f, "NAND state at {ppa:?}: {detail}"),
             GaugeDrift { gauge, reported, actual } => {
                 write!(f, "gauge {gauge} reports {reported} but ground truth is {actual}")
+            }
+            CacheIncoherent { shard, sig, detail } => {
+                write!(f, "shard {shard}: cached sig {sig:#x} incoherent with index: {detail}")
             }
         }
     }
@@ -296,6 +305,33 @@ pub struct FlashAudit {
     pub nand_violations: Vec<InvariantViolation>,
 }
 
+/// One hot-cache entry joined against the index chain it must mirror.
+///
+/// The device builds these under the shard lock: for every resident
+/// cache entry whose fill version still equals the version table's
+/// current value, it re-reads the key through the directory →
+/// record-page → FTL chain and reports what it found. Entries whose
+/// fill version is already superseded are *not* sampled — they are
+/// unservable by construction (the reader's version check drops them).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheCoherenceSample {
+    pub shard: u32,
+    pub sig: u64,
+    /// Version the entry was filled at.
+    pub fill_version: u64,
+    /// Version-table value at sample time (must equal `fill_version`,
+    /// or the device should not have sampled the entry).
+    pub current_version: u64,
+    /// The bytes the cache would serve.
+    pub cached_value: Vec<u8>,
+    /// What the index chain holds: `None` when the chain could not be
+    /// walked without side effects (e.g. the value still sits in a
+    /// write buffer) — the sample is skipped; `Some(None)` when the key
+    /// is absent from the index (a ghost entry); `Some(Some(v))` the
+    /// chain's value.
+    pub index_value: Option<Option<Vec<u8>>>,
+}
+
 /// A gauge the device published, paired with recomputed ground truth.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GaugeCheck {
@@ -388,6 +424,42 @@ impl DeviceAuditor {
         check_ownership(&indexes, &mut v);
         check_leases(shards, &mut v);
         check_gauges(gauges, &mut v);
+        AuditReport { violations: v }
+    }
+
+    /// Cache↔index coherence pass: no serveable cached value may
+    /// disagree with the directory → record-page → FTL chain.
+    pub fn check_cache(&mut self, samples: &[CacheCoherenceSample]) -> AuditReport {
+        let mut v = Vec::new();
+        for s in samples {
+            if s.current_version != s.fill_version {
+                // The device sampled an entry a concurrent writer already
+                // invalidated — the entry is unservable, but sampling it
+                // at all means the snapshot discipline broke.
+                v.push(InvariantViolation::CacheIncoherent {
+                    shard: s.shard,
+                    sig: s.sig,
+                    detail: "sampled entry with superseded fill version",
+                });
+                continue;
+            }
+            match &s.index_value {
+                None => {} // unverifiable without side effects; skipped
+                Some(None) => v.push(InvariantViolation::CacheIncoherent {
+                    shard: s.shard,
+                    sig: s.sig,
+                    detail: "cached entry for a key absent from the index (ghost)",
+                }),
+                Some(Some(chain)) if chain != &s.cached_value => {
+                    v.push(InvariantViolation::CacheIncoherent {
+                        shard: s.shard,
+                        sig: s.sig,
+                        detail: "cached bytes differ from the index chain's value",
+                    });
+                }
+                Some(Some(_)) => {}
+            }
+        }
         AuditReport { violations: v }
     }
 
@@ -602,6 +674,36 @@ fn check_gauges(gauges: &[GaugeCheck], v: &mut Vec<InvariantViolation>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_coherence_pass_flags_each_failure_mode() {
+        let mut auditor = DeviceAuditor::new();
+        let sample = |fill, current, cached: &[u8], index_value| CacheCoherenceSample {
+            shard: 0,
+            sig: 0xAB,
+            fill_version: fill,
+            current_version: current,
+            cached_value: cached.to_vec(),
+            index_value,
+        };
+        // Clean: value matches; unverifiable: skipped.
+        let report = auditor.check_cache(&[
+            sample(3, 3, b"v", Some(Some(b"v".to_vec()))),
+            sample(3, 3, b"v", None),
+        ]);
+        assert!(report.is_ok(), "{report}");
+        // Ghost, mismatch, and superseded-version sampling all flagged.
+        let report = auditor.check_cache(&[
+            sample(3, 3, b"v", Some(None)),
+            sample(3, 3, b"v", Some(Some(b"other".to_vec()))),
+            sample(2, 3, b"v", Some(Some(b"v".to_vec()))),
+        ]);
+        assert_eq!(report.violations.len(), 3);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| matches!(v, InvariantViolation::CacheIncoherent { .. })));
+    }
 
     fn index_block(block: u32, live_pages: u32, page_size: u32) -> BlockAccounting {
         BlockAccounting {

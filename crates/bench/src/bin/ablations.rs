@@ -105,6 +105,7 @@ fn ablate_cache(scale: Scale) {
             engine: EngineMode::Sync,
             hasher: SigHasher::default(),
             rhik: rhik_core::RhikConfig::default(),
+            hot_cache: rhik_kvssd::CacheConfig::off(),
         };
 
         let mut rhik_dev = KvssdDevice::rhik(cfg);

@@ -73,6 +73,7 @@ fn main() {
             engine: EngineMode::Async { queue_depth: 32 },
             hasher: SigHasher::default(),
             rhik: rhik_core::RhikConfig::default(),
+            hot_cache: rhik_kvssd::CacheConfig::off(),
         };
         let mut dev = KvssdDevice::multilevel(
             cfg,

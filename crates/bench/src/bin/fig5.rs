@@ -45,6 +45,7 @@ fn main() {
         engine: EngineMode::Sync,
         hasher: SigHasher::default(),
         rhik: rhik_core::RhikConfig::default(),
+        hot_cache: rhik_kvssd::CacheConfig::off(),
     };
 
     println!(

@@ -65,6 +65,7 @@ fn device_config(sys: System, engine: EngineMode, scale: Scale) -> DeviceConfig 
         engine,
         hasher: SigHasher::default(),
         rhik: rhik_core::RhikConfig { initial_dir_bits: 2, ..Default::default() },
+        hot_cache: rhik_kvssd::CacheConfig::off(),
     }
 }
 

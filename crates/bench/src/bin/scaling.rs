@@ -52,6 +52,14 @@ struct RunResult {
     /// land here, so the tail shows what the throughput number hides.
     put_p99_ns: u64,
     put_p999_ns: u64,
+    /// Merged get-latency percentiles (ns). The hot-object cache shows up
+    /// here: DRAM hits record zero simulated device time, so an effective
+    /// cache collapses p50 and, at high hit rates, the tail too.
+    get_p50_ns: u64,
+    get_p99_ns: u64,
+    get_p999_ns: u64,
+    /// Hot-object cache counters, when the run had the cache enabled.
+    cache: Option<rhik_kvssd::CacheStats>,
 }
 
 impl RunResult {
@@ -82,6 +90,143 @@ fn gate_min_ratio() -> Option<f64> {
     None
 }
 
+/// `--cache-budget <bytes>`: enable the DRAM hot-object cache tier with
+/// this budget for every *sharded* matrix run (the comparison section
+/// below always runs both ways regardless). Default: off, so default
+/// results are identical to a build without the cache tier.
+fn cache_budget() -> Option<u64> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--cache-budget" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--cache-budget=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// Budget for the always-on cached-vs-uncached comparison: a hard cap at
+/// ~2/3 of the loaded working set (6000 × ~180 B charged ≈ 1.05 MiB).
+/// The zipfian trace touches ~3.5k distinct keys, so the budget holds the
+/// warmed head with a little slack against per-stripe imbalance — the
+/// steady-state regime where the DRAM tier pays. Squeezing the budget
+/// further degrades gracefully (the `--cache-budget` smoke runs and the
+/// property tests exercise hard eviction pressure).
+const COMPARISON_BUDGET: u64 = 704 * 1024;
+
+struct CachePhase {
+    get_p50_ns: u64,
+    get_p99_ns: u64,
+    get_p999_ns: u64,
+    measured_ops: u64,
+    /// Simulated device time consumed by the measured phase. Zero when
+    /// every measured get was served from DRAM.
+    device_secs: f64,
+    cache: Option<rhik_kvssd::CacheStats>,
+}
+
+impl CachePhase {
+    fn device_throughput_label(&self) -> String {
+        if self.device_secs < 1e-12 {
+            "all-DRAM (zero device time)".to_string()
+        } else {
+            format!("{:.3} Mops/s", self.measured_ops as f64 / self.device_secs / 1e6)
+        }
+    }
+
+    fn device_ops_per_sec(&self) -> Option<f64> {
+        (self.device_secs >= 1e-12).then(|| self.measured_ops as f64 / self.device_secs)
+    }
+}
+
+/// The cached-vs-uncached comparison run: load the population, warm with
+/// one zipfian pass, then measure a replay of the same get trace — the
+/// steady state of a skewed serving workload, with no compulsory misses
+/// muddying the number (every measured key was seen once before; whether
+/// it *hits* is decided purely by what the budget + TinyLFU kept
+/// resident). A telemetry snapshot diff isolates the measured phase's
+/// latency histogram from load and warmup.
+fn run_cache_phase(dist: Dist, population: u64, ops: u64, budget: Option<u64>) -> CachePhase {
+    let mut cfg = config().with_shards(4);
+    if let Some(b) = budget {
+        cfg = cfg.with_hot_cache(b);
+    }
+    let dev = ShardedKvssd::rhik(cfg);
+    let sink = TelemetrySink::enabled();
+    dev.set_telemetry(sink.clone());
+    let value = vec![0xAB; VALUE_BYTES];
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let dev = dev.clone();
+            let value = &value;
+            scope.spawn(move || {
+                let keygen = Keygen::new(KeyStream::Sequential, KEY_BYTES, 0);
+                let lo = population * t / 4;
+                let hi = population * (t + 1) / 4;
+                for id in lo..hi {
+                    dev.put(&keygen.key_for(id), value).unwrap();
+                }
+            });
+        }
+    });
+    // Warm after the load fully quiesces: overlapping puts would keep
+    // bumping invalidation versions and racing concurrent fills out of
+    // admission, making the warmed set depend on thread interleaving.
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let dev = dev.clone();
+            scope.spawn(move || {
+                let mut gen = Keygen::new(stream_for(dist, population), KEY_BYTES, 0xF111 + t);
+                for _ in 0..ops / 4 {
+                    let _ = dev.get(&gen.next_key()).unwrap();
+                }
+            });
+        }
+    });
+    let warm = sink.snapshot().expect("sink enabled");
+    let device_start = dev.device_elapsed_secs();
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let dev = dev.clone();
+            scope.spawn(move || {
+                // Same seed as the warm pass: replay the trace.
+                let mut gen = Keygen::new(stream_for(dist, population), KEY_BYTES, 0xF111 + t);
+                for _ in 0..ops / 4 {
+                    let _ = dev.get(&gen.next_key()).unwrap();
+                }
+            });
+        }
+    });
+    let measured = sink.snapshot().expect("sink enabled").since(&warm);
+    let (p50, p99, p999) = measured
+        .histogram("get_latency_ns")
+        .map_or((0, 0, 0), |h| (h.p50_ns(), h.p99_ns(), h.p999_ns()));
+    CachePhase {
+        get_p50_ns: p50,
+        get_p99_ns: p99,
+        get_p999_ns: p999,
+        measured_ops: (ops / 4) * 4,
+        device_secs: (dev.device_elapsed_secs() - device_start).max(0.0),
+        cache: dev.hot_cache_stats(),
+    }
+}
+
+fn cache_stats_json(c: &rhik_kvssd::CacheStats) -> Value {
+    json!({
+        "lookups": c.lookups,
+        "hits": c.hits,
+        "stale_hits": c.stale_hits,
+        "admits": c.admits,
+        "rejects": c.rejects,
+        "evictions": c.evictions,
+        "replica_admits": c.replica_admits,
+        "bytes": c.bytes,
+        "entries": c.entries,
+    })
+}
+
 fn config() -> DeviceConfig {
     // Realistic (KVEMU-like) timing so the simulated clock measures
     // something; `small()` uses the instant profile.
@@ -98,8 +243,13 @@ fn run_sharded(
     population: u64,
     ops: u64,
     sink: Option<&TelemetrySink>,
+    cache_budget: Option<u64>,
 ) -> RunResult {
-    let dev = ShardedKvssd::rhik(config().with_shards(shards));
+    let mut cfg = config().with_shards(shards);
+    if let Some(budget) = cache_budget {
+        cfg = cfg.with_hot_cache(budget);
+    }
+    let dev = ShardedKvssd::rhik(cfg);
     if let Some(s) = sink {
         dev.set_telemetry(s.clone());
     }
@@ -137,12 +287,17 @@ fn run_sharded(
         eprintln!("[audit] sharded {shards}s/{threads}t: clean");
     }
     let puts = dev.put_latencies();
+    let gets = dev.get_latencies();
     RunResult {
         total_ops: population + (ops / threads) * threads,
         wall_secs: start.elapsed().as_secs_f64(),
         device_secs: dev.device_elapsed_secs(),
         put_p99_ns: puts.p99_ns(),
         put_p999_ns: puts.p999_ns(),
+        get_p50_ns: gets.p50_ns(),
+        get_p99_ns: gets.p99_ns(),
+        get_p999_ns: gets.p999_ns(),
+        cache: dev.hot_cache_stats(),
     }
 }
 
@@ -178,15 +333,28 @@ fn run_shared(threads: u64, dist: Dist, population: u64, ops: u64) -> RunResult 
         assert!(report.is_ok(), "--audit found invariant violations:\n{report}");
         eprintln!("[audit] shared {threads}t: clean");
     }
-    let (device_secs, put_p99_ns, put_p999_ns) = dev.with_device(|d| {
-        (d.elapsed_secs(), d.put_latencies().p99_ns(), d.put_latencies().p999_ns())
-    });
+    let (device_secs, put_p99_ns, put_p999_ns, get_p50_ns, get_p99_ns, get_p999_ns) = dev
+        .with_device(|d| {
+            let gets = d.get_latencies();
+            (
+                d.elapsed_secs(),
+                d.put_latencies().p99_ns(),
+                d.put_latencies().p999_ns(),
+                gets.p50_ns(),
+                gets.p99_ns(),
+                gets.p999_ns(),
+            )
+        });
     RunResult {
         total_ops: population + (ops / threads) * threads,
         wall_secs: start.elapsed().as_secs_f64(),
         device_secs,
         put_p99_ns,
         put_p999_ns,
+        get_p50_ns,
+        get_p99_ns,
+        get_p999_ns,
+        cache: None,
     }
 }
 
@@ -199,6 +367,10 @@ fn main() {
     let thread_counts = [1u64, 2, 4];
     let shard_counts = [1u32, 2, 4];
 
+    let matrix_cache = cache_budget();
+    if let Some(budget) = matrix_cache {
+        eprintln!("[cfg] hot-object cache enabled for sharded runs: {budget} B budget");
+    }
     let mut rows = vec![vec![
         "dist".to_string(),
         "mode".to_string(),
@@ -206,6 +378,9 @@ fn main() {
         "shards".to_string(),
         "device Mops/s".to_string(),
         "wall Mops/s".to_string(),
+        "get p50 µs".to_string(),
+        "get p99 µs".to_string(),
+        "get p99.9 µs".to_string(),
         "put p99 µs".to_string(),
         "put p99.9 µs".to_string(),
     ]];
@@ -226,6 +401,9 @@ fn main() {
                 "-".to_string(),
                 format!("{:.3}", r.device_ops_per_sec() / 1e6),
                 format!("{:.3}", r.wall_ops_per_sec() / 1e6),
+                format!("{:.1}", r.get_p50_ns as f64 / 1e3),
+                format!("{:.1}", r.get_p99_ns as f64 / 1e3),
+                format!("{:.1}", r.get_p999_ns as f64 / 1e3),
                 format!("{:.1}", r.put_p99_ns as f64 / 1e3),
                 format!("{:.1}", r.put_p999_ns as f64 / 1e3),
             ]);
@@ -242,6 +420,9 @@ fn main() {
                 "wall_secs": r.wall_secs,
                 "device_ops_per_sec": r.device_ops_per_sec(),
                 "wall_ops_per_sec": r.wall_ops_per_sec(),
+                "get_p50_ns": r.get_p50_ns,
+                "get_p99_ns": r.get_p99_ns,
+                "get_p999_ns": r.get_p999_ns,
                 "put_p99_ns": r.put_p99_ns,
                 "put_p999_ns": r.put_p999_ns,
             }));
@@ -252,7 +433,7 @@ fn main() {
                     "[run] dist={} mode=sharded threads={threads} shards={shards}",
                     dist.name
                 );
-                let r = run_sharded(shards, threads, dist, population, ops, None);
+                let r = run_sharded(shards, threads, dist, population, ops, None, matrix_cache);
                 rows.push(vec![
                     dist.name.to_string(),
                     "sharded".to_string(),
@@ -260,6 +441,9 @@ fn main() {
                     shards.to_string(),
                     format!("{:.3}", r.device_ops_per_sec() / 1e6),
                     format!("{:.3}", r.wall_ops_per_sec() / 1e6),
+                    format!("{:.1}", r.get_p50_ns as f64 / 1e3),
+                    format!("{:.1}", r.get_p99_ns as f64 / 1e3),
+                    format!("{:.1}", r.get_p999_ns as f64 / 1e3),
                     format!("{:.1}", r.put_p99_ns as f64 / 1e3),
                     format!("{:.1}", r.put_p999_ns as f64 / 1e3),
                 ]);
@@ -279,7 +463,7 @@ fn main() {
                         .expect("1t/1s cell ran first");
                     slot.2 = r.wall_ops_per_sec();
                 }
-                results.push(json!({
+                let mut row = json!({
                     "dist": dist.name,
                     "mode": "sharded",
                     "threads": threads,
@@ -289,9 +473,16 @@ fn main() {
                     "wall_secs": r.wall_secs,
                     "device_ops_per_sec": r.device_ops_per_sec(),
                     "wall_ops_per_sec": r.wall_ops_per_sec(),
+                    "get_p50_ns": r.get_p50_ns,
+                    "get_p99_ns": r.get_p99_ns,
+                    "get_p999_ns": r.get_p999_ns,
                     "put_p99_ns": r.put_p99_ns,
                     "put_p999_ns": r.put_p999_ns,
-                }));
+                });
+                if let (Value::Object(pairs), Some(cache)) = (&mut row, &r.cache) {
+                    pairs.push(("cache".to_string(), cache_stats_json(cache)));
+                }
+                results.push(row);
             }
         }
     }
@@ -330,6 +521,74 @@ fn main() {
         }));
     }
 
+    // Cached-vs-uncached: the same warmed read phase at 4 threads /
+    // 4 shards with the hot-object cache off and then on under a hard
+    // DRAM cap (see `run_cache_phase`).
+    let comparison_budget = matrix_cache.unwrap_or(COMPARISON_BUDGET);
+    let zipf = dists[0];
+    eprintln!("[run] cache-comparison dist={} 4t/4s cache=off", zipf.name);
+    let off = run_cache_phase(zipf, population, ops, None);
+    eprintln!(
+        "[run] cache-comparison dist={} 4t/4s cache=on budget={comparison_budget}",
+        zipf.name
+    );
+    let on = run_cache_phase(zipf, population, ops, Some(comparison_budget));
+    let cache = on.cache.expect("cache-on run has stats");
+    let hit_pct =
+        if cache.lookups == 0 { 0.0 } else { 100.0 * cache.hits as f64 / cache.lookups as f64 };
+    println!(
+        "\n{}: read phase with hot-object cache at {} KiB budget \
+         ({:.1}% hit rate, {} B resident, {} evictions, {} TinyLFU rejects):",
+        zipf.name,
+        comparison_budget / 1024,
+        hit_pct,
+        cache.bytes,
+        cache.evictions,
+        cache.rejects,
+    );
+    println!(
+        "  get p50 {:.1} -> {:.1} µs ({:.1}x), p99 {:.1} -> {:.1} µs ({:.1}x), \
+         p99.9 {:.1} -> {:.1} µs, device throughput {} -> {}",
+        off.get_p50_ns as f64 / 1e3,
+        on.get_p50_ns as f64 / 1e3,
+        off.get_p50_ns as f64 / (on.get_p50_ns as f64).max(1.0),
+        off.get_p99_ns as f64 / 1e3,
+        on.get_p99_ns as f64 / 1e3,
+        off.get_p99_ns as f64 / (on.get_p99_ns as f64).max(1.0),
+        off.get_p999_ns as f64 / 1e3,
+        on.get_p999_ns as f64 / 1e3,
+        off.device_throughput_label(),
+        on.device_throughput_label(),
+    );
+    let throughput_or_null =
+        |p: &CachePhase| p.device_ops_per_sec().map_or(Value::Null, Value::from);
+    let cache_comparison = json!({
+        "dist": zipf.name,
+        "threads": 4,
+        "shards": 4,
+        "budget_bytes": comparison_budget,
+        "workload": "warmed get-only zipf trace replay (telemetry snapshot diff)",
+        "measured_ops": off.measured_ops,
+        "hit_rate_pct": hit_pct,
+        "off": {
+            "device_secs": off.device_secs,
+            "device_ops_per_sec": throughput_or_null(&off),
+            "get_p50_ns": off.get_p50_ns,
+            "get_p99_ns": off.get_p99_ns,
+            "get_p999_ns": off.get_p999_ns,
+        },
+        "on": {
+            "device_secs": on.device_secs,
+            "device_ops_per_sec": throughput_or_null(&on),
+            "get_p50_ns": on.get_p50_ns,
+            "get_p99_ns": on.get_p99_ns,
+            "get_p999_ns": on.get_p999_ns,
+            "cache": cache_stats_json(&cache),
+        },
+        "get_p50_speedup": off.get_p50_ns as f64 / (on.get_p50_ns as f64).max(1.0),
+        "get_p99_speedup": off.get_p99_ns as f64 / (on.get_p99_ns as f64).max(1.0),
+    });
+
     let blob = json!({
         "experiment": "scaling",
         "scale": scale.pick("small", "full"),
@@ -339,9 +598,11 @@ fn main() {
         "mixed_ops": ops,
         "value_bytes": VALUE_BYTES as u64,
         "key_bytes": KEY_BYTES as u64,
+        "cache_budget_bytes": matrix_cache.map_or(Value::Null, Value::from),
         "results": results,
         "speedup_4t4s_vs_shared_4t": speedups,
         "wall_scaling_4t4s_vs_1t1s": wall_ratios,
+        "cache_comparison": cache_comparison,
     });
     emit_json("scaling", &blob);
     if let Ok(s) = serde_json::to_string_pretty(&blob) {
@@ -378,7 +639,7 @@ fn main() {
         let sink = TelemetrySink::with_trace_capacity((population + ops) as usize);
         let dist = dists[0];
         eprintln!("[run] trace-dump dist={} mode=sharded threads=2 shards=4", dist.name);
-        let _ = run_sharded(4, 2, dist, population, ops, Some(&sink));
+        let _ = run_sharded(4, 2, dist, population, ops, Some(&sink), matrix_cache);
         let attr = sink.attribution();
         let rpl = sink.reads_per_lookup().unwrap_or_default();
         println!("per-stage device-time attribution (sharded run, telemetry on):");

@@ -34,5 +34,5 @@ pub use cache::IndexPageCache;
 pub use ftl::{Ftl, FtlConfig, FtlError, FtlStats, MediaReader, WrittenExtent};
 pub use gc::{GcConfig, GcPolicy, GcReport};
 pub use readview::{GenSnapshot, Lookup, ReadHit, ReadView};
-pub use sync::FlashPool;
+pub use sync::{FlashPool, VersionTable};
 pub use traits::{IndexBackend, IndexError, IndexStats, InsertOutcome, ResizeEvent, TimedOp};

@@ -276,6 +276,26 @@ pub trait IndexBackend {
         let _ = view;
         false
     }
+
+    /// Attach a [`VersionTable`](crate::sync::VersionTable) for the hot
+    /// object cache tier's invalidation protocol: the backend must bump
+    /// the signature's stripe after *every* value mutation it applies —
+    /// insert, in-place update, delete, GC relocation. Directory
+    /// doublings move mappings without changing values, so they need no
+    /// bump.
+    ///
+    /// Returns `true` iff the backend accepted the table and will bump
+    /// it from now on. Unlike [`attach_read_view`](Self::attach_read_view)
+    /// this is safe at any point in the index's life: versions are
+    /// compared only for equality against a fill-time read, so starting
+    /// from zero mid-stream merely means pre-attach history is invisible
+    /// — and there are no cache entries from before the attach. The
+    /// default (`false`) is correct for backends without cache support:
+    /// the device then refuses to enable the cache tier.
+    fn attach_versions(&mut self, versions: std::sync::Arc<crate::sync::VersionTable>) -> bool {
+        let _ = versions;
+        false
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,122 @@
+//! TinyLFU admission filter: a 4-row count-min sketch of access
+//! frequency with periodic halving (the "reset" that makes the estimate
+//! a sliding window rather than an all-time count).
+//!
+//! The sketch answers one question for the eviction policy: *is the
+//! candidate more popular than the victim?* A cold key scanning through
+//! the workload loses that comparison against any resident hot key, so
+//! one-hit-wonders never displace the working set — the property that
+//! lets a hard byte budget far below the dataset size still capture the
+//! zipf head.
+//!
+//! Counters are 4-bit-equivalent (u8 saturating, halved at the sample
+//! cap); width scales with the stripe's budget so a bigger cache also
+//! remembers more distinct keys. One sketch per stripe, mutated under
+//! the stripe lock — no atomics needed.
+
+/// Odd 64-bit seeds for the four rows (splitmix64 constants).
+const SEEDS: [u64; 4] =
+    [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 0xD6E8_FEB8_6659_FD93];
+
+/// Count-min frequency sketch with periodic halving.
+pub struct TinyLfu {
+    rows: [Box<[u8]>; 4],
+    mask: u64,
+    /// Accesses recorded since the last halving.
+    samples: u64,
+    /// Halve every counter once this many samples accumulate.
+    sample_cap: u64,
+}
+
+impl TinyLfu {
+    /// A sketch with at least `width_hint` counters per row (rounded up
+    /// to a power of two, clamped to a sane range).
+    pub fn new(width_hint: usize) -> Self {
+        let width = width_hint.next_power_of_two().clamp(64, 1 << 20);
+        let row = || vec![0u8; width].into_boxed_slice();
+        TinyLfu {
+            rows: [row(), row(), row(), row()],
+            mask: width as u64 - 1,
+            samples: 0,
+            sample_cap: width as u64 * 8,
+        }
+    }
+
+    #[inline]
+    fn slot(sig: u64, row: usize, mask: u64) -> usize {
+        // Mix the signature with the row seed; take high bits so the
+        // rows decorrelate even for sequential signatures.
+        ((sig ^ SEEDS[row]).wrapping_mul(SEEDS[row]) >> 32 & mask) as usize
+    }
+
+    /// Record one access to `sig`.
+    pub fn record(&mut self, sig: u64) {
+        for (row, counters) in self.rows.iter_mut().enumerate() {
+            let c = &mut counters[Self::slot(sig, row, self.mask)];
+            *c = c.saturating_add(1);
+        }
+        self.samples += 1;
+        if self.samples >= self.sample_cap {
+            self.halve();
+        }
+    }
+
+    /// Estimated access frequency of `sig` (min over rows).
+    pub fn estimate(&self, sig: u64) -> u32 {
+        let mut est = u8::MAX;
+        for (row, counters) in self.rows.iter().enumerate() {
+            est = est.min(counters[Self::slot(sig, row, self.mask)]);
+        }
+        est as u32
+    }
+
+    /// The periodic reset: halving every counter ages out stale
+    /// popularity so yesterday's hot key cannot squat on the cache.
+    fn halve(&mut self) {
+        for row in self.rows.iter_mut() {
+            for c in row.iter_mut() {
+                *c >>= 1;
+            }
+        }
+        self.samples >>= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_key_outranks_cold_key() {
+        let mut s = TinyLfu::new(256);
+        for _ in 0..40 {
+            s.record(7);
+        }
+        s.record(9);
+        assert!(s.estimate(7) > s.estimate(9));
+        assert!(s.estimate(7) >= 32); // sketch may over- but not under-count
+    }
+
+    #[test]
+    fn halving_ages_out_old_popularity() {
+        let mut s = TinyLfu::new(64); // sample_cap = 512
+        for _ in 0..200 {
+            s.record(1);
+        }
+        let before = s.estimate(1);
+        // Flood with other keys to trip the halving at least once.
+        for sig in 0..400u64 {
+            s.record(sig.wrapping_mul(31) + 1000);
+        }
+        assert!(s.estimate(1) < before, "halving must decay the hot estimate");
+    }
+
+    #[test]
+    fn estimates_saturate_without_overflow() {
+        let mut s = TinyLfu::new(1 << 20); // huge cap: no halving below
+        for _ in 0..300 {
+            s.record(5);
+        }
+        assert_eq!(s.estimate(5), u8::MAX as u32);
+    }
+}

@@ -1,6 +1,7 @@
 //! Device configuration.
 
 use rhik_ftl::{FtlConfig, GcConfig};
+use rhik_hotcache::CacheConfig;
 use rhik_nand::{DeviceProfile, NandGeometry};
 use rhik_sigs::SigHasher;
 
@@ -35,6 +36,11 @@ pub struct DeviceConfig {
     /// queue and index; 1 = unsharded. Ignored by the single-queue
     /// `KvssdDevice` / `SharedKvssd` entry points.
     pub shards: u32,
+    /// DRAM hot-object cache tier above the index (distinct from
+    /// `cache_budget_bytes`, which funds the FTL's index-*page* cache).
+    /// Default **off**; honored by [`crate::ShardedKvssd`] and
+    /// [`crate::SharedKvssd::rhik`].
+    pub hot_cache: CacheConfig,
 }
 
 impl DeviceConfig {
@@ -63,6 +69,7 @@ impl DeviceConfig {
                 ..Default::default()
             },
             shards: 1,
+            hot_cache: CacheConfig::off(),
         }
     }
 
@@ -79,6 +86,7 @@ impl DeviceConfig {
             hasher: SigHasher::default(),
             rhik: rhik_core::RhikConfig::default(),
             shards: 1,
+            hot_cache: CacheConfig::off(),
         }
     }
 
@@ -99,6 +107,14 @@ impl DeviceConfig {
     pub fn with_shards(mut self, shards: u32) -> Self {
         assert!(shards >= 1 && shards.is_power_of_two(), "shards must be a power of two ≥ 1");
         self.shards = shards;
+        self
+    }
+
+    /// Enable the DRAM hot-object cache tier with `budget_bytes` of DRAM
+    /// (hard cap; default policy: TinyLFU admission, 8 lock stripes,
+    /// 80% protected segment, no hot-key replication).
+    pub fn with_hot_cache(mut self, budget_bytes: u64) -> Self {
+        self.hot_cache = CacheConfig::with_budget(budget_bytes);
         self
     }
 

@@ -289,6 +289,15 @@ impl<I: IndexBackend> KvssdDevice<I> {
         self.index.attach_read_view(view)
     }
 
+    /// Offer the hot-object cache tier's invalidation version table to
+    /// the index backend. Returns `true` iff the backend accepted it and
+    /// will bump the mutated signature's stripe after every value
+    /// mutation; `false` means the cache tier must stay disabled for
+    /// this device.
+    pub fn attach_versions(&mut self, versions: std::sync::Arc<rhik_ftl::VersionTable>) -> bool {
+        self.index.attach_versions(versions)
+    }
+
     /// Install a telemetry sink (shard id 0). The sink is shared down the
     /// stack (FTL, NAND) so media ops, cache traffic, GC and resize
     /// progress all land in one registry and trace ring.

@@ -29,6 +29,7 @@
 //! * [`SharedKvssd`] — the single-queue baseline: one global mutex, one
 //!   serialized command stream.
 
+mod cache_tier;
 mod cmd;
 mod config;
 mod device;
@@ -53,6 +54,10 @@ pub use rhik_telemetry::{
     Attribution, MetricRegistry, MetricSnapshot, OpKind, OpSpan, ReadsPerLookup, Stage, StageEvent,
     TelemetrySink, TraceRing,
 };
+
+// Hot-object cache configuration and counters, re-exported so device users
+// need not depend on the hotcache crate directly.
+pub use rhik_hotcache::{CacheConfig, CacheStats};
 
 /// Result alias for device commands.
 pub type Result<T> = std::result::Result<T, KvError>;

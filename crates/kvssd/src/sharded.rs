@@ -44,6 +44,7 @@ use rhik_nand::Ppa;
 use rhik_sigs::{KeySignature, SigHasher};
 use rhik_telemetry::{OpKind, OpSpan, TelemetrySink};
 
+use crate::cache_tier::{CacheTier, Probe};
 use crate::config::DeviceConfig;
 use crate::device::{DeviceStats, ExistReport, KvssdDevice};
 use crate::error::KvError;
@@ -225,6 +226,9 @@ pub struct ShardedKvssd<I: IndexBackend> {
     hasher: SigHasher,
     /// High signature bits selecting the shard (`log2(shard count)`).
     shard_bits: u32,
+    /// DRAM hot-object cache tier, `Some` when `cfg.hot_cache.enabled`
+    /// and every shard's index accepted the invalidation version table.
+    cache: Option<Arc<CacheTier>>,
 }
 
 impl<I: IndexBackend> Clone for ShardedKvssd<I> {
@@ -235,6 +239,7 @@ impl<I: IndexBackend> Clone for ShardedKvssd<I> {
             pool: Arc::clone(&self.pool),
             hasher: self.hasher,
             shard_bits: self.shard_bits,
+            cache: self.cache.clone(),
         }
     }
 }
@@ -285,6 +290,12 @@ impl ShardedKvssd<RhikIndex> {
             ..cfg.gc
         };
 
+        // One version table + hot cache for the whole device: mutations
+        // route to exactly one shard per signature, so a single table
+        // sees every bump for a given key.
+        let mut cache =
+            cfg.hot_cache.enabled.then(|| Arc::new(CacheTier::new(cfg.hot_cache, count as usize)));
+
         let mut shards: Vec<Mutex<KvssdDevice<RhikIndex>>> = Vec::with_capacity(count as usize);
         let mut ext: Vec<ShardExt> = Vec::with_capacity(count as usize);
         for _ in 0..count {
@@ -298,6 +309,13 @@ impl ShardedKvssd<RhikIndex> {
             let read = dev
                 .attach_read_view(Arc::clone(&view))
                 .then(|| ReadPath::new(view, dev.media_reader()));
+            // The cache tier requires the backend to bump invalidation
+            // versions; a refusal disables the cache (fail-open).
+            if let Some(tier) = &cache {
+                if !dev.attach_versions(Arc::clone(&tier.versions)) {
+                    cache = None;
+                }
+            }
             shards.push(Mutex::new(dev));
             ext.push(ShardExt { read, commit: GroupCommit::new() });
         }
@@ -308,24 +326,106 @@ impl ShardedKvssd<RhikIndex> {
             pool,
             hasher: cfg.hasher,
             shard_bits,
+            cache,
         }
     }
 
     /// Cross-layer audit over every shard, including the global checks no
     /// single shard can run: no PPA claimed by two shards' directories,
     /// no erase block leased twice, and free + leased covering the pool
-    /// exactly. Takes every shard's queue lock in turn, so call between
-    /// command batches.
+    /// exactly. Holds every shard's lock simultaneously (acquired in
+    /// shard order; no other path holds two at once) so the cross-shard
+    /// pool accounting is one consistent snapshot — safe to call while
+    /// other threads keep issuing commands.
     pub fn audit(&self, auditor: &mut rhik_audit::DeviceAuditor) -> rhik_audit::AuditReport {
+        let guards: Vec<_> = (0..self.shards.len()).map(|s| self.lock(s)).collect();
         let mut shards = Vec::with_capacity(self.shards.len());
         let mut gauges = Vec::new();
-        for shard in 0..self.shards.len() {
-            let dev = self.lock(shard);
+        let mut cache_samples = Vec::new();
+        for (shard, dev) in guards.iter().enumerate() {
             let (flash, index, shard_gauges) = dev.audit_parts();
             shards.push((flash, index));
             gauges.extend(shard_gauges);
+            // Cache↔index coherence: with every shard lock held the
+            // keyspace is quiescent — join every still-current cached
+            // entry of this shard's slice against the directory →
+            // record-page → FTL chain.
+            self.collect_cache_samples(shard, &mut cache_samples);
         }
-        auditor.check_sharded(&shards, &gauges)
+        let mut report = auditor.check_sharded(&shards, &gauges);
+        report.violations.extend(auditor.check_cache(&cache_samples).violations);
+        report
+    }
+
+    /// Gather [`rhik_audit::CacheCoherenceSample`]s for `shard`'s slice
+    /// of the signature space. Caller holds (or just held) the shard
+    /// lock; mutations for these signatures route only through that
+    /// shard, so versions observed here are stable for the join.
+    fn collect_cache_samples(
+        &self,
+        shard: usize,
+        samples: &mut Vec<rhik_audit::CacheCoherenceSample>,
+    ) {
+        let Some(tier) = &self.cache else { return };
+        let Some(read) = &self.ext[shard].read else { return };
+        for entry in tier.snapshot() {
+            if self.shard_of(KeySignature(entry.sig)) != shard {
+                continue;
+            }
+            let current = tier.versions.load(entry.sig);
+            if current != entry.version {
+                continue; // unservable by construction — not sampled
+            }
+            samples.push(rhik_audit::CacheCoherenceSample {
+                shard: shard as u32,
+                sig: entry.sig,
+                fill_version: entry.version,
+                current_version: current,
+                cached_value: entry.value.to_vec(),
+                index_value: self.audit_chain_read(read, KeySignature(entry.sig), &entry.key),
+            });
+        }
+    }
+
+    /// Re-read one key through the lock-free chain for the audit join,
+    /// without touching command counters or the shard clock. `None`
+    /// means the chain could not be walked without side effects (page
+    /// still in the write buffer) — the sample is skipped.
+    fn audit_chain_read(
+        &self,
+        read: &ReadPath,
+        sig: KeySignature,
+        key: &[u8],
+    ) -> Option<Option<Vec<u8>>> {
+        let hit = match read.view.lookup(sig.0) {
+            // A validated miss is authoritative: the key is absent.
+            Lookup::Miss => return Some(None),
+            Lookup::Contended => return None, // writer active: skip
+            Lookup::Hit(hit) => hit,
+        };
+        let (data, _) = read.media.read_page(hit.head).ok()?;
+        let page_size = read.media.geometry().page_size as usize;
+        let entry = layout::find_in_head(&data, page_size, sig)?;
+        if entry.key != key {
+            return Some(None); // signature collision: this key is absent
+        }
+        let mut value = entry.value_frag.to_vec();
+        let mut remaining = (entry.val_total_len - entry.frag_len) as usize;
+        if remaining > 0 {
+            let start = entry.cont_start?;
+            let mut i = 0;
+            while remaining > 0 {
+                let (cd, _) = read.media.read_page(Ppa::new(start.block, start.page + i)).ok()?;
+                let take = remaining.min(cd.len());
+                value.extend_from_slice(&cd[..take]);
+                remaining -= take;
+                i += 1;
+            }
+        }
+        if !hit.validate() {
+            return None;
+        }
+        Some(Some(value))
     }
 }
 
@@ -465,14 +565,35 @@ impl<I: IndexBackend + Send> ShardedKvssd<I> {
         }
     }
 
-    /// `get`: lock-free when the shard has a read view — walk the
+    /// `get`: the hot-object cache answers first (a validated DRAM hit
+    /// costs zero directory work and zero flash reads), then the
+    /// lock-free path when the shard has a read view — walk the
     /// published snapshot, read record pages through the media lock,
     /// validate, and return without ever touching the shard's command
     /// mutex. Any ambiguity (contended bucket, pending write buffer,
-    /// failed validation) falls back to the classic locked path.
+    /// failed validation) falls back to the classic locked path. Values
+    /// read from the index are offered back to the cache under the
+    /// version-re-check fill protocol (see `cache_tier`).
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         let sig = self.hasher.sign(key);
         let shard = self.shard_of(sig);
+        let fill_version = match &self.cache {
+            Some(tier) if !key.is_empty() => match tier.probe(shard as u32, sig, key) {
+                Probe::Hit(value) => return Ok(Some(value)),
+                Probe::Fill(v1) => Some(v1),
+            },
+            _ => None,
+        };
+        let result = self.get_uncached(shard, sig, key);
+        if let (Some(tier), Some(v1), Ok(Some(value))) = (&self.cache, fill_version, &result) {
+            tier.try_admit(shard as u32, sig, key, value, v1);
+        }
+        result
+    }
+
+    /// The index read behind the cache tier: lock-free when possible,
+    /// locked otherwise.
+    fn get_uncached(&self, shard: usize, sig: KeySignature, key: &[u8]) -> Result<Option<Bytes>> {
         if let Some(read) = &self.ext[shard].read {
             if !key.is_empty() {
                 match self.lockfree_get(read, shard as u32, sig, key) {
@@ -652,7 +773,16 @@ impl<I: IndexBackend + Send> ShardedKvssd<I> {
             stats.not_found += read.not_found.get();
             stats.bytes_read += read.bytes_read.get();
         }
+        if let Some(tier) = &self.cache {
+            tier.fold_shard_stats(shard, &mut stats);
+        }
         stats
+    }
+
+    /// Hot-object cache counters and occupancy; `None` when the cache
+    /// tier is disabled.
+    pub fn hot_cache_stats(&self) -> Option<rhik_hotcache::CacheStats> {
+        self.cache.as_ref().map(|tier| tier.stats())
     }
 
     /// Aggregated lock-free read-path counters over every shard. All
@@ -736,6 +866,9 @@ impl<I: IndexBackend + Send> ShardedKvssd<I> {
                 h.merge(&read.latencies.lock().unwrap_or_else(|p| p.into_inner()));
             }
         }
+        if let Some(tier) = &self.cache {
+            tier.merge_latencies(&mut h);
+        }
         h
     }
 
@@ -756,6 +889,9 @@ impl<I: IndexBackend + Send> ShardedKvssd<I> {
                 *read.telemetry.lock().unwrap_or_else(|p| p.into_inner()) = sink.clone();
                 read.telemetry_on.set(u64::from(sink.is_enabled()));
             }
+        }
+        if let Some(tier) = &self.cache {
+            tier.set_telemetry(sink);
         }
     }
 
@@ -1057,5 +1193,57 @@ mod tests {
         dev.flush().unwrap();
         let report = dev.audit(&mut auditor);
         assert!(report.is_ok(), "final audit:\n{report}");
+    }
+
+    #[test]
+    fn hot_cache_hits_skip_flash_and_stay_coherent() {
+        let dev =
+            ShardedKvssd::rhik(DeviceConfig::small().with_shards(4).with_hot_cache(128 * 1024));
+        let sink = rhik_telemetry::TelemetrySink::enabled();
+        dev.set_telemetry(sink.clone());
+        for i in 0..100u64 {
+            dev.put(format!("hc-{i:03}").as_bytes(), format!("v0-{i}").as_bytes()).unwrap();
+        }
+        dev.flush().unwrap();
+        // Pass 1 fills, pass 2 hits DRAM.
+        for _ in 0..2 {
+            for i in 0..100u64 {
+                let got = dev.get(format!("hc-{i:03}").as_bytes()).unwrap().unwrap();
+                assert_eq!(&got[..], format!("v0-{i}").as_bytes());
+            }
+        }
+        let stats = dev.hot_cache_stats().expect("cache enabled");
+        assert!(stats.admits > 0, "pass 1 should admit: {stats:?}");
+        assert_eq!(stats.hits, 100, "pass 2 should be all hits: {stats:?}");
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.counter("hot_cache_hits"), 100);
+        assert_eq!(snap.counter("kvssd_gets"), 200, "hits still count as gets");
+        assert!(snap.gauge("hot_cache_bytes").unwrap() > 0.0);
+
+        // Every mutation invalidates its cached entry.
+        for i in 0..100u64 {
+            let key = format!("hc-{i:03}");
+            if i % 2 == 0 {
+                dev.put(key.as_bytes(), format!("v1-{i}").as_bytes()).unwrap();
+            } else {
+                dev.delete(key.as_bytes()).unwrap();
+            }
+        }
+        for i in 0..100u64 {
+            let got = dev.get(format!("hc-{i:03}").as_bytes()).unwrap();
+            if i % 2 == 0 {
+                assert_eq!(&got.unwrap()[..], format!("v1-{i}").as_bytes());
+            } else {
+                assert!(got.is_none(), "deleted key hc-{i:03} resurrected from cache");
+            }
+        }
+        // Cache hits fold into aggregate and per-shard stats identically.
+        let total = dev.stats();
+        let summed: u64 = (0..dev.shard_count()).map(|s| dev.shard_stats(s).gets).sum();
+        assert_eq!(total.gets, summed);
+        // The audit's cache↔index coherence pass sees only clean entries.
+        let mut auditor = rhik_audit::DeviceAuditor::new();
+        let report = dev.audit(&mut auditor);
+        assert!(report.is_ok(), "coherence audit:\n{report}");
     }
 }

@@ -14,25 +14,40 @@ use bytes::Bytes;
 // `std-mutex-outside-sync` rule holds workspace-wide).
 use rhik_ftl::sync::{Mutex, MutexGuard};
 use rhik_ftl::IndexBackend;
+use rhik_sigs::SigHasher;
 
+use crate::cache_tier::{CacheTier, Probe};
 use crate::device::{DeviceStats, ExistReport, KvssdDevice};
 use crate::Result;
 
 /// A cloneable, thread-safe handle to a device.
 pub struct SharedKvssd<I: IndexBackend> {
     inner: Arc<Mutex<KvssdDevice<I>>>,
+    /// Hot-object cache tier, probed *before* the submission-queue lock so
+    /// hits skip the queue entirely (see [`crate::cache_tier`]). `None`
+    /// unless built via [`SharedKvssd::rhik`] with the cache enabled.
+    cache: Option<Arc<CacheTier>>,
+    /// Copy of the device's signature hasher, so cache probes can sign
+    /// keys without taking the lock.
+    hasher: SigHasher,
 }
 
 impl<I: IndexBackend> Clone for SharedKvssd<I> {
     fn clone(&self) -> Self {
-        SharedKvssd { inner: Arc::clone(&self.inner) }
+        SharedKvssd {
+            inner: Arc::clone(&self.inner),
+            cache: self.cache.clone(),
+            hasher: self.hasher,
+        }
     }
 }
 
 impl<I: IndexBackend + Send> SharedKvssd<I> {
-    /// Wrap a device for sharing across threads.
+    /// Wrap a device for sharing across threads (no cache tier; use
+    /// [`SharedKvssd::rhik`] to honor `DeviceConfig::hot_cache`).
     pub fn new(device: KvssdDevice<I>) -> Self {
-        SharedKvssd { inner: Arc::new(Mutex::new(device)) }
+        let hasher = *device.hasher_ref();
+        SharedKvssd { inner: Arc::new(Mutex::new(device)), cache: None, hasher }
     }
 
     /// Take the submission-queue lock. A panicked writer leaves the device
@@ -46,7 +61,24 @@ impl<I: IndexBackend + Send> SharedKvssd<I> {
     }
 
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        self.lock().get(key)
+        // Probe the DRAM cache before the submission-queue lock: a hit
+        // completes here; a miss carries the fill version through the
+        // locked read (fill protocol in `cache_tier` module docs).
+        let fill = match &self.cache {
+            Some(tier) if !key.is_empty() => {
+                let sig = self.hasher.sign(key);
+                match tier.probe(0, sig, key) {
+                    Probe::Hit(value) => return Ok(Some(value)),
+                    Probe::Fill(v1) => Some((sig, v1)),
+                }
+            }
+            _ => None,
+        };
+        let result = self.lock().get(key);
+        if let (Some(tier), Some((sig, v1)), Ok(Some(value))) = (&self.cache, fill, &result) {
+            tier.try_admit(0, sig, key, value, v1);
+        }
+        result
     }
 
     pub fn delete(&self, key: &[u8]) -> Result<()> {
@@ -62,7 +94,17 @@ impl<I: IndexBackend + Send> SharedKvssd<I> {
     }
 
     pub fn stats(&self) -> DeviceStats {
-        self.lock().stats()
+        let mut stats = self.lock().stats();
+        if let Some(tier) = &self.cache {
+            tier.fold_shard_stats(0, &mut stats);
+        }
+        stats
+    }
+
+    /// Hot-object cache counters and occupancy; `None` when the cache
+    /// tier is disabled (or the handle was built with [`SharedKvssd::new`]).
+    pub fn hot_cache_stats(&self) -> Option<rhik_hotcache::CacheStats> {
+        self.cache.as_ref().map(|tier| tier.stats())
     }
 
     pub fn key_count(&self) -> u64 {
@@ -82,6 +124,9 @@ impl<I: IndexBackend + Send> SharedKvssd<I> {
 
     /// Install a telemetry sink on the wrapped device (shard id 0).
     pub fn set_telemetry(&self, sink: rhik_telemetry::TelemetrySink) {
+        if let Some(tier) = &self.cache {
+            tier.set_telemetry(sink.clone());
+        }
         self.lock().set_telemetry(sink)
     }
 
@@ -92,14 +137,31 @@ impl<I: IndexBackend + Send> SharedKvssd<I> {
 
     /// Unwrap the device if this is the last handle.
     pub fn try_into_inner(self) -> std::result::Result<KvssdDevice<I>, Self> {
-        match Arc::try_unwrap(self.inner) {
+        let SharedKvssd { inner, cache, hasher } = self;
+        match Arc::try_unwrap(inner) {
             Ok(mutex) => Ok(mutex.into_inner().unwrap_or_else(|poison| poison.into_inner())),
-            Err(inner) => Err(SharedKvssd { inner }),
+            Err(inner) => Err(SharedKvssd { inner, cache, hasher }),
         }
     }
 }
 
 impl SharedKvssd<rhik_core::RhikIndex> {
+    /// Build a RHIK device and wrap it, honoring `cfg.hot_cache`: when the
+    /// cache tier is enabled, its invalidation version table is attached
+    /// to the index before the first command, and `get` probes DRAM ahead
+    /// of the submission-queue lock. Falls back to an uncached handle if
+    /// the index declines the version table.
+    pub fn rhik(cfg: crate::DeviceConfig) -> Self {
+        let mut device = KvssdDevice::rhik(cfg);
+        let hasher = *device.hasher_ref();
+        let cache = cfg.hot_cache.enabled.then(|| Arc::new(CacheTier::new(cfg.hot_cache, 1)));
+        let cache = match cache {
+            Some(tier) if device.attach_versions(Arc::clone(&tier.versions)) => Some(tier),
+            _ => None,
+        };
+        SharedKvssd { inner: Arc::new(Mutex::new(device)), cache, hasher }
+    }
+
     /// Cross-layer invariant audit of the wrapped device (see
     /// [`KvssdDevice::audit`]); takes the submission-queue lock.
     pub fn audit(&self, auditor: &mut rhik_audit::DeviceAuditor) -> rhik_audit::AuditReport {
@@ -154,6 +216,44 @@ mod tests {
         // Handle unwraps back to the device once threads are done.
         let device = dev.try_into_inner().ok().expect("sole handle");
         assert_eq!(device.stats().puts, THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn hot_cache_serves_repeats_and_never_goes_stale() {
+        let dev = SharedKvssd::rhik(DeviceConfig::small().with_hot_cache(64 * 1024));
+        for i in 0..50u64 {
+            dev.put(format!("hot-{i:03}").as_bytes(), format!("v0-{i}").as_bytes()).unwrap();
+        }
+        // First read fills, second read must hit DRAM.
+        for _ in 0..2 {
+            for i in 0..50u64 {
+                let got = dev.get(format!("hot-{i:03}").as_bytes()).unwrap().unwrap();
+                assert_eq!(&got[..], format!("v0-{i}").as_bytes());
+            }
+        }
+        let stats = dev.hot_cache_stats().expect("cache enabled");
+        assert!(stats.hits > 0, "second pass should hit the cache: {stats:?}");
+        assert!(stats.bytes > 0 && stats.entries > 0);
+
+        // Overwrites and deletes invalidate: reads observe only new state.
+        for i in 0..50u64 {
+            let key = format!("hot-{i:03}");
+            if i % 2 == 0 {
+                dev.put(key.as_bytes(), format!("v1-{i}").as_bytes()).unwrap();
+            } else {
+                dev.delete(key.as_bytes()).unwrap();
+            }
+        }
+        for i in 0..50u64 {
+            let got = dev.get(format!("hot-{i:03}").as_bytes()).unwrap();
+            if i % 2 == 0 {
+                assert_eq!(&got.unwrap()[..], format!("v1-{i}").as_bytes());
+            } else {
+                assert!(got.is_none(), "deleted key hot-{i:03} resurrected");
+            }
+        }
+        // Cache hits count as gets in the folded device stats.
+        assert!(dev.stats().gets >= 150);
     }
 
     #[test]

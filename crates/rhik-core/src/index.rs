@@ -47,6 +47,13 @@ pub struct RhikIndex {
     /// `None` on single-owner devices). Every mutation that changes where
     /// a pair lives funnels through the `note_view_*` helpers.
     view: Option<std::sync::Arc<rhik_ftl::ReadView>>,
+    /// Invalidation versions for the hot-object cache tier (attached by
+    /// the device when the cache is enabled; `None` otherwise). Bumped in
+    /// the same `note_view_*` funnel as the read view: every value
+    /// mutation — insert, update, delete, GC relocation — invalidates
+    /// the signature's stripe. Directory doublings move mappings without
+    /// changing values, so `note_view_doubled` does not bump.
+    versions: Option<std::sync::Arc<rhik_ftl::VersionTable>>,
 }
 
 impl RhikIndex {
@@ -68,6 +75,7 @@ impl RhikIndex {
             migration: None,
             recovery_lost_tables: 0,
             view: None,
+            versions: None,
         }
     }
 
@@ -178,6 +186,7 @@ impl RhikIndex {
             migration: None,
             recovery_lost_tables: lost_tables,
             view: None,
+            versions: None,
         };
         // The snapshot pages just consumed may themselves have been retired
         // (GC churn); re-anchor the persistent copy immediately so the next
@@ -417,6 +426,11 @@ impl RhikIndex {
         if let Some(view) = &self.view {
             view.upsert(sig.0, ppa);
         }
+        // Bump *after* the index mutation: once a cache fill observes the
+        // new version it is guaranteed to also observe the new value.
+        if let Some(versions) = &self.versions {
+            versions.bump(sig.0);
+        }
     }
 
     /// Mirror a deletion into the attached read view (no-op without one).
@@ -424,6 +438,9 @@ impl RhikIndex {
     pub(crate) fn note_view_remove(&self, sig: KeySignature) {
         if let Some(view) = &self.view {
             view.remove(sig.0);
+        }
+        if let Some(versions) = &self.versions {
+            versions.bump(sig.0);
         }
     }
 
@@ -878,6 +895,13 @@ impl IndexBackend for RhikIndex {
             view.publish_generation(self.dir.bits());
         }
         self.view = Some(view);
+        true
+    }
+
+    fn attach_versions(&mut self, versions: std::sync::Arc<rhik_ftl::VersionTable>) -> bool {
+        // Safe at any point: versions are equality-compared against a
+        // fill-time read, and no cache entries predate the attach.
+        self.versions = Some(versions);
         true
     }
 

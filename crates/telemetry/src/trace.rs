@@ -25,11 +25,21 @@ pub enum Stage {
     /// Time the command spent stalled behind the submission queue
     /// (housekeeping debt: deferred maintenance, proactive GC).
     QueueWait,
+    /// Hot-object cache tier: value admitted after an index read.
+    CacheAdmit,
+    /// Hot-object cache tier: get served entirely from DRAM (no
+    /// directory walk, no flash read).
+    CacheHotHit,
+    /// Hot-object cache tier: resident entry's fill version was
+    /// superseded — dropped, get fell through to the index.
+    CacheStale,
+    /// Hot-object cache tier: entries displaced to stay under budget.
+    CacheEvict,
 }
 
 impl Stage {
     /// All stages, in display order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 12] = [
         Stage::DirLookup,
         Stage::CacheHit,
         Stage::CacheMiss,
@@ -38,6 +48,10 @@ impl Stage {
         Stage::GcStep,
         Stage::ResizeMigrateBatch,
         Stage::QueueWait,
+        Stage::CacheAdmit,
+        Stage::CacheHotHit,
+        Stage::CacheStale,
+        Stage::CacheEvict,
     ];
 
     /// Stable snake_case name used in exports.
@@ -51,6 +65,10 @@ impl Stage {
             Stage::GcStep => "gc_step",
             Stage::ResizeMigrateBatch => "resize_migrate_batch",
             Stage::QueueWait => "queue_wait",
+            Stage::CacheAdmit => "cache_admit",
+            Stage::CacheHotHit => "cache_hot_hit",
+            Stage::CacheStale => "cache_stale",
+            Stage::CacheEvict => "cache_evict",
         }
     }
 }
@@ -230,6 +248,7 @@ mod tests {
         assert_eq!(s.stage_total_ns(), 10);
         assert_eq!(s.kind.name(), "get");
         assert_eq!(Stage::ResizeMigrateBatch.name(), "resize_migrate_batch");
-        assert_eq!(Stage::ALL.len(), 8);
+        assert_eq!(Stage::ALL.len(), 12);
+        assert_eq!(Stage::CacheHotHit.name(), "cache_hot_hit");
     }
 }

@@ -1,18 +1,20 @@
 //! Tour of the telemetry subsystem: install a sink on a RHIK device, run
 //! a small mixed workload, then dump every export the registry and trace
 //! support — snapshot diff, JSON, Prometheus text, per-stage latency
-//! attribution, and the live ≤ 1-flash-read-per-lookup distribution.
+//! attribution, the live ≤ 1-flash-read-per-lookup distribution, and the
+//! DRAM hot-object cache counters.
 //!
 //! ```sh
 //! cargo run --release --example metrics_dump
 //! ```
 
-use rhik::kvssd::{DeviceConfig, KvssdDevice, Stage, TelemetrySink};
+use rhik::kvssd::{DeviceConfig, SharedKvssd, Stage, TelemetrySink};
 use rhik::nand::DeviceProfile;
 
 fn main() {
-    let mut dev =
-        KvssdDevice::rhik(DeviceConfig::small().with_profile(DeviceProfile::kvemu_like()));
+    let dev = SharedKvssd::rhik(
+        DeviceConfig::small().with_profile(DeviceProfile::kvemu_like()).with_hot_cache(256 * 1024),
+    );
     let sink = TelemetrySink::enabled();
     dev.set_telemetry(sink.clone());
 
@@ -85,5 +87,30 @@ fn main() {
         rpl.max,
         if rpl.invariant_ok() { "invariant holds" } else { "INVARIANT VIOLATED" },
         rpl.pct_within(1)
+    );
+
+    // The hot-object cache exports both through the registry (snake_case
+    // counters/gauges, present in the JSON and Prometheus dumps above)
+    // and through the typed stats accessor.
+    println!("\n== hot-object cache ==");
+    println!(
+        "hits {}  stale {}  admits {}  rejects {}  evictions {}",
+        now.counter("hot_cache_hits"),
+        now.counter("hot_cache_stale"),
+        now.counter("hot_cache_admits"),
+        now.counter("hot_cache_rejects"),
+        now.counter("hot_cache_evictions"),
+    );
+    println!(
+        "occupancy: {:.1} KiB, {} entries (gauges: hot_cache_bytes / hot_cache_entries)",
+        now.gauge("hot_cache_bytes").unwrap_or(0.0) / 1024.0,
+        now.gauge("hot_cache_entries").unwrap_or(0.0),
+    );
+    let cache = dev.hot_cache_stats().expect("cache enabled");
+    println!(
+        "typed stats: {} lookups, {:.1}% hit rate, {} replica admits",
+        cache.lookups,
+        if cache.lookups == 0 { 0.0 } else { 100.0 * cache.hits as f64 / cache.lookups as f64 },
+        cache.replica_admits,
     );
 }

@@ -8,6 +8,8 @@
 //! * [`nand`] — deterministic NAND flash array model,
 //! * [`audit`] — the cross-layer invariant catalog and [`audit::DeviceAuditor`],
 //! * [`ftl`] — FTL services: data layout, allocator, cache, GC,
+//! * [`hotcache`] — DRAM hot-object cache tier (TinyLFU admission,
+//!   segmented LRU, version-based invalidation),
 //! * [`sigs`] — key signature hashing (MurmurHash2 et al.),
 //! * [`index`] — the RHIK two-level re-configurable hash index,
 //! * [`baseline`] — Samsung-style multi-level hash, NVMKV-style fixed hash,
@@ -35,6 +37,7 @@ pub use rhik_audit as audit;
 pub use rhik_baseline as baseline;
 pub use rhik_core as index;
 pub use rhik_ftl as ftl;
+pub use rhik_hotcache as hotcache;
 pub use rhik_kvssd as kvssd;
 pub use rhik_nand as nand;
 pub use rhik_sigs as sigs;

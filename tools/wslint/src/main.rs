@@ -4,7 +4,7 @@
 //! a discipline the type system cannot:
 //!
 //! * `unwrap-in-lib` — no `.unwrap()` / `.expect(` in non-test library
-//!   code of `kvssd`, `ftl`, `rhik-core`, `nand`. Firmware-path code must
+//!   code of `kvssd`, `ftl`, `rhik-core`, `nand`, `hotcache`. Firmware-path code must
 //!   surface typed errors; the vetted remainder lives in
 //!   `tools/wslint/allowlist.txt`, which only ever shrinks.
 //! * `std-mutex-outside-sync` — `std::sync::Mutex` may be named only in
@@ -43,8 +43,13 @@ const RULE_CLOCK: &str = "instant-off-sim-clock";
 const RULE_ASSERT: &str = "debug-assert-message";
 
 /// Library crates that must stay panic-free outside tests.
-const PANIC_FREE: &[&str] =
-    &["crates/kvssd/src", "crates/ftl/src", "crates/rhik-core/src", "crates/nand/src"];
+const PANIC_FREE: &[&str] = &[
+    "crates/kvssd/src",
+    "crates/ftl/src",
+    "crates/rhik-core/src",
+    "crates/nand/src",
+    "crates/hotcache/src",
+];
 /// Crates whose timing must come off the simulated clock.
 const SIM_CLOCK: &[&str] = &[
     "crates/nand/src",
@@ -53,6 +58,7 @@ const SIM_CLOCK: &[&str] = &[
     "crates/kvssd/src",
     "crates/baseline/src",
     "crates/sigs/src",
+    "crates/hotcache/src",
 ];
 /// The only places allowed to name `std::sync::Mutex`.
 const MUTEX_ALLOWED: &[&str] = &["crates/ftl/src/sync.rs", "crates/telemetry/src"];
