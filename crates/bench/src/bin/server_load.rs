@@ -1,0 +1,585 @@
+//! Closed-loop loopback load generator for `rhik-server`.
+//!
+//! Measures the tentpole claim end to end: pipelined batching vs naive
+//! one-op-per-RTT over real sockets, at 8 and 64 connections, zipf-0.99
+//! key popularity — plus the multi-tenant admission experiment (a tenant
+//! offered ~10x its quota must be held at the quota while an unlimited
+//! tenant's tail latency stays within 2x of its solo baseline) and
+//! optional YCSB A/B/C mixes generated over the wire from the same
+//! presets `crates/workloads` runs in-process.
+//!
+//! Emits `BENCH_server.json` (repo root) + `target/experiments/
+//! server_load.json`, then enforces the gates:
+//!
+//! * pipelined ≥ 2x naive ops/s at 64 connections
+//! * capped tenant within ±10% of quota under 10x offered load
+//! * unlimited tenant's mixed p99 ≤ 2x its solo p99
+//! * device audit clean after shutdown
+//!
+//! `--smoke` runs a short multi-tenant burst with the same shutdown and
+//! audit gates (the CI step). `--ycsb a|b|c` adds that preset's mix.
+//! Timing uses the host monotonic clock via `rhik_server::clock` — this
+//! is wall-clock networking, not device simulation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rhik_audit::DeviceAuditor;
+use rhik_bench::emit_json;
+use rhik_kvssd::{DeviceConfig, ShardedKvssd};
+use rhik_server::clock::now_ns;
+use rhik_server::{resp, ServerConfig, ServerHandle, TenantSpec};
+use rhik_workloads::{zipf_record_key, KeyStream, Keygen, YcsbPreset, ZipfSampler};
+use serde_json::{json, Value};
+
+const VALUE_BYTES: usize = 120;
+const POPULATION: u64 = 8_000;
+const THETA: f64 = 0.99;
+const PIPELINE_WINDOW: usize = 32;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Naive,
+    Pipelined,
+}
+
+impl Mode {
+    fn window(self) -> usize {
+        match self {
+            Mode::Naive => 1,
+            Mode::Pipelined => PIPELINE_WINDOW,
+        }
+    }
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Naive => "naive",
+            Mode::Pipelined => "pipelined",
+        }
+    }
+}
+
+/// One benchmark connection: blocking socket + a reply skipper that
+/// understands just enough RESP to count frames and errors.
+struct LoadConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl LoadConn {
+    fn connect(addr: std::net::SocketAddr) -> LoadConn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        LoadConn { stream, buf: Vec::with_capacity(16 * 1024), pos: 0 }
+    }
+
+    fn auth(&mut self, tenant: &str) {
+        let mut wire = Vec::new();
+        resp::enc_command(&mut wire, &[b"AUTH", tenant.as_bytes()]);
+        self.stream.write_all(&wire).expect("auth send");
+        let mut errors = 0;
+        self.skip_replies(1, &mut errors);
+        assert_eq!(errors, 0, "AUTH {tenant} rejected");
+    }
+
+    fn fill(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed connection mid-run");
+        self.buf.extend_from_slice(&chunk[..n]);
+    }
+
+    fn line_end(&mut self) -> usize {
+        loop {
+            if let Some(i) = self.buf[self.pos..].windows(2).position(|w| w == b"\r\n") {
+                return self.pos + i + 2;
+            }
+            self.fill();
+        }
+    }
+
+    /// Consume exactly `n` replies, counting `-ERR` frames.
+    fn skip_replies(&mut self, n: usize, errors: &mut u64) {
+        for _ in 0..n {
+            while self.pos >= self.buf.len() {
+                self.fill();
+            }
+            let tag = self.buf[self.pos];
+            let end = self.line_end();
+            if tag == b'-' {
+                *errors += 1;
+            }
+            if tag == b'$' {
+                let len: i64 = std::str::from_utf8(&self.buf[self.pos + 1..end - 2])
+                    .expect("utf8 length")
+                    .parse()
+                    .expect("bulk length");
+                self.pos = end;
+                if len >= 0 {
+                    let need = len as usize + 2;
+                    while self.buf.len() - self.pos < need {
+                        self.fill();
+                    }
+                    self.pos += need;
+                }
+            } else {
+                self.pos = end;
+            }
+        }
+    }
+}
+
+/// How a phase generates keys: the bench's own fixed-size keyspace, or
+/// a YCSB preset's scattered record space.
+#[derive(Clone, Copy)]
+enum KeySpace {
+    Bench,
+    Ycsb { records: u64 },
+}
+
+#[derive(Clone, Copy)]
+struct PhaseSpec {
+    mode: Mode,
+    conns: usize,
+    duration_ns: u64,
+    read_fraction: f64,
+    keyspace: KeySpace,
+    tenant: Option<&'static str>,
+}
+
+struct PhaseResult {
+    ops: u64,
+    errors: u64,
+    secs: f64,
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64 / 1e3
+}
+
+/// Run one closed-loop phase: one blocking client thread per connection
+/// (a connection is an independent closed loop — its next window is not
+/// gated on any other connection's replies). Latency is the completion
+/// time of a request window (for naive mode the window is one op, i.e.
+/// true per-op RTT; for pipelined mode every op in a window completes
+/// within the window RTT, so the window RTT is recorded for each op).
+fn run_phase(addr: std::net::SocketAddr, spec: PhaseSpec) -> PhaseResult {
+    let started = now_ns();
+    let deadline = started + spec.duration_ns;
+
+    let handles: Vec<_> = (0..spec.conns)
+        .map(|t| {
+            thread::spawn(move || {
+                let mut conn = LoadConn::connect(addr);
+                if let Some(name) = spec.tenant {
+                    conn.auth(name);
+                }
+                let mut rng = StdRng::seed_from_u64(0x5eed + t as u64);
+                let zipf_n = match spec.keyspace {
+                    KeySpace::Bench => POPULATION,
+                    KeySpace::Ycsb { records } => records,
+                };
+                let zipf = ZipfSampler::new(zipf_n, THETA);
+                let keygen = Keygen::new(KeyStream::Sequential, 16, 0);
+                let value = vec![0x42u8; VALUE_BYTES];
+                let window = spec.mode.window();
+                let mut wire = Vec::with_capacity(window * (VALUE_BYTES + 64));
+                let mut lats: Vec<u64> = Vec::new();
+                let mut ops = 0u64;
+                let mut errors = 0u64;
+                while now_ns() < deadline {
+                    wire.clear();
+                    for _ in 0..window {
+                        let rank = zipf.sample(&mut rng);
+                        let key = match spec.keyspace {
+                            KeySpace::Bench => keygen.key_for(rank),
+                            KeySpace::Ycsb { records } => zipf_record_key(rank, records),
+                        };
+                        if rng.gen::<f64>() < spec.read_fraction {
+                            resp::enc_command(&mut wire, &[b"GET", &key]);
+                        } else {
+                            resp::enc_command(&mut wire, &[b"SET", &key, &value]);
+                        }
+                    }
+                    let t0 = now_ns();
+                    conn.stream.write_all(&wire).expect("send window");
+                    conn.skip_replies(window, &mut errors);
+                    let rtt = now_ns() - t0;
+                    for _ in 0..window {
+                        lats.push(rtt);
+                    }
+                    ops += window as u64;
+                }
+                (ops, errors, lats)
+            })
+        })
+        .collect();
+
+    let mut ops = 0;
+    let mut errors = 0;
+    let mut lats: Vec<u64> = Vec::new();
+    for h in handles {
+        let (o, e, mut l) = h.join().expect("client thread");
+        ops += o;
+        errors += e;
+        lats.append(&mut l);
+    }
+    let secs = (now_ns() - started) as f64 / 1e9;
+    lats.sort_unstable();
+    PhaseResult {
+        ops,
+        errors,
+        secs,
+        ops_per_sec: ops as f64 / secs,
+        p50_us: percentile(&lats, 0.50),
+        p99_us: percentile(&lats, 0.99),
+    }
+}
+
+fn phase_json(r: &PhaseResult) -> Value {
+    json!({
+        "ops": r.ops,
+        "errors": r.errors,
+        "secs": r.secs,
+        "ops_per_sec": r.ops_per_sec,
+        "p50_us": r.p50_us,
+        "p99_us": r.p99_us,
+    })
+}
+
+fn build_server(tenants: Vec<TenantSpec>) -> ServerHandle<rhik_core::RhikIndex> {
+    let device =
+        ShardedKvssd::rhik(DeviceConfig::small().with_shards(4).with_hot_cache(512 * 1024));
+    // Preload both keyspaces so read phases always hit.
+    let keygen = Keygen::new(KeyStream::Sequential, 16, 0);
+    let value = vec![0x42u8; VALUE_BYTES];
+    for id in 0..POPULATION {
+        device.put(&keygen.key_for(id), &value).expect("preload");
+    }
+    for rank in 0..YCSB_RECORDS {
+        device.put(&zipf_record_key(rank, YCSB_RECORDS), &value).expect("ycsb preload");
+    }
+    device.flush().expect("flush");
+    // Thread-per-core: size the worker pool to the host, not a constant
+    // (this container exposes a single core — two spinning poll workers
+    // would just steal cycles from each other and the clients).
+    let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cfg = ServerConfig { workers, tenants, ..ServerConfig::default() };
+    rhik_server::start(device, cfg).expect("server start")
+}
+
+const YCSB_RECORDS: u64 = 4_000;
+const QUOTA_OPS_PER_SEC: u64 = 2_000;
+
+fn shutdown_and_audit(server: ServerHandle<rhik_core::RhikIndex>) -> bool {
+    let device = server.device().clone();
+    server.shutdown();
+    device.flush().expect("post-run flush");
+    let mut auditor = DeviceAuditor::new();
+    let report = device.audit(&mut auditor);
+    if !report.is_ok() {
+        eprintln!("[gate] device audit failed after shutdown: {report:?}");
+    }
+    report.is_ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut ycsb: Vec<YcsbPreset> = Vec::new();
+    let mut secs_per_phase = 2.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--secs-per-phase" => {
+                i += 1;
+                secs_per_phase = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(2.0);
+            }
+            "--ycsb" => {
+                i += 1;
+                let flag = args.get(i).cloned().unwrap_or_default();
+                match YcsbPreset::from_flag(&flag).filter(|p| p.read_fraction().is_some()) {
+                    Some(p) => ycsb.push(p),
+                    None => {
+                        eprintln!("--ycsb takes a|b|c (stateless core mixes), got '{flag}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other} (flags: --smoke --ycsb a|b|c --secs-per-phase S)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if smoke {
+        run_smoke();
+        return;
+    }
+
+    let dur = (secs_per_phase * 1e9) as u64;
+    let tenants = vec![
+        TenantSpec {
+            name: "capped".into(),
+            ops_per_sec: QUOTA_OPS_PER_SEC,
+            bytes_per_sec: 0,
+            weight: 1,
+        },
+        TenantSpec { name: "heavy".into(), ops_per_sec: 0, bytes_per_sec: 0, weight: 1 },
+    ];
+    let server = build_server(tenants);
+    let addr = server.addr();
+    eprintln!("[server_load] serving on {addr}");
+
+    // Phase 1: pipelined vs naive, 8 and 64 connections, 90/10 GET/SET.
+    let mut comparison = Vec::new();
+    let mut by_mode_64 = (0.0f64, 0.0f64);
+    for mode in [Mode::Naive, Mode::Pipelined] {
+        for conns in [8usize, 64] {
+            let r = run_phase(
+                addr,
+                PhaseSpec {
+                    mode,
+                    conns,
+                    duration_ns: dur,
+                    read_fraction: 0.9,
+                    keyspace: KeySpace::Bench,
+                    tenant: None,
+                },
+            );
+            eprintln!(
+                "[server_load] {} conns={conns}: {:.0} ops/s p50={:.0}us p99={:.0}us ({} errors)",
+                mode.name(),
+                r.ops_per_sec,
+                r.p50_us,
+                r.p99_us,
+                r.errors
+            );
+            if conns == 64 {
+                match mode {
+                    Mode::Naive => by_mode_64.0 = r.ops_per_sec,
+                    Mode::Pipelined => by_mode_64.1 = r.ops_per_sec,
+                }
+            }
+            comparison.push(json!({
+                "mode": mode.name(),
+                "conns": conns,
+                "window": mode.window(),
+                "result": phase_json(&r),
+            }));
+        }
+    }
+    let pipeline_speedup_64 = by_mode_64.1 / by_mode_64.0.max(1e-9);
+
+    // Phase 2: admission control. Solo baseline for the unlimited
+    // tenant, then the same load with a capped tenant offered its full
+    // closed-loop capacity (≫10x quota) alongside.
+    let heavy_spec = PhaseSpec {
+        mode: Mode::Pipelined,
+        conns: 8,
+        duration_ns: dur,
+        read_fraction: 0.9,
+        keyspace: KeySpace::Bench,
+        tenant: Some("heavy"),
+    };
+    let heavy_solo = run_phase(addr, heavy_spec);
+    eprintln!(
+        "[server_load] heavy solo: {:.0} ops/s p99={:.0}us",
+        heavy_solo.ops_per_sec, heavy_solo.p99_us
+    );
+
+    let mixed_dur = (secs_per_phase.max(2.5) * 1e9) as u64;
+    let capped_spec = PhaseSpec {
+        mode: Mode::Pipelined,
+        conns: 4,
+        duration_ns: mixed_dur,
+        read_fraction: 0.9,
+        keyspace: KeySpace::Bench,
+        tenant: Some("capped"),
+    };
+    let heavy_mixed_spec = PhaseSpec { duration_ns: mixed_dur, ..heavy_spec };
+    let capped_thread = thread::spawn(move || run_phase(addr, capped_spec));
+    let heavy_mixed = run_phase(addr, heavy_mixed_spec);
+    let capped = capped_thread.join().expect("capped client");
+    eprintln!(
+        "[server_load] mixed: capped {:.0} ops/s (quota {QUOTA_OPS_PER_SEC}), heavy p99={:.0}us",
+        capped.ops_per_sec, heavy_mixed.p99_us
+    );
+
+    // The bucket grants a burst of quota/5 on top of the sustained rate;
+    // subtract it from the measured window before gating against ±10%.
+    let burst = (QUOTA_OPS_PER_SEC as f64 / 5.0).max(64.0);
+    let capped_sustained = (capped.ops as f64 - burst) / capped.secs;
+    let quota_error =
+        (capped_sustained - QUOTA_OPS_PER_SEC as f64).abs() / QUOTA_OPS_PER_SEC as f64;
+    let p99_ratio = heavy_mixed.p99_us / heavy_solo.p99_us.max(1e-9);
+    let offered_multiple = heavy_solo.ops_per_sec / QUOTA_OPS_PER_SEC as f64;
+
+    // Phase 3: optional YCSB core mixes over the wire.
+    let mut ycsb_results = Vec::new();
+    for preset in &ycsb {
+        let read_fraction = preset.read_fraction().unwrap_or(1.0);
+        let r = run_phase(
+            addr,
+            PhaseSpec {
+                mode: Mode::Pipelined,
+                conns: 8,
+                duration_ns: dur,
+                read_fraction,
+                keyspace: KeySpace::Ycsb { records: YCSB_RECORDS },
+                tenant: None,
+            },
+        );
+        eprintln!(
+            "[server_load] ycsb-{}: {:.0} ops/s p99={:.0}us",
+            preset.short_name(),
+            r.ops_per_sec,
+            r.p99_us
+        );
+        ycsb_results.push(json!({
+            "preset": preset.short_name(),
+            "read_fraction": read_fraction,
+            "records": YCSB_RECORDS,
+            "result": phase_json(&r),
+        }));
+    }
+
+    let ops_served = server.ops_served();
+    let audit_ok = shutdown_and_audit(server);
+
+    let gates = json!({
+        "pipelined_2x_naive_at_64_conns": pipeline_speedup_64 >= 2.0,
+        "capped_within_10pct_of_quota": quota_error <= 0.10,
+        "heavy_p99_within_2x_solo": p99_ratio <= 2.0,
+        "offered_at_least_10x_quota": offered_multiple >= 10.0,
+        "audit_clean": audit_ok,
+    });
+    let blob = json!({
+        "experiment": "server_load",
+        "config": {
+            "population": POPULATION,
+            "theta": THETA,
+            "value_bytes": VALUE_BYTES as u64,
+            "pipeline_window": PIPELINE_WINDOW as u64,
+            "secs_per_phase": secs_per_phase,
+            "quota_ops_per_sec": QUOTA_OPS_PER_SEC,
+            "latency_note": "latency = window completion RTT recorded per op; \
+                             naive window is a single op (true per-op RTT)",
+        },
+        "pipelined_vs_naive": comparison,
+        "pipeline_speedup_at_64_conns": pipeline_speedup_64,
+        "admission": {
+            "heavy_solo": phase_json(&heavy_solo),
+            "heavy_mixed": phase_json(&heavy_mixed),
+            "capped_mixed": phase_json(&capped),
+            "capped_sustained_ops_per_sec": capped_sustained,
+            "quota_error_fraction": quota_error,
+            "heavy_p99_ratio_mixed_vs_solo": p99_ratio,
+            "offered_multiple_of_quota": offered_multiple,
+        },
+        "ycsb": ycsb_results,
+        "ops_served": ops_served,
+        "gates": gates,
+    });
+    emit_json("server_load", &blob);
+    if let Ok(s) = serde_json::to_string_pretty(&blob) {
+        let path = "BENCH_server.json";
+        if std::fs::write(path, s).is_ok() {
+            eprintln!("[wrote {path}]");
+        }
+    }
+
+    let mut failed = false;
+    if pipeline_speedup_64 < 2.0 {
+        eprintln!("[gate] pipelined speedup at 64 conns is {pipeline_speedup_64:.2}x (< 2.0x)");
+        failed = true;
+    }
+    if quota_error > 0.10 {
+        eprintln!("[gate] capped tenant off quota by {:.1}% (> 10%)", quota_error * 100.0);
+        failed = true;
+    }
+    if p99_ratio > 2.0 {
+        eprintln!("[gate] heavy tenant mixed p99 is {p99_ratio:.2}x solo (> 2x)");
+        failed = true;
+    }
+    if offered_multiple < 10.0 {
+        eprintln!("[gate] offered load only {offered_multiple:.1}x quota (< 10x)");
+        failed = true;
+    }
+    if !audit_ok {
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("[server_load] all gates passed");
+}
+
+/// CI smoke: short multi-tenant burst, nonzero throughput, clean
+/// shutdown, audit pass. Runs in a couple of seconds.
+fn run_smoke() {
+    let tenants = vec![
+        TenantSpec { name: "capped".into(), ops_per_sec: 500, bytes_per_sec: 0, weight: 1 },
+        TenantSpec { name: "heavy".into(), ops_per_sec: 0, bytes_per_sec: 0, weight: 2 },
+    ];
+    let server = build_server(tenants);
+    let addr = server.addr();
+    let dur = 500_000_000u64; // 0.5 s burst
+
+    let specs = [
+        PhaseSpec {
+            mode: Mode::Pipelined,
+            conns: 4,
+            duration_ns: dur,
+            read_fraction: 0.8,
+            keyspace: KeySpace::Bench,
+            tenant: Some("heavy"),
+        },
+        PhaseSpec {
+            mode: Mode::Pipelined,
+            conns: 4,
+            duration_ns: dur,
+            read_fraction: 0.8,
+            keyspace: KeySpace::Bench,
+            tenant: Some("capped"),
+        },
+    ];
+    let threads: Vec<_> =
+        specs.into_iter().map(|spec| thread::spawn(move || run_phase(addr, spec))).collect();
+    let results: Vec<PhaseResult> = threads.into_iter().map(|t| t.join().expect("load")).collect();
+
+    let total_ops: u64 = results.iter().map(|r| r.ops).sum();
+    let total_errors: u64 = results.iter().map(|r| r.errors).sum();
+    let served = server.ops_served();
+    let capped_tenant = server.tenants().resolve("capped").expect("tenant");
+    let throttled = capped_tenant.stats.throttled.get();
+    let audit_ok = shutdown_and_audit(server);
+
+    eprintln!(
+        "[smoke] {total_ops} ops ({total_errors} errors), server counted {served}, \
+         capped throttled {throttled} times, audit_ok={audit_ok}"
+    );
+    let ok = total_ops > 0 && total_errors == 0 && served > 0 && throttled > 0 && audit_ok;
+    if !ok {
+        eprintln!("[smoke] FAILED");
+        std::process::exit(1);
+    }
+    eprintln!("[smoke] PASSED");
+}

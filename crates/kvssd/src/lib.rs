@@ -45,7 +45,7 @@ pub use device::{DeviceStats, ExistReport, KvssdDevice};
 pub use engine::{CommandTiming, TimingEngine};
 pub use error::KvError;
 pub use histogram::LatencyHistogram;
-pub use sharded::{GroupCommitStats, LockfreeReadStats, ShardedKvssd};
+pub use sharded::{BatchOp, BatchReply, GroupCommitStats, LockfreeReadStats, ShardedKvssd};
 pub use shared::SharedKvssd;
 
 // Observability types, re-exported so device users need not depend on the

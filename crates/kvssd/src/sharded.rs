@@ -209,6 +209,59 @@ pub struct GroupCommitStats {
     pub max_batch: u64,
 }
 
+// ---------------------------------------------------- batch submission
+
+/// One operation in a host-assembled per-shard batch. Network front ends
+/// (`rhik-server`) coalesce pipelined commands per shard and hand the
+/// whole batch over in one [`ShardedKvssd::submit_batch`] call, so N
+/// pipelined ops cost one shard handoff instead of N.
+#[derive(Clone, Debug)]
+pub enum BatchOp {
+    Get { key: Vec<u8> },
+    Put { key: Vec<u8>, value: Vec<u8> },
+    Delete { key: Vec<u8> },
+    Exists { key: Vec<u8> },
+}
+
+impl BatchOp {
+    /// The key this op addresses (routing + cost accounting).
+    pub fn key(&self) -> &[u8] {
+        match self {
+            BatchOp::Get { key }
+            | BatchOp::Put { key, .. }
+            | BatchOp::Delete { key }
+            | BatchOp::Exists { key } => key,
+        }
+    }
+
+    /// Payload bytes this op carries (admission-control cost accounting).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            BatchOp::Put { key, value } => key.len() + value.len(),
+            BatchOp::Get { key } | BatchOp::Delete { key } | BatchOp::Exists { key } => key.len(),
+        }
+    }
+}
+
+/// Reply to one [`BatchOp`], in submission order.
+#[derive(Clone, Debug)]
+pub enum BatchReply {
+    Get(Result<Option<Bytes>>),
+    Put(Result<()>),
+    Delete(Result<()>),
+    Exists(Result<bool>),
+}
+
+/// Outcome of one fast-path (no shard lock) get attempt.
+enum FastGet {
+    /// Completed on the cache or lock-free path; stats recorded.
+    Done(Result<Option<Bytes>>),
+    /// Needs the locked path; carries the cache fill ticket (version
+    /// observed before the read) so a locked-path hit can still be
+    /// admitted under the re-check protocol.
+    NeedsLock { fill_version: Option<u64> },
+}
+
 /// Per-shard state living *outside* the shard's command mutex.
 struct ShardExt {
     /// `Some` when the index backend accepted a read view at
@@ -577,32 +630,151 @@ impl<I: IndexBackend + Send> ShardedKvssd<I> {
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         let sig = self.hasher.sign(key);
         let shard = self.shard_of(sig);
-        let fill_version = match &self.cache {
-            Some(tier) if !key.is_empty() => match tier.probe(shard as u32, sig, key) {
-                Probe::Hit(value) => return Ok(Some(value)),
-                Probe::Fill(v1) => Some(v1),
-            },
-            _ => None,
-        };
-        let result = self.get_uncached(shard, sig, key);
-        if let (Some(tier), Some(v1), Ok(Some(value))) = (&self.cache, fill_version, &result) {
-            tier.try_admit(shard as u32, sig, key, value, v1);
+        match self.fast_get(shard, sig, key) {
+            FastGet::Done(result) => result,
+            FastGet::NeedsLock { fill_version } => {
+                let result = self.lock(shard).get(key);
+                self.admit_after_read(shard, sig, key, fill_version, &result);
+                result
+            }
         }
-        result
     }
 
-    /// The index read behind the cache tier: lock-free when possible,
-    /// locked otherwise.
-    fn get_uncached(&self, shard: usize, sig: KeySignature, key: &[u8]) -> Result<Option<Bytes>> {
+    /// The no-shard-lock prefix of a get: cache probe, then a lock-free
+    /// index walk. Both `get` and `submit_batch` start here; only the
+    /// locked fallback differs (single command vs. compound batch).
+    fn fast_get(&self, shard: usize, sig: KeySignature, key: &[u8]) -> FastGet {
+        if key.is_empty() {
+            // The locked path owns argument validation.
+            return FastGet::NeedsLock { fill_version: None };
+        }
+        let fill_version = match &self.cache {
+            Some(tier) => match tier.probe(shard as u32, sig, key) {
+                Probe::Hit(value) => return FastGet::Done(Ok(Some(value))),
+                Probe::Fill(v1) => Some(v1),
+            },
+            None => None,
+        };
         if let Some(read) = &self.ext[shard].read {
-            if !key.is_empty() {
-                match self.lockfree_get(read, shard as u32, sig, key) {
-                    Some(result) => return result,
-                    None => read.fallbacks.incr(),
+            match self.lockfree_get(read, shard as u32, sig, key) {
+                Some(result) => {
+                    self.admit_after_read(shard, sig, key, fill_version, &result);
+                    return FastGet::Done(result);
+                }
+                None => read.fallbacks.incr(),
+            }
+        }
+        FastGet::NeedsLock { fill_version }
+    }
+
+    /// Step 3 of the cache fill protocol, shared by every read path.
+    fn admit_after_read(
+        &self,
+        shard: usize,
+        sig: KeySignature,
+        key: &[u8],
+        fill_version: Option<u64>,
+        result: &Result<Option<Bytes>>,
+    ) {
+        if let (Some(tier), Some(v1), Ok(Some(value))) = (&self.cache, fill_version, result) {
+            tier.try_admit(shard as u32, sig, key, value, v1);
+        }
+    }
+
+    /// Which shard a key routes to (front ends use this to assemble
+    /// per-shard batches for [`ShardedKvssd::submit_batch`]).
+    pub fn shard_for_key(&self, key: &[u8]) -> usize {
+        self.route(key)
+    }
+
+    /// Execute a host-assembled batch of ops that all route to `shard`,
+    /// in order, under at most one shard-lock acquisition. Gets are first
+    /// answered on the cache / lock-free path (no lock at all); whatever
+    /// remains — puts, deletes, exists, fallback gets — runs as one
+    /// compound submission, so the modeled device sees one queue handoff
+    /// for the whole batch. Replies come back in submission order.
+    /// `DeviceFull` is retried per op with a device-wide GC sweep after
+    /// the compound ends (the sweep needs the shard lock released).
+    pub fn submit_batch(&self, shard: usize, ops: &[BatchOp]) -> Vec<BatchReply> {
+        let mut replies: Vec<Option<BatchReply>> = ops.iter().map(|_| None).collect();
+        let mut locked: Vec<(usize, Option<u64>)> = Vec::new();
+        // Gets may leave the batch for the no-lock fast path only while
+        // no earlier op in the batch mutates: a get *after* a put/delete
+        // must observe it (pipelined read-your-writes), and neither the
+        // cache nor the published read view reflects the mutation until
+        // the locked pass below actually runs it.
+        let mut mutated = false;
+        for (i, op) in ops.iter().enumerate() {
+            debug_assert_eq!(
+                self.route(op.key()),
+                shard,
+                "batch op routed to the wrong shard queue"
+            );
+            match op {
+                BatchOp::Get { key } if !mutated => {
+                    let sig = self.hasher.sign(key);
+                    match self.fast_get(shard, sig, key) {
+                        FastGet::Done(result) => replies[i] = Some(BatchReply::Get(result)),
+                        FastGet::NeedsLock { fill_version } => locked.push((i, fill_version)),
+                    }
+                }
+                BatchOp::Get { .. } | BatchOp::Exists { .. } => locked.push((i, None)),
+                BatchOp::Put { .. } | BatchOp::Delete { .. } => {
+                    mutated = true;
+                    locked.push((i, None));
                 }
             }
         }
-        self.lock(shard).get(key)
+        if !locked.is_empty() {
+            let mut dev = self.lock(shard);
+            if locked.len() > 1 {
+                dev.begin_compound();
+            }
+            for &(i, _) in &locked {
+                replies[i] = Some(match &ops[i] {
+                    BatchOp::Get { key } => BatchReply::Get(dev.get(key)),
+                    BatchOp::Put { key, value } => BatchReply::Put(dev.put(key, value)),
+                    BatchOp::Delete { key } => BatchReply::Delete(dev.delete(key)),
+                    BatchOp::Exists { key } => {
+                        BatchReply::Exists(dev.exist(key).map(|r| r.probably_exists))
+                    }
+                });
+            }
+            if locked.len() > 1 {
+                dev.end_compound();
+            }
+        }
+        for &(i, fill_version) in &locked {
+            match (&ops[i], &replies[i]) {
+                // Locked-path read hits still feed the hot cache.
+                (BatchOp::Get { key }, Some(BatchReply::Get(result))) => {
+                    let sig = self.hasher.sign(key);
+                    self.admit_after_read(shard, sig, key, fill_version, result);
+                }
+                // Full-device mutations retry outside the compound, where
+                // the device-wide sweep can take every shard lock.
+                (BatchOp::Put { key, value }, Some(BatchReply::Put(Err(KvError::DeviceFull)))) => {
+                    replies[i] = Some(BatchReply::Put(
+                        self.with_full_retry(shard, |dev| dev.put(key, value)),
+                    ));
+                }
+                (BatchOp::Delete { key }, Some(BatchReply::Delete(Err(KvError::DeviceFull)))) => {
+                    replies[i] = Some(BatchReply::Delete(
+                        self.with_full_retry(shard, |dev| dev.delete(key)),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        replies
+            .into_iter()
+            .map(|r| match r {
+                Some(reply) => reply,
+                // Unreachable: every index is either answered in pass 1 or
+                // pushed to `locked` and answered in pass 2.
+                None => BatchReply::Get(Err(KvError::Corrupt("unanswered batch op".into()))),
+            })
+            .collect()
     }
 
     /// One lock-free get attempt. `Some(result)` is a completed command
@@ -1161,6 +1333,134 @@ mod tests {
         let mut auditor = rhik_audit::DeviceAuditor::new();
         let report = dev.audit(&mut auditor);
         assert!(report.is_ok(), "audit after concurrent load:\n{report}");
+    }
+
+    #[test]
+    fn submit_batch_matches_single_op_semantics() {
+        let dev =
+            ShardedKvssd::rhik(DeviceConfig::small().with_shards(4).with_hot_cache(64 * 1024));
+        for i in 0..120u64 {
+            dev.put(format!("sb-{i:03}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        dev.flush().unwrap();
+        // Assemble one mixed batch per shard, exactly as a front end would.
+        let mut per_shard: Vec<Vec<BatchOp>> = vec![Vec::new(); dev.shard_count()];
+        for i in 0..120u64 {
+            let key = format!("sb-{i:03}").into_bytes();
+            let shard = dev.shard_for_key(&key);
+            let op = match i % 4 {
+                0 => BatchOp::Get { key },
+                1 => BatchOp::Put { key, value: format!("w{i}").into_bytes() },
+                2 => BatchOp::Exists { key },
+                _ => BatchOp::Delete { key },
+            };
+            per_shard[shard].push(op);
+        }
+        for (shard, ops) in per_shard.iter().enumerate() {
+            let replies = dev.submit_batch(shard, ops);
+            assert_eq!(replies.len(), ops.len());
+            for (op, reply) in ops.iter().zip(&replies) {
+                match (op, reply) {
+                    (BatchOp::Get { key }, BatchReply::Get(Ok(Some(v)))) => {
+                        let i: u64 = std::str::from_utf8(&key[3..6]).unwrap().parse().unwrap();
+                        assert_eq!(&v[..], format!("v{i}").as_bytes());
+                    }
+                    (BatchOp::Put { .. }, BatchReply::Put(Ok(()))) => {}
+                    (BatchOp::Exists { .. }, BatchReply::Exists(Ok(true))) => {}
+                    (BatchOp::Delete { .. }, BatchReply::Delete(Ok(()))) => {}
+                    other => panic!("unexpected batch outcome: {other:?}"),
+                }
+            }
+        }
+        // Post-batch reads see the batch's writes and deletes.
+        for i in 0..120u64 {
+            let got = dev.get(format!("sb-{i:03}").as_bytes()).unwrap();
+            match i % 4 {
+                1 => assert_eq!(&got.unwrap()[..], format!("w{i}").as_bytes()),
+                3 => assert!(got.is_none(), "deleted key sb-{i:03} still present"),
+                _ => assert_eq!(&got.unwrap()[..], format!("v{i}").as_bytes()),
+            }
+        }
+        // Batched gets ride the lock-free read path, not the shard locks.
+        assert!(dev.lockfree_read_stats().gets > 0);
+        let mut auditor = rhik_audit::DeviceAuditor::new();
+        let report = dev.audit(&mut auditor);
+        assert!(report.is_ok(), "audit after batches:\n{report}");
+    }
+
+    #[test]
+    fn submit_batch_get_observes_earlier_writes_in_same_batch() {
+        // Read-your-writes inside one batch: a pipelined client that
+        // sends SET then GET of the same key may land both in a single
+        // submit_batch call. The GET must not ride the lock-free fast
+        // path (or a stale cache entry) past the not-yet-executed PUT.
+        let dev =
+            ShardedKvssd::rhik(DeviceConfig::small().with_shards(2).with_hot_cache(64 * 1024));
+        dev.put(b"ryw-warm", b"old").unwrap();
+        // Admit the warm key into the hot cache so a stale hit is possible.
+        assert_eq!(dev.get(b"ryw-warm").unwrap().as_deref(), Some(&b"old"[..]));
+        assert_eq!(dev.get(b"ryw-warm").unwrap().as_deref(), Some(&b"old"[..]));
+
+        let shard = dev.shard_for_key(b"ryw-warm");
+        let mut fresh = b"ryw-fresh".to_vec();
+        while dev.shard_for_key(&fresh) != shard {
+            fresh.push(b'x');
+        }
+        let ops = [
+            // Pre-mutation get: still eligible for the fast path.
+            BatchOp::Get { key: b"ryw-warm".to_vec() },
+            BatchOp::Put { key: b"ryw-warm".to_vec(), value: b"new".to_vec() },
+            BatchOp::Get { key: b"ryw-warm".to_vec() },
+            BatchOp::Put { key: fresh.clone(), value: b"first".to_vec() },
+            BatchOp::Get { key: fresh.clone() },
+            BatchOp::Exists { key: fresh.clone() },
+            BatchOp::Delete { key: fresh.clone() },
+            BatchOp::Get { key: fresh.clone() },
+        ];
+        let replies = dev.submit_batch(shard, &ops);
+        match &replies[0] {
+            BatchReply::Get(Ok(Some(v))) => assert_eq!(&v[..], b"old"),
+            other => panic!("pre-mutation get: {other:?}"),
+        }
+        match &replies[2] {
+            BatchReply::Get(Ok(Some(v))) => assert_eq!(&v[..], b"new", "get missed same-batch put"),
+            other => panic!("get after put: {other:?}"),
+        }
+        match &replies[4] {
+            BatchReply::Get(Ok(Some(v))) => assert_eq!(&v[..], b"first"),
+            other => panic!("get after first-ever put: {other:?}"),
+        }
+        match &replies[5] {
+            BatchReply::Exists(Ok(true)) => {}
+            other => panic!("exists after put: {other:?}"),
+        }
+        match &replies[7] {
+            BatchReply::Get(Ok(None)) => {}
+            other => panic!("get after same-batch delete: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_batch_reports_per_op_errors_in_place() {
+        let dev = sharded(2);
+        dev.put(b"present", b"v").unwrap();
+        let ops = [
+            BatchOp::Get { key: b"present".to_vec() },
+            BatchOp::Delete { key: b"absent".to_vec() },
+            BatchOp::Get { key: b"missing".to_vec() },
+        ];
+        // Route each op through its own shard's queue like a server would;
+        // single-op batches take the uncompounded path.
+        for (i, op) in ops.iter().enumerate() {
+            let shard = dev.shard_for_key(op.key());
+            let replies = dev.submit_batch(shard, std::slice::from_ref(op));
+            match (i, &replies[0]) {
+                (0, BatchReply::Get(Ok(Some(v)))) => assert_eq!(&v[..], b"v"),
+                (1, BatchReply::Delete(Err(KvError::KeyNotFound))) => {}
+                (2, BatchReply::Get(Ok(None))) => {}
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Stand-alone RESP KV server over an in-process emulated KVSSD.
+//!
+//! ```text
+//! cargo run --release -p rhik-server --bin rhik_server -- \
+//!     --addr 127.0.0.1:6399 --shards 4 --hot-cache 1048576 \
+//!     --tenant capped:2000:0:1 --tenant batch:0:0:4
+//! ```
+//!
+//! Tenants are `name:ops_per_sec:bytes_per_sec:weight` (0 = unlimited).
+//! Clients bind to a tenant with `AUTH <name>`; unauthenticated
+//! connections bill to the unlimited `default` tenant. Runs until
+//! killed; `--duration-secs N` exits after N seconds (for smoke tests).
+
+use std::sync::Arc;
+
+use rhik_ftl::sync::Counter;
+use rhik_kvssd::{DeviceConfig, ShardedKvssd};
+use rhik_server::{ServerConfig, TenantSpec};
+
+fn parse_tenant(spec: &str) -> Result<TenantSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 4 {
+        return Err(format!("tenant spec '{spec}' is not name:ops:bytes:weight"));
+    }
+    let num = |s: &str, what: &str| -> Result<u64, String> {
+        s.parse::<u64>().map_err(|_| format!("bad {what} in tenant spec '{spec}'"))
+    };
+    Ok(TenantSpec {
+        name: parts[0].to_string(),
+        ops_per_sec: num(parts[1], "ops_per_sec")?,
+        bytes_per_sec: num(parts[2], "bytes_per_sec")?,
+        weight: num(parts[3], "weight")? as u32,
+    })
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut shards: u32 = 4;
+    let mut hot_cache: u64 = 4 * 1024 * 1024;
+    let mut duration_secs: u64 = 0;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, inline) = match args[i].split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (args[i].clone(), None),
+        };
+        let mut value = |name: &str| -> String {
+            match &inline {
+                Some(v) => v.clone(),
+                None => {
+                    i += 1;
+                    args.get(i).cloned().unwrap_or_else(|| {
+                        eprintln!("missing value for {name}");
+                        std::process::exit(2);
+                    })
+                }
+            }
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = value("--workers").parse().unwrap_or(2),
+            "--shards" => shards = value("--shards").parse().unwrap_or(4),
+            "--hot-cache" => hot_cache = value("--hot-cache").parse().unwrap_or(hot_cache),
+            "--max-pipeline" => cfg.max_pipeline = value("--max-pipeline").parse().unwrap_or(128),
+            "--duration-secs" => duration_secs = value("--duration-secs").parse().unwrap_or(0),
+            "--tenant" => match parse_tenant(&value("--tenant")) {
+                Ok(t) => cfg.tenants.push(t),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!(
+                    "flags: --addr A --workers N --shards N --hot-cache BYTES \
+                     --max-pipeline N --duration-secs N --tenant name:ops:bytes:weight"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let device =
+        ShardedKvssd::rhik(DeviceConfig::small().with_shards(shards).with_hot_cache(hot_cache));
+    let handle = match rhik_server::start(device, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("rhik-server listening on {}", handle.addr());
+
+    let stop = Arc::new(Counter::new());
+    if duration_secs > 0 {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(duration_secs));
+            stop.set(1);
+        });
+    }
+    while stop.get() == 0 {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    let served = handle.ops_served();
+    handle.shutdown();
+    println!("rhik-server served {served} ops, shut down cleanly");
+}

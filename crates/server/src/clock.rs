@@ -1,0 +1,33 @@
+//! The server's single host-clock accessor.
+//!
+//! Everything else in the workspace runs on the simulated NAND clock;
+//! the network front end is the one component that genuinely lives in
+//! host time (token-bucket refill, rate accounting). wslint's
+//! `instant-off-sim-clock` rule covers this crate, so every host-clock
+//! read is funneled through this module's two vetted `Instant::now()`
+//! call sites — nothing device-facing can accidentally mix clocks.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the first call in this process.
+pub fn now_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().saturating_duration_since(epoch).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_and_advancing() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(now_ns() > a);
+    }
+}

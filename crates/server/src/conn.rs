@@ -1,0 +1,431 @@
+//! Per-connection state: the read buffer, the reply-ordering ring, the
+//! vectored write queue, and the mailbox that shard drains post replies
+//! through.
+//!
+//! Memory discipline: every structure here is bounded by configuration.
+//! The read buffer stops growing at the read high-watermark (sized to
+//! always fit one maximal frame, so a slow sender still makes progress),
+//! the pending ring admits at most `max_pipeline` in-flight ops, the
+//! mailbox can never hold more entries than the ring has slots, and the
+//! write queue stops accepting new frames past the write budget. A
+//! stalled client therefore pins at most
+//! `read_high + write_budget + max_pipeline × max_reply` bytes — the
+//! invariant `tests/backpressure.rs` enforces.
+
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use rhik_ftl::sync::Mutex;
+
+use crate::error_map::Reply;
+use crate::resp;
+
+/// Cross-thread reply delivery. A shard drain (running on any worker)
+/// posts completed replies here; the worker that owns the connection
+/// moves them into the pending ring on its next pump. The mailbox is
+/// per-connection-instance — when the connection dies its `Arc` simply
+/// outlives it on in-flight ops, whose replies are posted and dropped.
+pub struct Mailbox {
+    inner: Mutex<Vec<(u64, Reply)>>,
+}
+
+impl Mailbox {
+    pub fn new(max_pipeline: usize) -> Self {
+        Mailbox { inner: Mutex::new(Vec::with_capacity(max_pipeline)) }
+    }
+
+    pub fn post(&self, slot: u64, reply: Reply) {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).push((slot, reply));
+    }
+
+    pub fn drain_into(&self, out: &mut Vec<(u64, Reply)>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        out.append(&mut inner);
+    }
+}
+
+/// Reply-ordering ring. Slots are allocated sequentially at parse time;
+/// replies complete in any order (different shards finish at different
+/// times); only the contiguous prefix is released to the wire, so the
+/// client always sees replies in request order.
+pub struct PendingRing {
+    /// Next slot to release to the wire.
+    base: u64,
+    /// Next slot to allocate.
+    next: u64,
+    ring: VecDeque<Option<Reply>>,
+    cap: usize,
+}
+
+impl PendingRing {
+    pub fn new(max_pipeline: usize) -> Self {
+        let cap = max_pipeline.max(1);
+        PendingRing { base: 0, next: 0, ring: VecDeque::with_capacity(cap), cap }
+    }
+
+    pub fn in_flight(&self) -> usize {
+        (self.next - self.base) as usize
+    }
+
+    pub fn has_room(&self) -> bool {
+        self.in_flight() < self.cap
+    }
+
+    /// Allocate the next slot (caller checked `has_room`).
+    pub fn alloc(&mut self) -> u64 {
+        let slot = self.next;
+        self.next += 1;
+        self.ring.push_back(None);
+        slot
+    }
+
+    /// Fill a slot. Slots outside `[base, next)` are stale deliveries
+    /// for a recycled connection index and are ignored.
+    pub fn complete(&mut self, slot: u64, reply: Reply) {
+        if slot < self.base || slot >= self.next {
+            return;
+        }
+        let idx = (slot - self.base) as usize;
+        if let Some(cell) = self.ring.get_mut(idx) {
+            *cell = Some(reply);
+        }
+    }
+
+    /// Pop the next in-order reply, if it has completed.
+    pub fn pop_ready(&mut self) -> Option<Reply> {
+        match self.ring.front() {
+            Some(Some(_)) => {}
+            _ => return None,
+        }
+        let reply = self.ring.pop_front().flatten();
+        self.base += 1;
+        reply
+    }
+}
+
+/// One chunk of the outbound wire stream. `Shared` chunks carry cache /
+/// read-path [`Bytes`] straight to the socket without copying.
+enum Chunk {
+    Owned(Vec<u8>),
+    Shared(Bytes),
+}
+
+impl Chunk {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Chunk::Owned(v) => v,
+            Chunk::Shared(b) => b,
+        }
+    }
+}
+
+/// Values at or above this many bytes ride as shared chunks; smaller
+/// ones are cheaper to memcpy into the staging buffer than to pay an
+/// extra `iovec` entry for.
+const SHARED_CHUNK_MIN: usize = 1024;
+
+/// Cap on `iovec` entries per `write_vectored` call (Linux `UIO_MAXIOV`
+/// is 1024; 64 already amortizes the syscall completely).
+const MAX_IOV: usize = 64;
+
+/// The outbound stream: sealed chunks plus an open staging tail that
+/// small replies append to. One flush call drains as much as the socket
+/// accepts with at most one `writev` per `MAX_IOV` chunks.
+pub struct WriteQueue {
+    chunks: VecDeque<Chunk>,
+    /// Bytes of `chunks[0]` already written.
+    head_off: usize,
+    /// Open staging buffer; sealed into `chunks` on flush or when a
+    /// shared chunk is interposed.
+    tail: Vec<u8>,
+    bytes: usize,
+}
+
+impl Default for WriteQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriteQueue {
+    pub fn new() -> Self {
+        WriteQueue { chunks: VecDeque::with_capacity(16), head_off: 0, tail: Vec::new(), bytes: 0 }
+    }
+
+    /// Total bytes queued and not yet accepted by the socket.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    fn seal_tail(&mut self) {
+        if !self.tail.is_empty() {
+            self.chunks.push_back(Chunk::Owned(std::mem::take(&mut self.tail)));
+        }
+    }
+
+    /// Encode one reply onto the stream. Large values are zero-copy.
+    pub fn push_reply(&mut self, reply: &Reply) {
+        self.bytes += reply.wire_bytes();
+        match reply {
+            Reply::Ok => resp::enc_simple(&mut self.tail, "OK"),
+            Reply::Pong => resp::enc_simple(&mut self.tail, "PONG"),
+            Reply::Nil => resp::enc_nil(&mut self.tail),
+            Reply::Int(n) => resp::enc_int(&mut self.tail, *n),
+            Reply::Error(msg) => resp::enc_error(&mut self.tail, msg),
+            Reply::Value(v) if v.len() >= SHARED_CHUNK_MIN => {
+                resp::enc_bulk_header(&mut self.tail, v.len());
+                self.seal_tail();
+                self.chunks.push_back(Chunk::Shared(v.clone()));
+                resp::enc_crlf(&mut self.tail);
+            }
+            Reply::Value(v) => resp::enc_bulk(&mut self.tail, v),
+        }
+    }
+
+    /// Write as much as the socket accepts. Returns the bytes written;
+    /// `WouldBlock` maps to `Ok(0)`.
+    pub fn flush(&mut self, stream: &mut TcpStream) -> io::Result<usize> {
+        self.seal_tail();
+        let mut total = 0;
+        while !self.chunks.is_empty() {
+            let mut iovs: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOV.min(self.chunks.len()));
+            for (i, chunk) in self.chunks.iter().take(MAX_IOV).enumerate() {
+                let s = chunk.as_slice();
+                iovs.push(IoSlice::new(if i == 0 { &s[self.head_off..] } else { s }));
+            }
+            let n = match stream.write_vectored(&iovs) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            total += n;
+            self.bytes -= n;
+            self.consume(n);
+        }
+        Ok(total)
+    }
+
+    fn consume(&mut self, mut n: usize) {
+        while n > 0 {
+            let Some(front) = self.chunks.front() else { return };
+            let remaining = front.as_slice().len() - self.head_off;
+            if n >= remaining {
+                n -= remaining;
+                self.head_off = 0;
+                self.chunks.pop_front();
+            } else {
+                self.head_off += n;
+                return;
+            }
+        }
+    }
+}
+
+/// Why `pump` retired a connection.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ConnState {
+    Open,
+    Closed,
+}
+
+/// One client connection, owned by exactly one worker thread.
+pub struct Connection {
+    pub stream: TcpStream,
+    /// Read buffer; `cursor` marks the consumed prefix.
+    pub buf: Vec<u8>,
+    pub cursor: usize,
+    pub pending: PendingRing,
+    pub wq: WriteQueue,
+    pub mailbox: Arc<Mailbox>,
+    /// Tenant id this connection bills to (rebound by `AUTH`).
+    pub tenant: usize,
+    /// Flush remaining replies, then close (QUIT / protocol error).
+    pub closing: bool,
+    /// Peer sent EOF; drain in-flight work, then close.
+    pub eof: bool,
+    /// Scratch for `parse_frame` ranges (reused, never reallocated in
+    /// steady state).
+    pub args: Vec<(usize, usize)>,
+    /// Scratch for mailbox drains.
+    pub delivery: Vec<(u64, Reply)>,
+}
+
+impl Connection {
+    pub fn new(stream: TcpStream, max_pipeline: usize, tenant: usize) -> Self {
+        Connection {
+            stream,
+            buf: Vec::with_capacity(4096),
+            cursor: 0,
+            pending: PendingRing::new(max_pipeline),
+            wq: WriteQueue::new(),
+            mailbox: Arc::new(Mailbox::new(max_pipeline)),
+            tenant,
+            closing: false,
+            eof: false,
+            args: Vec::new(),
+            delivery: Vec::new(),
+        }
+    }
+
+    /// Bytes this connection is currently buffering (read + write side).
+    /// The backpressure test asserts this never exceeds the per-conn
+    /// budget while a client stalls.
+    pub fn buffered_bytes(&self) -> usize {
+        (self.buf.len() - self.cursor) + self.wq.bytes()
+    }
+
+    /// Move mailbox deliveries → ring → write queue. Returns the number
+    /// of replies released to the wire.
+    pub fn collect_replies(&mut self) -> usize {
+        self.delivery.clear();
+        self.mailbox.drain_into(&mut self.delivery);
+        // Indexing a scratch we just filled; split borrows manually.
+        let delivery = std::mem::take(&mut self.delivery);
+        for (slot, reply) in &delivery {
+            self.pending.complete(*slot, reply.clone());
+        }
+        self.delivery = delivery;
+        let mut released = 0;
+        while let Some(reply) = self.pending.pop_ready() {
+            self.wq.push_reply(&reply);
+            released += 1;
+        }
+        released
+    }
+
+    /// Drop the consumed prefix once it dominates the buffer, keeping
+    /// amortized-O(1) compaction.
+    pub fn compact(&mut self) {
+        if self.cursor > 0 && (self.cursor >= self.buf.len() || self.cursor >= 8192) {
+            self.buf.drain(..self.cursor);
+            self.cursor = 0;
+        }
+    }
+
+    /// Read from the socket up to the high-watermark. Returns bytes read
+    /// (0 on `WouldBlock` or when already at the watermark).
+    pub fn fill(&mut self, read_high: usize) -> io::Result<usize> {
+        self.compact();
+        let unconsumed = self.buf.len() - self.cursor;
+        if unconsumed >= read_high || self.eof || self.closing {
+            return Ok(0);
+        }
+        let want = read_high - unconsumed;
+        let old_len = self.buf.len();
+        self.buf.resize(old_len + want, 0);
+        let got = match self.stream.read(&mut self.buf[old_len..]) {
+            Ok(0) => {
+                self.eof = true;
+                0
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => 0,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => {
+                self.buf.truncate(old_len);
+                return Err(e);
+            }
+        };
+        self.buf.truncate(old_len + got);
+        Ok(got)
+    }
+
+    /// Whether this connection has fully quiesced and can be dropped:
+    /// peer gone (or closing) with nothing in flight and nothing queued.
+    /// On plain EOF the unconsumed tail must be empty too — frames the
+    /// client pipelined before half-closing are still served.
+    pub fn drained(&self) -> bool {
+        (self.eof || self.closing)
+            && self.pending.in_flight() == 0
+            && self.wq.is_empty()
+            && (self.closing || self.buf.len() == self.cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_releases_in_request_order() {
+        let mut ring = PendingRing::new(4);
+        let a = ring.alloc();
+        let b = ring.alloc();
+        let c = ring.alloc();
+        ring.complete(c, Reply::Int(3));
+        ring.complete(a, Reply::Int(1));
+        // b still outstanding: only a releases.
+        assert_eq!(ring.pop_ready(), Some(Reply::Int(1)));
+        assert_eq!(ring.pop_ready(), None);
+        ring.complete(b, Reply::Int(2));
+        assert_eq!(ring.pop_ready(), Some(Reply::Int(2)));
+        assert_eq!(ring.pop_ready(), Some(Reply::Int(3)));
+        assert_eq!(ring.in_flight(), 0);
+    }
+
+    #[test]
+    fn ring_bounds_in_flight_and_ignores_stale_slots() {
+        let mut ring = PendingRing::new(2);
+        let a = ring.alloc();
+        let _b = ring.alloc();
+        assert!(!ring.has_room());
+        ring.complete(a, Reply::Ok);
+        assert_eq!(ring.pop_ready(), Some(Reply::Ok));
+        assert!(ring.has_room());
+        // Completing a released or never-allocated slot is a no-op.
+        ring.complete(a, Reply::Pong);
+        ring.complete(99, Reply::Pong);
+        assert_eq!(ring.pop_ready(), None);
+    }
+
+    #[test]
+    fn write_queue_accounts_bytes_exactly() {
+        let mut wq = WriteQueue::new();
+        assert!(wq.is_empty());
+        wq.push_reply(&Reply::Ok);
+        wq.push_reply(&Reply::Value(Bytes::from(vec![7u8; 2048])));
+        wq.push_reply(&Reply::Int(-5));
+        let expected = Reply::Ok.wire_bytes()
+            + Reply::Value(Bytes::from(vec![7u8; 2048])).wire_bytes()
+            + Reply::Int(-5).wire_bytes();
+        assert_eq!(wq.bytes(), expected);
+    }
+
+    #[test]
+    fn write_queue_streams_correct_bytes_through_a_socket() {
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (mut server_side, _) = listener.accept().expect("accept");
+
+        let big = Bytes::from((0..4000u32).map(|i| i as u8).collect::<Vec<u8>>());
+        let mut wq = WriteQueue::new();
+        wq.push_reply(&Reply::Ok);
+        wq.push_reply(&Reply::Value(big.clone()));
+        wq.push_reply(&Reply::Nil);
+        let total = wq.bytes();
+        let mut written = 0;
+        while written < total {
+            written += wq.flush(&mut server_side).expect("flush");
+        }
+        assert!(wq.is_empty());
+
+        let mut expect = Vec::new();
+        resp::enc_simple(&mut expect, "OK");
+        resp::enc_bulk(&mut expect, &big);
+        resp::enc_nil(&mut expect);
+        let mut got = vec![0u8; expect.len()];
+        client.read_exact(&mut got).expect("read");
+        assert_eq!(got, expect);
+    }
+}

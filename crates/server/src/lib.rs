@@ -1,0 +1,31 @@
+//! rhik-server: the network front end over [`rhik_kvssd::ShardedKvssd`].
+//!
+//! A RESP2-subset KV service (GET / SET / DEL / EXISTS / PING / AUTH /
+//! QUIT) built for pipelined throughput on std-only networking:
+//!
+//! * **Zero-copy parse** ([`resp`]) — whole pipelines are consumed per
+//!   socket read; arguments are `(offset, len)` ranges until the op is
+//!   actually admitted.
+//! * **Batched submission** ([`server`]) — ops coalesce in per-shard
+//!   queues and ride [`rhik_kvssd::ShardedKvssd::submit_batch`], so a
+//!   pipeline of N ops costs one shard hand-off, not N.
+//! * **Vectored replies** ([`conn`]) — in-order replies coalesce into
+//!   one `writev`; large values ride as shared [`bytes::Bytes`] chunks.
+//! * **Multi-tenant admission** ([`admission`]) — token-bucket op/byte
+//!   quotas at the socket edge, deficit-round-robin fairness at the
+//!   shard edge, all queues bounded, backpressure all the way to TCP.
+//!
+//! DESIGN.md §4f covers the architecture; `crates/bench/src/bin/
+//! server_load.rs` measures the pipelined-vs-naive gap end to end.
+
+pub mod admission;
+pub mod clock;
+pub mod conn;
+pub mod error_map;
+pub mod resp;
+pub mod server;
+
+pub use admission::{DrrQueue, Tenant, TenantRegistry, TenantSpec};
+pub use error_map::{error_text, reply_for, Reply};
+pub use resp::{Cmd, CmdError, Limits, Parse, ProtocolError};
+pub use server::{start, ServerConfig, ServerHandle};

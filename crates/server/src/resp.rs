@@ -1,0 +1,475 @@
+//! Zero-copy incremental RESP2 parser + reply encoder.
+//!
+//! The parser consumes request frames (`*N\r\n` arrays of `$len\r\n` bulk
+//! strings — the only request shape real Redis clients send) directly out
+//! of a connection's read buffer. Nothing is copied at parse time: a
+//! successful parse yields `(offset, len)` ranges into the caller's
+//! buffer, and the caller copies each argument exactly once, when (and
+//! only when) the op is enqueued for submission. Partial frames report
+//! [`Parse::Incomplete`] and cost O(bytes scanned); the caller reads more
+//! and retries from the same offset.
+//!
+//! Every malformed input maps to a typed [`ProtocolError`] — never a
+//! panic, and never a silently stuck connection: the server replies with
+//! the error's RESP rendering and closes, exactly like Redis on a
+//! protocol error. Declared lengths are validated *before* any buffering
+//! decision, so a client announcing a 2 GiB bulk is rejected from the
+//! 14-byte header alone — the bounded-memory story starts here.
+
+/// Hard ceiling on header digits (`*N` / `$N`). 10 digits covers every
+/// length the limits below could admit; anything longer is garbage.
+const MAX_HEADER_DIGITS: usize = 10;
+
+/// Parser limits, derived from the server config. Both bound memory:
+/// an op can never buffer more than `max_args × max_bulk` bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum elements in a request array (our commands take ≤ 3).
+    pub max_args: usize,
+    /// Maximum bytes in one bulk string (keys *and* values).
+    pub max_bulk: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_args: 8, max_bulk: 512 * 1024 }
+    }
+}
+
+/// Typed protocol violations. `message()` is the RESP error rendering;
+/// the connection closes after it is written (Redis semantics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Frame began with something other than `*` (inline commands are
+    /// not part of the subset).
+    ExpectedArray { found: u8 },
+    /// Array element began with something other than `$`.
+    ExpectedBulk { found: u8 },
+    /// A `*`/`$` header length was not a plain non-negative decimal.
+    BadLength,
+    /// Header line ran on without CRLF past any sane length.
+    HeaderTooLong,
+    /// A bulk string's payload was not followed by CRLF.
+    MissingCrlf,
+    /// `*0\r\n` — an array with no command name.
+    EmptyCommand,
+    /// More array elements than [`Limits::max_args`].
+    TooManyArgs { count: usize, max: usize },
+    /// Declared bulk length above [`Limits::max_bulk`].
+    BulkTooLarge { len: usize, max: usize },
+}
+
+impl ProtocolError {
+    /// The `-ERR` line sent to the client before closing.
+    pub fn message(&self) -> String {
+        match self {
+            ProtocolError::ExpectedArray { found } => {
+                format!("ERR Protocol error: expected '*', got '{}'", printable(*found))
+            }
+            ProtocolError::ExpectedBulk { found } => {
+                format!("ERR Protocol error: expected '$', got '{}'", printable(*found))
+            }
+            ProtocolError::BadLength => "ERR Protocol error: invalid length".to_string(),
+            ProtocolError::HeaderTooLong => {
+                "ERR Protocol error: too big inline request".to_string()
+            }
+            ProtocolError::MissingCrlf => "ERR Protocol error: missing CRLF".to_string(),
+            ProtocolError::EmptyCommand => "ERR Protocol error: empty command".to_string(),
+            ProtocolError::TooManyArgs { count, max } => {
+                format!("ERR Protocol error: {count} arguments (max {max})")
+            }
+            ProtocolError::BulkTooLarge { len, max } => {
+                format!("ERR Protocol error: invalid bulk length {len} (max {max})")
+            }
+        }
+    }
+}
+
+fn printable(b: u8) -> char {
+    if b.is_ascii_graphic() {
+        b as char
+    } else {
+        '?'
+    }
+}
+
+/// One parse attempt's outcome.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Parse {
+    /// Need more bytes; nothing consumed.
+    Incomplete,
+    /// One whole frame: `args` (cleared first) holds `(offset, len)`
+    /// ranges into the input buffer; `consumed` bytes belong to it.
+    Frame { consumed: usize },
+}
+
+/// Parse one request frame from `buf`, writing argument ranges into
+/// `args` (a caller-owned scratch vector, so steady-state parsing never
+/// allocates). Returns [`Parse::Incomplete`] until a full frame is
+/// buffered; errors are terminal for the connection.
+pub fn parse_frame(
+    buf: &[u8],
+    limits: &Limits,
+    args: &mut Vec<(usize, usize)>,
+) -> Result<Parse, ProtocolError> {
+    args.clear();
+    if buf.is_empty() {
+        return Ok(Parse::Incomplete);
+    }
+    if buf[0] != b'*' {
+        return Err(ProtocolError::ExpectedArray { found: buf[0] });
+    }
+    let (count, mut pos) = match parse_header(buf, 0)? {
+        Some(h) => h,
+        None => return Ok(Parse::Incomplete),
+    };
+    if count == 0 {
+        return Err(ProtocolError::EmptyCommand);
+    }
+    if count > limits.max_args {
+        return Err(ProtocolError::TooManyArgs { count, max: limits.max_args });
+    }
+    for _ in 0..count {
+        match buf.get(pos) {
+            None => return Ok(Parse::Incomplete),
+            Some(b'$') => {}
+            Some(&other) => return Err(ProtocolError::ExpectedBulk { found: other }),
+        }
+        let (len, payload) = match parse_header(buf, pos)? {
+            Some(h) => h,
+            None => return Ok(Parse::Incomplete),
+        };
+        if len > limits.max_bulk {
+            return Err(ProtocolError::BulkTooLarge { len, max: limits.max_bulk });
+        }
+        // Payload + trailing CRLF must be fully buffered.
+        let end = payload + len;
+        match (buf.get(end), buf.get(end + 1)) {
+            (Some(b'\r'), Some(b'\n')) => {}
+            (Some(b'\r'), None) | (None, _) => return Ok(Parse::Incomplete),
+            _ => return Err(ProtocolError::MissingCrlf),
+        }
+        args.push((payload, len));
+        pos = end + 2;
+    }
+    Ok(Parse::Frame { consumed: pos })
+}
+
+/// Parse a `*N\r\n` / `$N\r\n` header starting at `pos` (the sigil).
+/// `Ok(Some((n, after)))` on success, `Ok(None)` when more bytes are
+/// needed, error on malformed digits or a runaway header line.
+fn parse_header(buf: &[u8], pos: usize) -> Result<Option<(usize, usize)>, ProtocolError> {
+    let digits = &buf[pos + 1..];
+    let mut n: usize = 0;
+    for (i, &b) in digits.iter().enumerate() {
+        match b {
+            b'0'..=b'9' => {
+                if i >= MAX_HEADER_DIGITS {
+                    return Err(ProtocolError::HeaderTooLong);
+                }
+                n = n * 10 + (b - b'0') as usize;
+            }
+            b'\r' => {
+                if i == 0 {
+                    return Err(ProtocolError::BadLength);
+                }
+                return match digits.get(i + 1) {
+                    Some(b'\n') => Ok(Some((n, pos + 1 + i + 2))),
+                    Some(_) => Err(ProtocolError::MissingCrlf),
+                    None => Ok(None),
+                };
+            }
+            // `$-1` and friends are reply syntax, not request syntax.
+            _ => return Err(ProtocolError::BadLength),
+        }
+    }
+    Ok(None)
+}
+
+// -------------------------------------------------------------- commands
+
+/// The decoded command subset, borrowing from the read buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Cmd<'a> {
+    Get {
+        key: &'a [u8],
+    },
+    Set {
+        key: &'a [u8],
+        value: &'a [u8],
+    },
+    Del {
+        key: &'a [u8],
+    },
+    Exists {
+        key: &'a [u8],
+    },
+    Ping,
+    /// `AUTH <tenant>` binds the connection to a tenant's budgets.
+    Auth {
+        tenant: &'a [u8],
+    },
+    Quit,
+}
+
+/// Command-level (not wire-level) rejections. These reply `-ERR` but do
+/// *not* close the connection — the frame itself was well-formed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CmdError {
+    Unknown { name: String },
+    Arity { cmd: &'static str },
+}
+
+impl CmdError {
+    pub fn message(&self) -> String {
+        match self {
+            CmdError::Unknown { name } => format!("ERR unknown command '{name}'"),
+            CmdError::Arity { cmd } => {
+                format!("ERR wrong number of arguments for '{cmd}' command")
+            }
+        }
+    }
+}
+
+/// Map a parsed argument vector onto the command subset.
+pub fn decode<'a>(buf: &'a [u8], args: &[(usize, usize)]) -> Result<Cmd<'a>, CmdError> {
+    let arg = |i: usize| -> &'a [u8] {
+        let (off, len) = args[i];
+        &buf[off..off + len]
+    };
+    let name = arg(0);
+    let is = |s: &str| name.eq_ignore_ascii_case(s.as_bytes());
+    if is("GET") {
+        if args.len() != 2 {
+            return Err(CmdError::Arity { cmd: "get" });
+        }
+        Ok(Cmd::Get { key: arg(1) })
+    } else if is("SET") {
+        if args.len() != 3 {
+            return Err(CmdError::Arity { cmd: "set" });
+        }
+        Ok(Cmd::Set { key: arg(1), value: arg(2) })
+    } else if is("DEL") {
+        if args.len() != 2 {
+            return Err(CmdError::Arity { cmd: "del" });
+        }
+        Ok(Cmd::Del { key: arg(1) })
+    } else if is("EXISTS") {
+        if args.len() != 2 {
+            return Err(CmdError::Arity { cmd: "exists" });
+        }
+        Ok(Cmd::Exists { key: arg(1) })
+    } else if is("PING") {
+        if args.len() != 1 {
+            return Err(CmdError::Arity { cmd: "ping" });
+        }
+        Ok(Cmd::Ping)
+    } else if is("AUTH") {
+        // Redis AUTH is `AUTH password` or `AUTH user password`; we read
+        // the first operand as the tenant name and ignore a password.
+        if args.len() != 2 && args.len() != 3 {
+            return Err(CmdError::Arity { cmd: "auth" });
+        }
+        Ok(Cmd::Auth { tenant: arg(1) })
+    } else if is("QUIT") {
+        Ok(Cmd::Quit)
+    } else {
+        let name = String::from_utf8_lossy(&name[..name.len().min(32)]).into_owned();
+        Err(CmdError::Unknown { name })
+    }
+}
+
+// -------------------------------------------------------------- encoding
+
+/// Append `+s\r\n`.
+pub fn enc_simple(out: &mut Vec<u8>, s: &str) {
+    out.push(b'+');
+    out.extend_from_slice(s.as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Append `-msg\r\n`.
+pub fn enc_error(out: &mut Vec<u8>, msg: &str) {
+    out.push(b'-');
+    out.extend_from_slice(msg.as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Append `:n\r\n`.
+pub fn enc_int(out: &mut Vec<u8>, n: i64) {
+    out.push(b':');
+    out.extend_from_slice(n.to_string().as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Append the nil bulk `$-1\r\n`.
+pub fn enc_nil(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"$-1\r\n");
+}
+
+/// Append only the `$len\r\n` header — the payload itself rides as its
+/// own vectored-write chunk (zero-copy for cached/shared values), and
+/// [`enc_crlf`] closes the frame.
+pub fn enc_bulk_header(out: &mut Vec<u8>, len: usize) {
+    out.push(b'$');
+    out.extend_from_slice(len.to_string().as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Append the CRLF that terminates a bulk payload.
+pub fn enc_crlf(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Append a whole inline bulk string (small payloads, client side).
+pub fn enc_bulk(out: &mut Vec<u8>, data: &[u8]) {
+    enc_bulk_header(out, data.len());
+    out.extend_from_slice(data);
+    enc_crlf(out);
+}
+
+/// Encode a request frame (client side: benches, tests).
+pub fn enc_command(out: &mut Vec<u8>, args: &[&[u8]]) {
+    out.push(b'*');
+    out.extend_from_slice(args.len().to_string().as_bytes());
+    out.extend_from_slice(b"\r\n");
+    for a in args {
+        enc_bulk(out, a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(input: &[u8]) -> Result<Vec<Vec<Vec<u8>>>, ProtocolError> {
+        let limits = Limits::default();
+        let mut args = Vec::new();
+        let mut frames = Vec::new();
+        let mut pos = 0;
+        loop {
+            match parse_frame(&input[pos..], &limits, &mut args)? {
+                Parse::Incomplete => return Ok(frames),
+                Parse::Frame { consumed } => {
+                    frames.push(
+                        args.iter()
+                            .map(|&(off, len)| input[pos + off..pos + off + len].to_vec())
+                            .collect(),
+                    );
+                    pos += consumed;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parses_whole_pipeline() {
+        let mut buf = Vec::new();
+        enc_command(&mut buf, &[b"SET", b"k1", b"v1"]);
+        enc_command(&mut buf, &[b"GET", b"k1"]);
+        enc_command(&mut buf, &[b"PING"]);
+        let frames = parse_all(&buf).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], vec![b"SET".to_vec(), b"k1".to_vec(), b"v1".to_vec()]);
+        assert_eq!(frames[2], vec![b"PING".to_vec()]);
+    }
+
+    #[test]
+    fn incomplete_at_every_prefix() {
+        let mut buf = Vec::new();
+        enc_command(&mut buf, &[b"SET", b"key-x", b"value-y"]);
+        let limits = Limits::default();
+        let mut args = Vec::new();
+        for cut in 0..buf.len() {
+            let r = parse_frame(&buf[..cut], &limits, &mut args).unwrap();
+            assert_eq!(r, Parse::Incomplete, "prefix of {cut} bytes must be incomplete");
+        }
+        match parse_frame(&buf, &limits, &mut args).unwrap() {
+            Parse::Frame { consumed } => assert_eq!(consumed, buf.len()),
+            other => panic!("full frame not parsed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_errors_not_panics() {
+        let limits = Limits { max_args: 4, max_bulk: 16 };
+        let mut args = Vec::new();
+        let cases: &[(&[u8], ProtocolError)] = &[
+            (b"GET k\r\n", ProtocolError::ExpectedArray { found: b'G' }),
+            (b"*0\r\n", ProtocolError::EmptyCommand),
+            (b"*1\r\n+OK\r\n", ProtocolError::ExpectedBulk { found: b'+' }),
+            (b"*1\r\n$\r\n", ProtocolError::BadLength),
+            (b"*-1\r\n", ProtocolError::BadLength),
+            (b"*1\r\n$5x\r\n", ProtocolError::BadLength),
+            (b"*1\r\n$2\rXab\r\n", ProtocolError::MissingCrlf),
+            (b"*1\r\n$3\r\nabcd\r\n", ProtocolError::MissingCrlf),
+            (b"*9\r\n", ProtocolError::TooManyArgs { count: 9, max: 4 }),
+            (b"*1\r\n$99\r\n", ProtocolError::BulkTooLarge { len: 99, max: 16 }),
+            (b"*99999999999999\r\n", ProtocolError::HeaderTooLong),
+            (b"*123456789012345", ProtocolError::HeaderTooLong),
+        ];
+        for (input, want) in cases {
+            let got = parse_frame(input, &limits, &mut args).unwrap_err();
+            assert_eq!(&got, want, "input {:?}", String::from_utf8_lossy(input));
+            assert!(got.message().starts_with("ERR Protocol error"));
+        }
+    }
+
+    #[test]
+    fn oversized_bulk_rejected_from_header_alone() {
+        // The 2 GiB announcement is rejected before any payload arrives.
+        let limits = Limits { max_args: 8, max_bulk: 1024 };
+        let mut args = Vec::new();
+        let got = parse_frame(b"*2\r\n$3\r\nSET\r\n$2147483647\r\n", &limits, &mut args);
+        assert_eq!(got.unwrap_err(), ProtocolError::BulkTooLarge { len: 2147483647, max: 1024 });
+    }
+
+    #[test]
+    fn decode_maps_the_subset() {
+        let mut buf = Vec::new();
+        enc_command(&mut buf, &[b"set", b"k", b"v"]);
+        let mut args = Vec::new();
+        let limits = Limits::default();
+        match parse_frame(&buf, &limits, &mut args).unwrap() {
+            Parse::Frame { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(decode(&buf, &args).unwrap(), Cmd::Set { key: b"k", value: b"v" });
+
+        let cases: &[(&[&[u8]], Cmd<'_>)] = &[
+            (&[b"GET", b"k"], Cmd::Get { key: b"k" }),
+            (&[b"DEL", b"k"], Cmd::Del { key: b"k" }),
+            (&[b"EXISTS", b"k"], Cmd::Exists { key: b"k" }),
+            (&[b"PING"], Cmd::Ping),
+            (&[b"AUTH", b"t1"], Cmd::Auth { tenant: b"t1" }),
+            (&[b"QUIT"], Cmd::Quit),
+        ];
+        for (line, want) in cases {
+            let mut buf = Vec::new();
+            enc_command(&mut buf, line);
+            parse_frame(&buf, &limits, &mut args).unwrap();
+            assert_eq!(&decode(&buf, &args).unwrap(), want);
+        }
+
+        let mut buf = Vec::new();
+        enc_command(&mut buf, &[b"FLUSHALL"]);
+        parse_frame(&buf, &limits, &mut args).unwrap();
+        assert!(matches!(decode(&buf, &args), Err(CmdError::Unknown { .. })));
+
+        let mut buf = Vec::new();
+        enc_command(&mut buf, &[b"GET"]);
+        parse_frame(&buf, &limits, &mut args).unwrap();
+        assert_eq!(decode(&buf, &args), Err(CmdError::Arity { cmd: "get" }));
+    }
+
+    #[test]
+    fn encoders_produce_wire_format() {
+        let mut out = Vec::new();
+        enc_simple(&mut out, "OK");
+        enc_error(&mut out, "ERR boom");
+        enc_int(&mut out, 42);
+        enc_nil(&mut out);
+        enc_bulk(&mut out, b"hi");
+        assert_eq!(&out[..], b"+OK\r\n-ERR boom\r\n:42\r\n$-1\r\n$2\r\nhi\r\n".as_slice());
+    }
+}

@@ -1,0 +1,82 @@
+//! The bounded-memory contract: a client that floods requests and never
+//! reads replies cannot grow server-side buffering past the configured
+//! per-connection budget, and cannot degrade other connections.
+
+mod common;
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use common::{Client, RespValue};
+use rhik_kvssd::{DeviceConfig, ShardedKvssd};
+use rhik_server::resp::Limits;
+use rhik_server::ServerConfig;
+
+#[test]
+fn stalled_client_memory_stays_within_budget() {
+    let device = ShardedKvssd::rhik(DeviceConfig::small().with_shards(2));
+    // Deliberately tight knobs so the test floods past every stage fast.
+    let cfg = ServerConfig {
+        workers: 2,
+        limits: Limits { max_args: 4, max_bulk: 4096 },
+        max_pipeline: 16,
+        read_high: 16 * 1024,
+        write_budget: 16 * 1024,
+        lane_cap: 64,
+        ..ServerConfig::default()
+    };
+    let budget = cfg.per_conn_budget();
+    let server = rhik_server::start(device, cfg).expect("server start");
+
+    // Seed a value so the flood's GETs produce fat replies that push on
+    // the write budget too.
+    let mut seeder = Client::connect(server.addr());
+    let fat = vec![0x5au8; 4000];
+    assert_eq!(seeder.cmd(&[b"SET", b"fat", &fat]), RespValue::Simple("OK".into()));
+
+    // The stalled client: pipeline GETs as fast as the socket accepts,
+    // never read a byte back. With nonblocking writes we keep offering
+    // until the server's backpressure freezes the stream solid.
+    let mut flood = Client::connect(server.addr());
+    flood.stream.set_nonblocking(true).expect("nonblocking");
+    let mut frame = Vec::new();
+    rhik_server::resp::enc_command(&mut frame, &[b"GET", b"fat"]);
+    let mut offered = 0usize;
+    let mut stalled_streak = 0;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stalled_streak < 200 && Instant::now() < deadline {
+        match flood.stream.write(&frame) {
+            Ok(n) => {
+                offered += n;
+                stalled_streak = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                stalled_streak += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("flood write failed: {e}"),
+        }
+    }
+    assert!(stalled_streak >= 200, "backpressure never froze the flood (offered {offered} bytes)");
+    // The flood must have been stopped by the server's bounded stages,
+    // not by running out of things to send: we pushed more than one
+    // budget's worth before freezing (kernel socket buffers absorb the
+    // difference — that memory is the client's problem, not the
+    // server's).
+    assert!(offered > budget, "flood too small to prove anything: {offered} <= {budget}");
+
+    // The enforced invariant: no connection ever buffered more than the
+    // configured budget server-side.
+    let high = server.conn_buffer_high_watermark() as usize;
+    assert!(high > 0, "watermark never sampled");
+    assert!(high <= budget, "stalled client grew server memory past the budget: {high} > {budget}");
+
+    // Stall isolation: a well-behaved connection still gets service
+    // while the flood sits frozen.
+    let mut healthy = Client::connect(server.addr());
+    assert_eq!(healthy.cmd(&[b"PING"]), RespValue::Simple("PONG".into()));
+    assert_eq!(healthy.cmd(&[b"GET", b"fat"]), RespValue::Bulk(fat));
+
+    drop(flood);
+    server.shutdown();
+}

@@ -1,0 +1,119 @@
+//! Minimal blocking RESP client for the integration tests: enough of
+//! the reply grammar to drive the server over loopback and assert on
+//! every reply shape it can produce.
+
+// Shared between test binaries; not every binary uses every helper.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use rhik_server::resp;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RespValue {
+    Simple(String),
+    Error(String),
+    Int(i64),
+    Bulk(Vec<u8>),
+    Nil,
+}
+
+pub struct Client {
+    pub stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        Client { stream, buf: Vec::new(), pos: 0 }
+    }
+
+    pub fn send(&mut self, args: &[&[u8]]) {
+        let mut out = Vec::new();
+        resp::enc_command(&mut out, args);
+        self.stream.write_all(&out).expect("send");
+    }
+
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("send_raw");
+    }
+
+    /// One request, one reply.
+    pub fn cmd(&mut self, args: &[&[u8]]) -> RespValue {
+        self.send(args);
+        self.read_reply()
+    }
+
+    fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => false,
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                true
+            }
+            Err(e) => panic!("client read failed: {e}"),
+        }
+    }
+
+    fn line(&mut self) -> String {
+        loop {
+            let hay = &self.buf[self.pos..];
+            if let Some(i) = hay.windows(2).position(|w| w == b"\r\n") {
+                let line = String::from_utf8_lossy(&hay[..i]).into_owned();
+                self.pos += i + 2;
+                if self.pos == self.buf.len() {
+                    self.buf.clear();
+                    self.pos = 0;
+                }
+                return line;
+            }
+            assert!(self.fill(), "connection closed mid-reply");
+        }
+    }
+
+    /// Blocking read of the next reply (panics on EOF or timeout).
+    pub fn read_reply(&mut self) -> RespValue {
+        let line = self.line();
+        let (tag, rest) = line.split_at(1);
+        match tag {
+            "+" => RespValue::Simple(rest.to_string()),
+            "-" => RespValue::Error(rest.to_string()),
+            ":" => RespValue::Int(rest.parse().expect("integer reply")),
+            "$" => {
+                let len: i64 = rest.parse().expect("bulk length");
+                if len < 0 {
+                    return RespValue::Nil;
+                }
+                let len = len as usize;
+                while self.buf.len() - self.pos < len + 2 {
+                    assert!(self.fill(), "connection closed mid-bulk");
+                }
+                let data = self.buf[self.pos..self.pos + len].to_vec();
+                assert_eq!(&self.buf[self.pos + len..self.pos + len + 2], b"\r\n");
+                self.pos += len + 2;
+                if self.pos == self.buf.len() {
+                    self.buf.clear();
+                    self.pos = 0;
+                }
+                RespValue::Bulk(data)
+            }
+            other => panic!("unknown reply tag {other:?} in {line:?}"),
+        }
+    }
+
+    /// True once the server has closed this connection (EOF observed).
+    pub fn eof(&mut self) -> bool {
+        if self.pos < self.buf.len() {
+            return false;
+        }
+        let mut chunk = [0u8; 64];
+        matches!(self.stream.read(&mut chunk), Ok(0))
+    }
+}

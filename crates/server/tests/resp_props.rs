@@ -1,0 +1,166 @@
+//! Property tests for the incremental RESP parser: no input — however
+//! split, pipelined, truncated, or corrupted — may panic the parser,
+//! wedge a connection, or mis-frame a pipeline.
+
+use proptest::prelude::*;
+use rhik_server::resp::{self, Limits, Parse, ProtocolError};
+
+/// One generated command: a name from the subset (or not) plus 0–3
+/// binary arguments, any of which may be empty.
+fn cmd_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    let name = prop_oneof![
+        Just(b"GET".to_vec()),
+        Just(b"SET".to_vec()),
+        Just(b"DEL".to_vec()),
+        Just(b"EXISTS".to_vec()),
+        Just(b"PING".to_vec()),
+        Just(b"AUTH".to_vec()),
+        Just(b"NOSUCH".to_vec()),
+    ];
+    let arg = proptest::collection::vec(any::<u8>(), 0..24);
+    (name, proptest::collection::vec(arg, 0..4)).prop_map(|(name, mut args)| {
+        let mut cmd = vec![name];
+        cmd.append(&mut args);
+        cmd
+    })
+}
+
+/// Drive the parser exactly like a connection does: append one chunk,
+/// then consume complete frames until `Incomplete`.
+fn consume(buf: &[u8], limits: &Limits, args: &mut Vec<(usize, usize)>) -> ConsumeOutcome {
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    loop {
+        match resp::parse_frame(&buf[pos..], limits, args) {
+            Ok(Parse::Incomplete) => return ConsumeOutcome { frames, consumed: pos, error: None },
+            Ok(Parse::Frame { consumed }) => {
+                assert!(consumed > 0, "a complete frame must consume bytes");
+                frames.push(
+                    args.iter()
+                        .map(|&(off, len)| buf[pos + off..pos + off + len].to_vec())
+                        .collect::<Vec<_>>(),
+                );
+                pos += consumed;
+            }
+            Err(e) => return ConsumeOutcome { frames, consumed: pos, error: Some(e) },
+        }
+    }
+}
+
+struct ConsumeOutcome {
+    frames: Vec<Vec<Vec<u8>>>,
+    consumed: usize,
+    error: Option<ProtocolError>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A pipeline of well-formed frames, delivered in arbitrary chunk
+    /// sizes, parses to exactly the original argument lists — no frame
+    /// lost, duplicated, or reordered, regardless of where the socket
+    /// reads split the stream.
+    #[test]
+    fn pipeline_survives_arbitrary_read_splits(
+        cmds in proptest::collection::vec(cmd_strategy(), 1..6),
+        split_seed in any::<u64>(),
+    ) {
+        let limits = Limits::default();
+        let mut wire = Vec::new();
+        for cmd in &cmds {
+            let refs: Vec<&[u8]> = cmd.iter().map(|a| a.as_slice()).collect();
+            resp::enc_command(&mut wire, &refs);
+        }
+
+        // Feed the wire bytes in pseudo-random chunks (1..17 bytes),
+        // re-parsing from the unconsumed tail after every chunk, exactly
+        // like `Connection::fill` + the pump's parse loop.
+        let mut rng = split_seed | 1;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) % 16 + 1) as usize
+        };
+        let mut buf: Vec<u8> = Vec::new();
+        let mut args = Vec::new();
+        let mut fed = 0;
+        let mut got: Vec<Vec<Vec<u8>>> = Vec::new();
+        while fed < wire.len() {
+            let n = next().min(wire.len() - fed);
+            buf.extend_from_slice(&wire[fed..fed + n]);
+            fed += n;
+            let out = consume(&buf, &limits, &mut args);
+            prop_assert!(out.error.is_none(), "well-formed pipeline errored: {:?}", out.error);
+            got.extend(out.frames);
+            buf.drain(..out.consumed);
+        }
+        prop_assert!(buf.is_empty(), "bytes left unconsumed after full delivery");
+        prop_assert_eq!(got, cmds);
+    }
+
+    /// Arbitrary garbage: the parser must terminate with either a typed
+    /// error (whose message renders) or a clean Incomplete — never a
+    /// panic, and never an infinite loop (consume() returning proves
+    /// termination; every Frame must advance).
+    #[test]
+    fn garbage_never_panics_or_wedges(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let limits = Limits { max_args: 4, max_bulk: 32 };
+        let mut args = Vec::new();
+        let out = consume(&bytes, &limits, &mut args);
+        if let Some(err) = out.error {
+            prop_assert!(err.message().starts_with("ERR Protocol error"));
+        }
+        prop_assert!(out.consumed <= bytes.len());
+    }
+
+    /// Corrupting one byte of a valid pipeline yields a parse, an
+    /// Incomplete, or a typed error — same safety contract as garbage,
+    /// starting from an almost-valid stream.
+    #[test]
+    fn single_byte_corruption_is_safe(
+        cmds in proptest::collection::vec(cmd_strategy(), 1..4),
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        let limits = Limits::default();
+        let mut wire = Vec::new();
+        for cmd in &cmds {
+            let refs: Vec<&[u8]> = cmd.iter().map(|a| a.as_slice()).collect();
+            resp::enc_command(&mut wire, &refs);
+        }
+        let pos = (pos_seed as usize) % wire.len();
+        wire[pos] = byte;
+        let mut args = Vec::new();
+        let out = consume(&wire, &limits, &mut args);
+        if let Some(err) = out.error {
+            prop_assert!(err.message().starts_with("ERR Protocol error"));
+        }
+    }
+
+    /// Oversized declared lengths are rejected from the header alone —
+    /// before any payload bytes arrive, for both arg-count and bulk-size
+    /// overruns.
+    #[test]
+    fn oversized_declarations_rejected_early(
+        extra in 1usize..1000,
+        which in any::<u8>(),
+    ) {
+        let limits = Limits { max_args: 8, max_bulk: 1024 };
+        let mut args = Vec::new();
+        let header = if which.is_multiple_of(2) {
+            format!("*{}\r\n", limits.max_args + extra)
+        } else {
+            format!("*1\r\n${}\r\n", limits.max_bulk + extra)
+        };
+        match resp::parse_frame(header.as_bytes(), &limits, &mut args) {
+            Err(ProtocolError::TooManyArgs { count, max }) => {
+                prop_assert_eq!(count, limits.max_args + extra);
+                prop_assert_eq!(max, limits.max_args);
+            }
+            Err(ProtocolError::BulkTooLarge { len, max }) => {
+                prop_assert_eq!(len, limits.max_bulk + extra);
+                prop_assert_eq!(max, limits.max_bulk);
+            }
+            other => prop_assert!(false, "expected early rejection, got {:?}", other),
+        }
+    }
+}

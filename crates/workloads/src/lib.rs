@@ -27,4 +27,4 @@ pub mod ycsb;
 
 pub use driver::{OpMix, RunStats, WorkloadDriver};
 pub use keygen::{KeyStream, Keygen, ZipfSampler};
-pub use ycsb::{YcsbConfig, YcsbPreset};
+pub use ycsb::{zipf_record_key, YcsbConfig, YcsbPreset};

@@ -47,6 +47,53 @@ impl YcsbPreset {
             YcsbPreset::F => "F (read-modify-write)",
         }
     }
+
+    /// Lowercase single-letter tag, as used by `--ycsb a|b|c` flags.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            YcsbPreset::A => "a",
+            YcsbPreset::B => "b",
+            YcsbPreset::C => "c",
+            YcsbPreset::D => "d",
+            YcsbPreset::E => "e",
+            YcsbPreset::F => "f",
+        }
+    }
+
+    /// Parse a `--ycsb` flag value (either case).
+    pub fn from_flag(flag: &str) -> Option<Self> {
+        match flag.to_ascii_lowercase().as_str() {
+            "a" => Some(YcsbPreset::A),
+            "b" => Some(YcsbPreset::B),
+            "c" => Some(YcsbPreset::C),
+            "d" => Some(YcsbPreset::D),
+            "e" => Some(YcsbPreset::E),
+            "f" => Some(YcsbPreset::F),
+            _ => None,
+        }
+    }
+
+    /// Read fraction for the *core* presets A/B/C, whose op streams are
+    /// a stateless read/update mix over a zipf-scattered key space —
+    /// the shape external load generators (the network bench) can
+    /// reproduce op-by-op. D/E/F are stateful (latest-reads, scans,
+    /// read-modify-write) and only run through [`run`].
+    pub fn read_fraction(self) -> Option<f64> {
+        match self {
+            YcsbPreset::A => Some(0.5),
+            YcsbPreset::B => Some(0.95),
+            YcsbPreset::C => Some(1.0),
+            YcsbPreset::D | YcsbPreset::E | YcsbPreset::F => None,
+        }
+    }
+}
+
+/// The key a zipf rank maps to — rank scattered over the record space
+/// exactly as [`run`] does it, so external generators (the network load
+/// bench) touch the same keys with the same popularity as the in-process
+/// YCSB driver.
+pub fn zipf_record_key(rank: u64, records: u64) -> Vec<u8> {
+    record_key(scatter(rank, records))
 }
 
 /// YCSB run parameters.
@@ -237,6 +284,23 @@ mod tests {
         let c = run(&mut dev, YcsbPreset::C, &small()).unwrap();
         assert_eq!(c.puts, 0, "C is read-only");
         assert_eq!(c.gets, c.ops);
+    }
+
+    #[test]
+    fn flag_and_mix_accessors_agree_with_run() {
+        assert_eq!(YcsbPreset::from_flag("a"), Some(YcsbPreset::A));
+        assert_eq!(YcsbPreset::from_flag("C"), Some(YcsbPreset::C));
+        assert_eq!(YcsbPreset::from_flag("x"), None);
+        for p in YcsbPreset::all() {
+            assert_eq!(YcsbPreset::from_flag(p.short_name()), Some(p));
+        }
+        assert_eq!(YcsbPreset::A.read_fraction(), Some(0.5));
+        assert_eq!(YcsbPreset::B.read_fraction(), Some(0.95));
+        assert_eq!(YcsbPreset::C.read_fraction(), Some(1.0));
+        assert_eq!(YcsbPreset::E.read_fraction(), None);
+        // The exported key function is the run loop's own mapping.
+        assert_eq!(zipf_record_key(0, 100), record_key(scatter(0, 100)));
+        assert!(zipf_record_key(7, 100).starts_with(b"user"));
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   scope.)
 //! * `debug-assert-message` — every `debug_assert!`-family invocation
 //!   carries a message naming the violated invariant.
+//! * `unbounded-queue-in-server` — server sources construct only bounded
+//!   queues: no `VecDeque::new()` / `LinkedList::new()` / unbounded
+//!   `mpsc::channel()`. The per-connection memory budget rests on every
+//!   stage of the backpressure chain being bounded at construction.
 //!
 //! The scanner strips comments and string/char literals first, then
 //! masks `#[cfg(test)]` regions by brace tracking, so prose and test
@@ -41,6 +45,7 @@ const RULE_MUTEX: &str = "std-mutex-outside-sync";
 const RULE_ATOMIC: &str = "raw-atomic-outside-sync";
 const RULE_CLOCK: &str = "instant-off-sim-clock";
 const RULE_ASSERT: &str = "debug-assert-message";
+const RULE_UNBOUNDED: &str = "unbounded-queue-in-server";
 
 /// Library crates that must stay panic-free outside tests.
 const PANIC_FREE: &[&str] = &[
@@ -49,6 +54,7 @@ const PANIC_FREE: &[&str] = &[
     "crates/rhik-core/src",
     "crates/nand/src",
     "crates/hotcache/src",
+    "crates/server/src",
 ];
 /// Crates whose timing must come off the simulated clock.
 const SIM_CLOCK: &[&str] = &[
@@ -59,7 +65,14 @@ const SIM_CLOCK: &[&str] = &[
     "crates/baseline/src",
     "crates/sigs/src",
     "crates/hotcache/src",
+    "crates/server/src",
 ];
+/// Server sources where every queue must be bounded at construction
+/// (the backpressure chain is only as strong as its weakest stage):
+/// no growable `VecDeque::new()` / `LinkedList::new()` and no unbounded
+/// `mpsc::channel()`. Bounded constructors (`with_capacity`,
+/// `sync_channel`) pass.
+const BOUNDED_QUEUES: &[&str] = &["crates/server/src"];
 /// The only places allowed to name `std::sync::Mutex`.
 const MUTEX_ALLOWED: &[&str] = &["crates/ftl/src/sync.rs", "crates/telemetry/src"];
 /// The only library sources allowed to name `std::sync::atomic` /
@@ -180,6 +193,7 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
 
     let in_lib = PANIC_FREE.iter().any(|p| rel.starts_with(p));
     let in_clock = SIM_CLOCK.iter().any(|p| rel.starts_with(p));
+    let in_bounded = BOUNDED_QUEUES.iter().any(|p| rel.starts_with(p));
     let mutex_ok = MUTEX_ALLOWED.iter().any(|p| rel.starts_with(p));
     // Library sources only: `crates/<name>/src/**` and the root `src/`.
     let in_src = rel.contains("/src/") || rel.starts_with("src/");
@@ -206,6 +220,13 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
         }
         if in_clock && line.contains("Instant::now") {
             push(RULE_CLOCK, i);
+        }
+        if in_bounded
+            && (line.contains("VecDeque::new(")
+                || line.contains("LinkedList::new(")
+                || line.contains("mpsc::channel("))
+        {
+            push(RULE_UNBOUNDED, i);
         }
     }
 
