@@ -123,6 +123,8 @@ impl BlockAllocator {
             open_data: None,
             open_extent: None,
             open_index: None,
+            // bounded-by: every entry is a distinct parked BlockId, so at
+            // most geometry.blocks elements.
             parked_extent: Vec::new(),
             reserve,
             gc_mode: false,
@@ -143,11 +145,15 @@ impl BlockAllocator {
         );
         BlockAllocator {
             geometry,
+            // bounded-by: pooled mode returns blocks to the shared pool,
+            // so the local free list never exceeds geometry.blocks.
             free: VecDeque::new(),
             meta: (0..geometry.blocks).map(|_| BlockMeta::fresh()).collect(),
             open_data: None,
             open_extent: None,
             open_index: None,
+            // bounded-by: every entry is a distinct parked BlockId, so at
+            // most geometry.blocks elements.
             parked_extent: Vec::new(),
             reserve: 0,
             gc_mode: false,

@@ -76,9 +76,11 @@ impl IndexPageCache {
         IndexPageCache {
             budget: budget_bytes,
             used: 0,
+            // bounded-by: eviction keeps `used <= budget`, capping the
+            // resident pages the byte budget admits.
             map: HashMap::new(),
-            slab: Vec::new(),
-            free: Vec::new(),
+            slab: Vec::new(), // bounded-by: one node per resident page (see map)
+            free: Vec::new(), // bounded-by: recycled slab slots; never exceeds slab len
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),

@@ -179,11 +179,13 @@ impl Ftl {
             alloc: BlockAllocator::new(config.geometry, config.gc_reserve_blocks),
             cache: IndexPageCache::new(config.cache_budget_bytes),
             stats: FtlStats::default(),
-            timed_ops: Vec::new(),
+            timed_ops: Vec::new(), // bounded-by: device drains it every op (drain_timed_ops)
             telemetry: TelemetrySink::disabled(),
-            stage_log: Vec::new(),
+            stage_log: Vec::new(), // bounded-by: device drains it every op (drain_stage_log)
             stage_scope: None,
             data_builder: None,
+            // bounded-by: cleared when the head page programs; holds at
+            // most one index page's worth of staged pairs.
             pending: HashMap::new(),
         }
     }
@@ -202,11 +204,13 @@ impl Ftl {
             alloc: BlockAllocator::with_pool(config.geometry, pool),
             cache: IndexPageCache::new(config.cache_budget_bytes),
             stats: FtlStats::default(),
-            timed_ops: Vec::new(),
+            timed_ops: Vec::new(), // bounded-by: device drains it every op (drain_timed_ops)
             telemetry: TelemetrySink::disabled(),
-            stage_log: Vec::new(),
+            stage_log: Vec::new(), // bounded-by: device drains it every op (drain_stage_log)
             stage_scope: None,
             data_builder: None,
+            // bounded-by: cleared when the head page programs; holds at
+            // most one index page's worth of staged pairs.
             pending: HashMap::new(),
         }
     }

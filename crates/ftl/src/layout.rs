@@ -185,6 +185,8 @@ impl PageBuilder {
         assert!(page_size > HEADER_LEN + RECORD_PREFIX_LEN + SIG_ENTRY_LEN, "page too small");
         let mut data = Vec::with_capacity(page_size);
         data.extend_from_slice(&[0u8; HEADER_LEN]);
+        // bounded-by: `fits` gates every append so data + sig_entries
+        // never exceed page_size.
         PageBuilder { page_size, data, sig_entries: Vec::new(), pair_count: 0 }
     }
 

@@ -77,9 +77,11 @@ impl Stripe {
     pub(crate) fn new(budget: u64, protected_pct: u8) -> Self {
         let protected_cap = budget / 100 * protected_pct.min(95) as u64;
         Stripe {
+            // bounded-by: eviction keeps `bytes <= budget`, capping
+            // resident entries at what the byte budget admits.
             map: HashMap::new(),
-            probation: BTreeMap::new(),
-            protected: BTreeMap::new(),
+            probation: BTreeMap::new(), // bounded-by: one stamp per resident entry (see map)
+            protected: BTreeMap::new(), // bounded-by: one stamp per resident entry (see map)
             bytes: 0,
             protected_bytes: 0,
             budget,

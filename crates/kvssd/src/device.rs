@@ -140,6 +140,8 @@ impl KvssdDevice<RhikIndex> {
             engine,
             gc_cfg: cfg.gc,
             stats: DeviceStats::default(),
+            // bounded-by: one slot per concurrently open iterator
+            // session; closed slots are reused before the vec grows.
             iter_sessions: Vec::new(),
             put_latencies: crate::LatencyHistogram::new(),
             get_latencies: crate::LatencyHistogram::new(),
@@ -238,6 +240,8 @@ impl<I: IndexBackend> KvssdDevice<I> {
             engine,
             gc_cfg: cfg.gc,
             stats: DeviceStats::default(),
+            // bounded-by: one slot per concurrently open iterator
+            // session; closed slots are reused before the vec grows.
             iter_sessions: Vec::new(),
             put_latencies: crate::LatencyHistogram::new(),
             get_latencies: crate::LatencyHistogram::new(),

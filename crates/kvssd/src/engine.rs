@@ -58,6 +58,8 @@ impl TimingEngine {
             profile,
             issue_free_ns: 0,
             channel_free_ns: vec![0; channels as usize],
+            // bounded-by: submit evicts the earliest completion once len
+            // reaches the profile's queue depth.
             inflight: Vec::new(),
             horizon_ns: 0,
             latencies: LatencyHistogram::new(),

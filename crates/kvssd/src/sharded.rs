@@ -119,7 +119,7 @@ impl ReadPath {
                 submitted_ns: start,
                 completed_ns: start + latency,
                 lookup_flash_reads: 0,
-                stages: Vec::new(),
+                stages: Vec::new(), // bounded-by: built empty; the read path records no stages
             };
             // Zero *index* flash reads by construction: the walk is the
             // DRAM mirror, and only record pages were read.
@@ -186,6 +186,9 @@ struct GroupCommit {
 impl GroupCommit {
     fn new() -> Self {
         GroupCommit {
+            // bounded-by: the batch leader swaps out the whole queue each
+            // commit round (drain_commits), so it holds at most the puts
+            // enqueued during one batch submission.
             queue: Mutex::new(CommitQueue { items: Vec::new(), leader_active: false }),
             batches: Counter::new(),
             batched_puts: Counter::new(),

@@ -152,6 +152,9 @@ impl Default for WriteQueue {
 
 impl WriteQueue {
     pub fn new() -> Self {
+        // bounded-by: `bytes` counts everything queued and the server
+        // stops draining a connection past its write budget, so `tail`
+        // (and `chunks`) track that backpressure cap.
         WriteQueue { chunks: VecDeque::with_capacity(16), head_off: 0, tail: Vec::new(), bytes: 0 }
     }
 
@@ -271,8 +274,8 @@ impl Connection {
             tenant,
             closing: false,
             eof: false,
-            args: Vec::new(),
-            delivery: Vec::new(),
+            args: Vec::new(), // bounded-by: reset per parsed command; Limits::max_args caps it
+            delivery: Vec::new(), // bounded-by: drained every poll; mailbox caps it at max_pipeline
         }
     }
 

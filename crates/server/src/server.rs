@@ -84,7 +84,7 @@ impl Default for ServerConfig {
             quantum_bytes: 2048,
             max_conns: 1024,
             idle_sleep_us: 50,
-            tenants: Vec::new(),
+            tenants: Vec::new(), // bounded-by: fixed config-time tenant list; never grows after startup
             telemetry: TelemetrySink::disabled(),
         }
     }

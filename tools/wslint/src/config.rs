@@ -1,0 +1,201 @@
+//! Workspace discovery and analyzer configuration.
+//!
+//! * Members come from the root `Cargo.toml` (`[workspace] members` with
+//!   glob expansion, minus `exclude`), so a newly added crate can never
+//!   silently dodge coverage — an unlisted member is a
+//!   `crate-unclassified` finding, not a silent skip.
+//! * Per-crate rule scopes come from `tools/wslint/wslint.toml`.
+//! * Lock classes and the declared acquisition order come from
+//!   `tools/wslint/lock_order.toml` (see `registry.rs`).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::toml_lite::{self, Value};
+
+/// Rule scopes for one workspace member.
+#[derive(Debug, Clone, Default)]
+pub struct CratePolicy {
+    /// `unwrap-in-lib`: no `.unwrap()`/`.expect(` in non-test src.
+    pub panic_free: bool,
+    /// `instant-off-sim-clock`: no `Instant::now()` in non-test src.
+    pub sim_clock: bool,
+    /// `unbounded-collection` extends to growable collections constructed
+    /// into struct-literal fields (long-lived state crates).
+    pub long_lived_state: bool,
+    /// Skip the member entirely (the analyzer itself; its fixture corpus
+    /// is deliberately full of violations).
+    pub skip: bool,
+}
+
+#[derive(Debug)]
+pub struct Config {
+    pub root: PathBuf,
+    /// member dir (root-relative, `/`-separated; `"."` is the root
+    /// package) → policy. Only members present here are classified.
+    pub crates: BTreeMap<String, CratePolicy>,
+    /// Path prefixes allowed to name `std::sync::Mutex`/`Condvar`/`RwLock`.
+    pub mutex_allowed: Vec<String>,
+    /// Path prefixes allowed to name `std::sync::atomic`/`core::sync::atomic`.
+    pub atomic_allowed: Vec<String>,
+    /// Path prefixes where `unsafe` is permitted (with a SAFETY comment).
+    pub unsafe_allowed: Vec<String>,
+}
+
+impl Config {
+    pub fn load(root: &Path, config_path: &Path) -> Result<Config, String> {
+        let text = fs::read_to_string(config_path)
+            .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+        let doc = toml_lite::parse(&text)
+            .map_err(|(line, msg)| format!("{}:{line}: {msg}", config_path.display()))?;
+        let mut crates = BTreeMap::new();
+        for (section, entries) in &doc {
+            if let Some(member) = section.strip_prefix("crates.") {
+                let mut p = CratePolicy::default();
+                for (k, v) in entries {
+                    let on = matches!(v, Value::Bool(true));
+                    match k.as_str() {
+                        "panic-free" => p.panic_free = on,
+                        "sim-clock" => p.sim_clock = on,
+                        "long-lived-state" => p.long_lived_state = on,
+                        "skip" => p.skip = on,
+                        other => {
+                            return Err(format!(
+                                "{}: unknown crate flag `{other}` in [{section}]",
+                                config_path.display()
+                            ))
+                        }
+                    }
+                }
+                crates.insert(member.to_string(), p);
+            }
+        }
+        let list = |key: &str| -> Vec<String> {
+            toml_lite::get_list(&doc, "allow", key).unwrap_or(&[]).to_vec()
+        };
+        Ok(Config {
+            root: root.to_path_buf(),
+            crates,
+            mutex_allowed: list("std-mutex"),
+            atomic_allowed: list("raw-atomic"),
+            unsafe_allowed: list("unsafe-code"),
+        })
+    }
+}
+
+/// A discovered workspace member.
+#[derive(Debug)]
+pub struct Member {
+    /// Root-relative dir (`"crates/kvssd"`, `"."` for the root package).
+    pub dir: String,
+    /// All `.rs` files under the member (root-relative, sorted).
+    pub files: Vec<String>,
+}
+
+/// Discover workspace members from the root `Cargo.toml`. The root
+/// package's own `src/` (plus `tests/`, `examples/`) is member `"."` when
+/// the manifest has a `[package]` section.
+pub fn discover_members(root: &Path) -> Result<Vec<Member>, String> {
+    let manifest_path = root.join("Cargo.toml");
+    let text = fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+    let doc = toml_lite::parse(&text)
+        .map_err(|(line, msg)| format!("{}:{line}: {msg}", manifest_path.display()))?;
+    let members = toml_lite::get_list(&doc, "workspace", "members")
+        .ok_or_else(|| format!("{}: no [workspace] members", manifest_path.display()))?;
+    let excludes: Vec<String> =
+        toml_lite::get_list(&doc, "workspace", "exclude").unwrap_or(&[]).to_vec();
+
+    let mut dirs: Vec<String> = Vec::new();
+    for pat in members {
+        for dir in expand_member_glob(root, pat) {
+            let excluded = excludes.iter().any(|e| dir == *e || dir.starts_with(&format!("{e}/")));
+            if !excluded && root.join(&dir).join("Cargo.toml").is_file() {
+                dirs.push(dir);
+            }
+        }
+    }
+    if doc.contains_key("package") {
+        dirs.push(".".to_string());
+    }
+    dirs.sort();
+    dirs.dedup();
+
+    let mut out = Vec::new();
+    for dir in dirs {
+        let base = if dir == "." { root.to_path_buf() } else { root.join(&dir) };
+        let mut files = Vec::new();
+        for sub in ["src", "tests", "benches", "examples"] {
+            collect_rs(&base.join(sub), root, &mut files);
+        }
+        files.sort();
+        out.push(Member { dir, files });
+    }
+    Ok(out)
+}
+
+/// Expand a member pattern; only the trailing-`*` form needs globbing
+/// (`crates/*`, `crates/shims/*`).
+fn expand_member_glob(root: &Path, pat: &str) -> Vec<String> {
+    match pat.strip_suffix("/*") {
+        None => vec![pat.to_string()],
+        Some(prefix) => {
+            let mut out = Vec::new();
+            if let Ok(entries) = fs::read_dir(root.join(prefix)) {
+                for e in entries.flatten() {
+                    if e.path().is_dir() {
+                        out.push(format!("{prefix}/{}", e.file_name().to_string_lossy()));
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, root, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+/// Source-kind of a file within a member, decided syntactically from its
+/// path. Rules scope themselves by this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FileKind {
+    /// `src/**` excluding `src/bin/**` — library code, rules fully apply.
+    Lib,
+    /// `src/bin/**` — binary front-ends.
+    Bin,
+    /// `tests/**`, `benches/**`, `examples/**` — host-side test code.
+    Test,
+}
+
+pub fn file_kind(member_dir: &str, rel_path: &str) -> FileKind {
+    let local = if member_dir == "." {
+        rel_path
+    } else {
+        rel_path.strip_prefix(member_dir).map_or(rel_path, |p| p.trim_start_matches('/'))
+    };
+    if local.starts_with("src/bin/") {
+        FileKind::Bin
+    } else if local.starts_with("src/") || local == "src.rs" {
+        FileKind::Lib
+    } else {
+        FileKind::Test
+    }
+}

@@ -1,0 +1,1083 @@
+//! Pass 1: per-file fact extraction over token trees.
+//!
+//! The walker produces a `FileFacts` per source file: lock acquisition
+//! sites with the set of lock classes lexically held at each site,
+//! function summaries (which classes a function acquires, whether its
+//! tail expression returns a guard), `unsafe` occurrences with their
+//! `// SAFETY:` contract status, unbounded-capacity collection
+//! constructions with their `// bounded-by:` annotation status, and the
+//! token-level sites for the re-implemented lexical rules (unwrap,
+//! std-mutex, raw-atomic, Instant, debug_assert arity).
+//!
+//! Guard tracking is lexical: a `let`-bound guard lives to the end of its
+//! enclosing block (or an explicit `drop(name)`); a temporary guard lives
+//! to the end of its statement. Cross-function edges come from the rules
+//! pass, which folds call summaries over these facts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Tok, Token};
+use crate::registry::Registry;
+use crate::tree::{build, Group, Tt};
+
+/// A site for one of the token-level rules.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub line: usize,
+    pub in_test: bool,
+}
+
+/// One lock acquisition: a `.lock()` / `.try_lock()` call, or (in the
+/// summary-informed second walk) a call to a guard-returning helper.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    pub line: usize,
+    /// Normalized receiver (`shared.queues[_]`, `self.inner`, …).
+    pub recv: String,
+    /// Declared class, when the registry classifies the site.
+    pub class: Option<String>,
+    /// Classes of guards lexically held when this site runs.
+    pub held: Vec<String>,
+    pub in_test: bool,
+}
+
+/// A call made while at least zero guards are held; the rules pass joins
+/// these with function summaries to derive cross-function edges.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub line: usize,
+    /// Bare callee name (last path segment / method name).
+    pub name: String,
+    pub held: Vec<String>,
+    pub in_test: bool,
+}
+
+/// One function definition's local summary.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// Classes acquired directly in the body (any position).
+    pub direct: Vec<String>,
+    /// Classes acquired in the body's tail expression — what a caller
+    /// holds if it `let`-binds this function's return value.
+    pub tail: Vec<String>,
+    /// Bare names of functions called in the body.
+    pub calls: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub line: usize,
+    pub has_safety: bool,
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollectionKind {
+    /// `VecDeque::new` / `LinkedList::new` / `BinaryHeap::new` /
+    /// `mpsc::channel` — queue-like, flagged in any position.
+    QueueLike,
+    /// `Vec::new` / `HashMap::new` / `HashSet::new` / `BTreeMap::new` —
+    /// flagged only when constructed into a struct-literal field
+    /// (long-lived state).
+    General,
+}
+
+#[derive(Debug, Clone)]
+pub struct CollectionSite {
+    pub line: usize,
+    /// `VecDeque::new`, `mpsc::channel`, …
+    pub what: String,
+    pub kind: CollectionKind,
+    pub in_struct_literal: bool,
+    pub has_bound: bool,
+    pub in_test: bool,
+}
+
+#[derive(Debug, Default)]
+pub struct FileFacts {
+    pub path: String,
+    pub lines: Vec<String>,
+    pub acquisitions: Vec<Acquisition>,
+    pub calls: Vec<CallSite>,
+    pub fns: Vec<FnDef>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub unwraps: Vec<Site>,
+    pub mutex_names: Vec<Site>,
+    pub atomic_names: Vec<Site>,
+    pub instant_sites: Vec<Site>,
+    pub asserts_without_message: Vec<Site>,
+    pub collections: Vec<CollectionSite>,
+}
+
+/// Resolved function summaries, shared by the second extraction walk and
+/// the rules pass. Only names whose workspace-wide definitions agree are
+/// present (an ambiguous name contributes no edges — conservative, and
+/// reported as a diagnostic by the rules pass).
+#[derive(Debug, Default)]
+pub struct Summaries {
+    /// name → all classes the function may (transitively) acquire.
+    pub full: BTreeMap<String, Vec<String>>,
+    /// name → classes a `let`-bound call to it leaves held (guard-
+    /// returning helpers: tail-position acquisitions).
+    pub tail: BTreeMap<String, Vec<String>>,
+}
+
+/// Extract facts for one file. With `summaries`, calls to guard-returning
+/// helpers are treated as acquisitions (second pass).
+pub fn extract(
+    path: &str,
+    source: &str,
+    registry: &Registry,
+    summaries: Option<&Summaries>,
+) -> FileFacts {
+    let tokens = lex(source);
+    let comments = comment_lines(&tokens);
+    let tts = build(tokens.clone());
+    let mut facts = FileFacts {
+        path: path.to_string(),
+        lines: source.lines().map(str::to_string).collect(),
+        ..FileFacts::default()
+    };
+    let mut w = Walker { path, registry, summaries, comments: &comments, facts: &mut facts };
+    w.walk_items(&tts, false);
+    let test_lines = w.test_lines(&tts);
+    flat_scans(&tokens, &test_lines, &mut facts);
+    facts
+}
+
+/// line → comment text (all comments starting on that line, joined).
+fn comment_lines(tokens: &[Token]) -> BTreeMap<usize, String> {
+    let mut map: BTreeMap<usize, String> = BTreeMap::new();
+    for t in tokens {
+        if let Tok::Comment(text) = &t.tok {
+            // A block comment occupies every line it spans.
+            for (off, piece) in text.lines().enumerate() {
+                map.entry(t.line + off).or_default().push_str(piece);
+            }
+        }
+    }
+    map
+}
+
+struct Walker<'a> {
+    path: &'a str,
+    registry: &'a Registry,
+    summaries: Option<&'a Summaries>,
+    comments: &'a BTreeMap<usize, String>,
+    facts: &'a mut FileFacts,
+}
+
+/// Expression-walk state for one function body.
+struct FnState {
+    /// One entry per open block scope; each holds (binding name or None,
+    /// classes) for guards bound in that scope.
+    scopes: Vec<Vec<(Option<String>, Vec<String>)>>,
+    /// One frame per in-flight statement (statements nest through block
+    /// expressions); each frame holds `(class, escapes)` for guards
+    /// acquired so far in that statement. `escapes` is false when the
+    /// guard is consumed by a trailing non-adapter method chain
+    /// (`.lock().unwrap().clone()` yields a clone, not a guard), so the
+    /// class must not survive into a `let` binding.
+    frames: Vec<Vec<(String, bool)>>,
+    in_test: bool,
+    /// Local fn summary being accumulated.
+    def: FnDef,
+    /// Classes acquired in the current top-level statement of the body;
+    /// the last statement's set becomes `def.tail`.
+    cur_top_stmt: Vec<String>,
+    depth: usize,
+}
+
+impl FnState {
+    fn held(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for scope in &self.scopes {
+            for (_, classes) in scope {
+                out.extend(classes.iter().cloned());
+            }
+        }
+        for frame in &self.frames {
+            out.extend(frame.iter().map(|(c, _)| c.clone()));
+        }
+        out
+    }
+
+    fn acquire(&mut self, class: &str, escapes: bool) {
+        if let Some(frame) = self.frames.last_mut() {
+            frame.push((class.to_string(), escapes));
+        }
+        if !self.def.direct.contains(&class.to_string()) {
+            self.def.direct.push(class.to_string());
+        }
+    }
+}
+
+impl<'a> Walker<'a> {
+    /// Item-level walk: attributes, `#[cfg(test)]` masking, fn bodies,
+    /// nested mods/impls/traits, item-level `unsafe`.
+    fn walk_items(&mut self, tts: &[Tt], in_test: bool) {
+        let mut i = 0;
+        while i < tts.len() {
+            // Attribute?
+            if tts[i].is_punct('#') {
+                if let Some(Tt::Group(g)) = tts.get(i + 1) {
+                    if g.delim == '[' && attr_is_test(&g.inner) {
+                        // Skip the attributed item entirely (through any
+                        // further attributes, to its `;` or body group).
+                        i += 2;
+                        while i < tts.len() {
+                            match &tts[i] {
+                                t if t.is_punct(';') => {
+                                    i += 1;
+                                    break;
+                                }
+                                Tt::Group(g) if g.delim == '{' => {
+                                    i += 1;
+                                    break;
+                                }
+                                _ => i += 1,
+                            }
+                        }
+                        continue;
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+            match tts[i].ident() {
+                Some("unsafe") => {
+                    // `unsafe fn` / `unsafe impl` / `unsafe trait` at item
+                    // level (unsafe blocks are handled in fn bodies).
+                    let line = tts[i].line();
+                    self.record_unsafe(line, in_test);
+                    i += 1;
+                    continue;
+                }
+                Some("fn") => {
+                    let name = tts.get(i + 1).and_then(|t| t.ident()).unwrap_or("_").to_string();
+                    // Find the body: first `{` group before a `;`.
+                    let mut j = i + 2;
+                    let mut body: Option<&Group> = None;
+                    while j < tts.len() {
+                        if tts[j].is_punct(';') {
+                            break; // trait method declaration
+                        }
+                        if let Some(g) = tts[j].group() {
+                            if g.delim == '{' {
+                                body = Some(g);
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    if let Some(body) = body {
+                        self.walk_fn(&name, body, in_test);
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                Some("mod") | Some("impl") | Some("trait") => {
+                    // Recurse into the body group (if inline).
+                    let mut j = i + 1;
+                    while j < tts.len() {
+                        if tts[j].is_punct(';') {
+                            break;
+                        }
+                        if let Some(g) = tts[j].group() {
+                            if g.delim == '{' {
+                                self.walk_items(&g.inner, in_test);
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Line spans covered by `#[cfg(test)]` items, as a per-line lookup
+    /// for the flat token scans.
+    fn test_lines(&self, tts: &[Tt]) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        collect_test_spans(tts, &mut spans);
+        spans
+    }
+
+    fn walk_fn(&mut self, name: &str, body: &Group, in_test: bool) {
+        let mut st = FnState {
+            scopes: vec![Vec::new()],
+            frames: Vec::new(),
+            in_test,
+            def: FnDef {
+                name: name.to_string(),
+                direct: Vec::new(),
+                tail: Vec::new(),
+                calls: Vec::new(),
+            },
+            cur_top_stmt: Vec::new(),
+            depth: 0,
+        };
+        self.walk_block(&body.inner, &mut st);
+        st.def.tail = std::mem::take(&mut st.cur_top_stmt);
+        self.facts.fns.push(st.def.clone());
+    }
+
+    /// Walk one `{}` block: statement segmentation, guard scoping.
+    /// Statements end at `;` — or right after a top-level `{…}` group
+    /// (match/if/while/loop and match-arm bodies end statements without a
+    /// semicolon, and their temporaries — e.g. a guard in a match
+    /// scrutinee — die there).
+    fn walk_block(&mut self, tts: &[Tt], st: &mut FnState) {
+        st.scopes.push(Vec::new());
+        st.depth += 1;
+        let mut stmt_start = 0;
+        let mut i = 0;
+        while i <= tts.len() {
+            let at_end = i == tts.len();
+            if at_end || tts[i].is_punct(';') {
+                let stmt = &tts[stmt_start..i];
+                if !stmt.is_empty() {
+                    self.walk_stmt(stmt, st, at_end);
+                }
+                stmt_start = i + 1;
+            } else if matches!(&tts[i], Tt::Group(g) if g.delim == '{')
+                && tts.get(stmt_start).and_then(|t| t.ident()) != Some("let")
+                && tts.get(i + 1).and_then(|t| t.ident()) != Some("else")
+            {
+                let stmt = &tts[stmt_start..=i];
+                self.walk_stmt(stmt, st, i + 1 == tts.len());
+                stmt_start = i + 1;
+            }
+            i += 1;
+        }
+        st.depth -= 1;
+        st.scopes.pop();
+    }
+
+    /// Walk one statement: `let` binding detection, then the expression
+    /// walk; temporaries die at the end, `let`-bound guards persist.
+    fn walk_stmt(&mut self, stmt: &[Tt], st: &mut FnState, is_tail: bool) {
+        let mut binding: Option<Option<String>> = None; // Some(name?) if a let
+        let mut expr = stmt;
+        if stmt[0].ident() == Some("let") {
+            let mut j = 1;
+            if stmt.get(j).and_then(|t| t.ident()) == Some("mut") {
+                j += 1;
+            }
+            let name = stmt.get(j).and_then(|t| t.ident()).map(str::to_string);
+            // Complex patterns (`let Ok(g) = …`, tuples) bind unnamed:
+            // the guard still lives to end of scope, it just can't be
+            // `drop`ped by name.
+            let named = match (&name, stmt.get(j + 1)) {
+                (Some(_), Some(t)) if t.is_punct('=') || t.is_punct(':') => name,
+                _ => None,
+            };
+            binding = Some(named);
+            // Walk only the initializer (after `=`).
+            if let Some(eq) = stmt.iter().position(|t| t.is_punct('=')) {
+                expr = &stmt[eq + 1..];
+            }
+        }
+        st.frames.push(Vec::new());
+        self.walk_expr(expr, st, false);
+        let acquired = st.frames.pop().unwrap_or_default();
+        // Only guards that escape their call chain can outlive the
+        // statement (into a binding, a block value, or the fn tail).
+        let escaping: Vec<String> =
+            acquired.iter().filter(|(_, e)| *e).map(|(c, _)| c.clone()).collect();
+        if st.depth == 1 && is_tail {
+            st.cur_top_stmt = escaping.clone();
+        }
+        match binding {
+            Some(name) if !escaping.is_empty() => {
+                if let Some(scope) = st.scopes.last_mut() {
+                    scope.push((name, escaping));
+                }
+            }
+            None if is_tail => {
+                // A block's tail expression: its value (and any guard in
+                // it) flows out to the enclosing statement.
+                if let Some(parent) = st.frames.last_mut() {
+                    parent.extend(acquired.iter().filter(|(_, e)| *e).cloned());
+                }
+            }
+            _ => {} // temporaries: guards end with the statement
+        }
+    }
+
+    /// Walk expression tokens left to right, recursing into groups.
+    /// `in_struct_literal` flags collection constructions that initialize
+    /// struct fields.
+    fn walk_expr(&mut self, tts: &[Tt], st: &mut FnState, in_struct_literal: bool) {
+        let mut i = 0;
+        while i < tts.len() {
+            let t = &tts[i];
+            if let Some(id) = t.ident() {
+                match id {
+                    "unsafe" => {
+                        if let Some(Tt::Group(g)) = tts.get(i + 1) {
+                            if g.delim == '{' {
+                                self.record_unsafe(t.line(), st.in_test);
+                                self.walk_block(&g.inner, st);
+                                i += 2;
+                                continue;
+                            }
+                        }
+                        self.record_unsafe(t.line(), st.in_test);
+                        i += 1;
+                        continue;
+                    }
+                    "drop" => {
+                        // `drop(name)` releases a named guard early.
+                        if let Some(Tt::Group(g)) = tts.get(i + 1) {
+                            if g.delim == '(' && g.inner.len() == 1 {
+                                if let Some(name) = g.inner[0].ident() {
+                                    for scope in st.scopes.iter_mut() {
+                                        scope.retain(|(n, _)| n.as_deref() != Some(name));
+                                    }
+                                    i += 2;
+                                    continue;
+                                }
+                            }
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    // Plain `if`/`while`: condition temporaries (e.g. the
+                    // guard in `while !q.lock().is_empty()`) drop before
+                    // the body runs. `if let`/`while let` guards instead
+                    // live through the body, so those fall through to the
+                    // normal walk.
+                    "if" | "while" if tts.get(i + 1).and_then(|t| t.ident()) != Some("let") => {
+                        let mut j = i + 1;
+                        while j < tts.len() && !matches!(&tts[j], Tt::Group(g) if g.delim == '{') {
+                            j += 1;
+                        }
+                        st.frames.push(Vec::new());
+                        self.walk_expr(&tts[i + 1..j], st, false);
+                        st.frames.pop();
+                        if let Some(Tt::Group(g)) = tts.get(j) {
+                            self.walk_block(&g.inner, st);
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                // Collection construction: `Path::new(…)` / `mpsc::channel(…)`.
+                if let Some(site) = self.collection_at(tts, i, st, in_struct_literal) {
+                    self.facts.collections.push(site);
+                }
+                // Method call `.name(…)` or plain call `name(…)`.
+                if let Some(Tt::Group(g)) = tts.get(i + 1) {
+                    if g.delim == '(' {
+                        let is_method = i > 0 && tts[i - 1].is_punct('.');
+                        let esc = escapes_after(tts, i + 1);
+                        if is_method && (id == "lock" || id == "try_lock") {
+                            let recv = normalize_recv(tts, i - 1);
+                            self.record_acquisition(t.line(), recv, st, esc);
+                        } else {
+                            self.record_call(t.line(), id.to_string(), st, esc);
+                        }
+                        // Arguments evaluate while earlier guards in this
+                        // statement are held. A guard acquired *inside* a
+                        // non-adapter call's arguments (`op(&mut q.lock())`)
+                        // is a temporary of the enclosing statement — it
+                        // never flows into the call's value, so demote it
+                        // to non-escaping. Adapter calls (`.map(|p|
+                        // p.lock())`) pass their closure's value through.
+                        let before = st.frames.last().map_or(0, Vec::len);
+                        self.walk_expr(&g.inner, st, false);
+                        if !is_guard_adapter(id) {
+                            if let Some(f) = st.frames.last_mut() {
+                                for entry in f.iter_mut().skip(before) {
+                                    entry.1 = false;
+                                }
+                            }
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    // Struct literal heuristic: `UpperIdent { … }` not
+                    // preceded by a keyword that introduces a block.
+                    if g.delim == '{' && is_struct_literal_head(tts, i) {
+                        self.walk_expr(&g.inner, st, true);
+                        i += 2;
+                        continue;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            if let Tt::Group(g) = t {
+                match g.delim {
+                    '{' => self.walk_block(&g.inner, st),
+                    // Parens/brackets: same statement, same literal
+                    // context (covers `Mutex::new(VecDeque::new())`
+                    // nested inside a field initializer).
+                    _ => self.walk_expr(&g.inner, st, in_struct_literal),
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn record_acquisition(&mut self, line: usize, recv: String, st: &mut FnState, escapes: bool) {
+        let class = self.registry.classify(self.path, &recv).map(str::to_string);
+        let held = st.held();
+        if let Some(c) = &class {
+            st.acquire(c, escapes);
+        }
+        self.facts.acquisitions.push(Acquisition { line, recv, class, held, in_test: st.in_test });
+    }
+
+    fn record_call(&mut self, line: usize, name: String, st: &mut FnState, escapes: bool) {
+        let held = st.held();
+        if let Some(sums) = self.summaries {
+            // Second pass: a call to a guard-returning helper is an
+            // acquisition at the call site.
+            if let Some(tail) = sums.tail.get(&name) {
+                if !tail.is_empty() {
+                    for c in tail {
+                        st.acquire(c, escapes);
+                    }
+                    self.facts.acquisitions.push(Acquisition {
+                        line,
+                        recv: format!("{name}()"),
+                        class: tail.first().cloned(),
+                        held: held.clone(),
+                        in_test: st.in_test,
+                    });
+                }
+            }
+        }
+        if !st.def.calls.contains(&name) {
+            st.def.calls.push(name.clone());
+        }
+        self.facts.calls.push(CallSite { line, name, held, in_test: st.in_test });
+    }
+
+    fn record_unsafe(&mut self, line: usize, in_test: bool) {
+        let has_safety = self.adjacent_comment_contains(line, "SAFETY");
+        self.facts.unsafe_sites.push(UnsafeSite { line, has_safety, in_test });
+    }
+
+    /// Detect a tracked collection construction headed at `tts[i]`.
+    fn collection_at(
+        &self,
+        tts: &[Tt],
+        i: usize,
+        st: &FnState,
+        in_struct_literal: bool,
+    ) -> Option<CollectionSite> {
+        let head = tts[i].ident()?;
+        // `mpsc::channel()` — unbounded; `sync_channel` does not match.
+        if head == "channel" && path_sep_before(tts, i) && prev_path_seg(tts, i) == Some("mpsc") {
+            tts.get(i + 1)?.group().filter(|g| g.delim == '(')?;
+            return Some(self.collection_site(
+                tts[i].line(),
+                "mpsc::channel",
+                CollectionKind::QueueLike,
+                in_struct_literal,
+                st,
+            ));
+        }
+        let kind = match head {
+            "VecDeque" | "LinkedList" | "BinaryHeap" => CollectionKind::QueueLike,
+            "Vec" | "HashMap" | "HashSet" | "BTreeMap" => CollectionKind::General,
+            _ => return None,
+        };
+        // `Head::new()` or `Head::default()` (turbofish tolerated by
+        // scanning forward over `::<…>` to the call group).
+        let mut j = i + 1;
+        if !(tts.get(j).is_some_and(|t| t.is_punct(':'))
+            && tts.get(j + 1).is_some_and(|t| t.is_punct(':')))
+        {
+            return None;
+        }
+        j += 2;
+        if tts.get(j).is_some_and(|t| t.is_punct('<')) {
+            // `VecDeque::<u8>::new` — skip the generic args.
+            let mut depth = 0i32;
+            while j < tts.len() {
+                if tts[j].is_punct('<') {
+                    depth += 1;
+                } else if tts[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if !(tts.get(j).is_some_and(|t| t.is_punct(':'))
+                && tts.get(j + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return None;
+            }
+            j += 2;
+        }
+        let ctor = tts.get(j).and_then(|t| t.ident())?;
+        if ctor != "new" && ctor != "default" {
+            return None;
+        }
+        tts.get(j + 1)?.group().filter(|g| g.delim == '(')?;
+        Some(self.collection_site(
+            tts[i].line(),
+            &format!("{head}::{ctor}"),
+            kind,
+            in_struct_literal,
+            st,
+        ))
+    }
+
+    fn collection_site(
+        &self,
+        line: usize,
+        what: &str,
+        kind: CollectionKind,
+        in_struct_literal: bool,
+        st: &FnState,
+    ) -> CollectionSite {
+        CollectionSite {
+            line,
+            what: what.to_string(),
+            kind,
+            in_struct_literal,
+            has_bound: self.adjacent_comment_contains(line, "bounded-by:"),
+            in_test: st.in_test,
+        }
+    }
+
+    /// True when the comment on `line` itself or the contiguous comment
+    /// block directly above it contains `needle`.
+    fn adjacent_comment_contains(&self, line: usize, needle: &str) -> bool {
+        if self.comments.get(&line).is_some_and(|c| c.contains(needle)) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l > 0 {
+            match self.comments.get(&l) {
+                Some(c) if c.contains(needle) => return true,
+                Some(_) => l -= 1,
+                None => break,
+            }
+        }
+        false
+    }
+}
+
+/// `#[…]` attribute is `cfg(… test …)`.
+fn attr_is_test(inner: &[Tt]) -> bool {
+    let Some(first) = inner.first().and_then(|t| t.ident()) else { return false };
+    if first != "cfg" {
+        return false;
+    }
+    fn contains_test(tts: &[Tt]) -> bool {
+        tts.iter().any(|t| match t {
+            Tt::Group(g) => contains_test(&g.inner),
+            t => t.ident() == Some("test"),
+        })
+    }
+    inner.iter().skip(1).any(|t| match t {
+        Tt::Group(g) => contains_test(&g.inner),
+        _ => false,
+    })
+}
+
+/// Collect line spans of `#[cfg(test)]`-attributed items (attribute line
+/// through the item's closing brace or `;`), recursing into non-test
+/// bodies so nested test mods are found.
+fn collect_test_spans(tts: &[Tt], spans: &mut Vec<(usize, usize)>) {
+    let mut i = 0;
+    while i < tts.len() {
+        if tts[i].is_punct('#') {
+            if let Some(Tt::Group(attr)) = tts.get(i + 1) {
+                if attr.delim == '[' && attr_is_test(&attr.inner) {
+                    let start = tts[i].line();
+                    let mut end = attr.close_line;
+                    let mut j = i + 2;
+                    while j < tts.len() {
+                        match &tts[j] {
+                            t if t.is_punct(';') => {
+                                end = end.max(t.line());
+                                break;
+                            }
+                            Tt::Group(g) if g.delim == '{' => {
+                                end = end.max(g.close_line);
+                                break;
+                            }
+                            t => {
+                                end = end.max(t.line());
+                                j += 1;
+                            }
+                        }
+                    }
+                    spans.push((start, end));
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        if let Tt::Group(g) = &tts[i] {
+            collect_test_spans(&g.inner, spans);
+        }
+        i += 1;
+    }
+}
+
+fn in_spans(spans: &[(usize, usize)], line: usize) -> bool {
+    spans.iter().any(|(a, b)| line >= *a && line <= *b)
+}
+
+/// Normalize the receiver expression ending at the `.` at `dot`:
+/// `shared.queues [shard] . lock` → `shared.queues[_]`.
+fn normalize_recv(tts: &[Tt], dot: usize) -> String {
+    // Walk backwards collecting path elements.
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = dot; // tts[dot] is the `.`
+    while i > 0 {
+        let prev = &tts[i - 1];
+        match prev {
+            Tt::Leaf(Token { tok: Tok::Ident(s), .. }) => {
+                parts.push(s.clone());
+                i -= 1;
+                // Keep going only across `.` / `::`.
+                if i > 0 && tts[i - 1].is_punct('.') {
+                    parts.push(".".into());
+                    i -= 1;
+                } else if i > 1 && tts[i - 1].is_punct(':') && tts[i - 2].is_punct(':') {
+                    parts.push("::".into());
+                    i -= 2;
+                } else {
+                    break;
+                }
+            }
+            Tt::Group(g) if g.delim == '[' => {
+                parts.push("[_]".into());
+                i -= 1;
+            }
+            Tt::Group(g) if g.delim == '(' => {
+                parts.push("(..)".into());
+                i -= 1;
+            }
+            _ => break,
+        }
+    }
+    parts.reverse();
+    parts.concat()
+}
+
+/// Adapters that pass a lock guard through unchanged (poison handling,
+/// option/result plumbing). Any other trailing method consumes the guard
+/// — the chain's value is derived data, not the guard itself.
+fn is_guard_adapter(name: &str) -> bool {
+    matches!(
+        name,
+        "unwrap"
+            | "expect"
+            | "unwrap_or_else"
+            | "unwrap_or"
+            | "unwrap_or_default"
+            | "into_inner"
+            | "ok"
+            | "map"
+            | "and_then"
+    )
+}
+
+/// Does the value of the call whose argument group sits at `tts[args]`
+/// escape the call chain as a guard? True when the chain ends (possibly
+/// through guard adapters and `?`); false when a non-adapter method or a
+/// field access consumes it.
+fn escapes_after(tts: &[Tt], args: usize) -> bool {
+    let mut j = args + 1;
+    loop {
+        if tts.get(j).is_some_and(|t| t.is_punct('?')) {
+            j += 1;
+            continue;
+        }
+        if !tts.get(j).is_some_and(|t| t.is_punct('.')) {
+            return true; // chain ends here: the guard is the value
+        }
+        let Some(name) = tts.get(j + 1).and_then(|t| t.ident()) else {
+            return false; // `.0` tuple access etc. — derived data
+        };
+        match tts.get(j + 2).and_then(|t| t.group()) {
+            Some(g) if g.delim == '(' && is_guard_adapter(name) => j += 3,
+            _ => return false, // field access or non-adapter method
+        }
+    }
+}
+
+/// `tts[i]` is preceded by `::`.
+fn path_sep_before(tts: &[Tt], i: usize) -> bool {
+    i >= 2 && tts[i - 1].is_punct(':') && tts[i - 2].is_punct(':')
+}
+
+fn prev_path_seg(tts: &[Tt], i: usize) -> Option<&str> {
+    if path_sep_before(tts, i) && i >= 3 {
+        tts[i - 3].ident()
+    } else {
+        None
+    }
+}
+
+/// `tts[i]` is an ident directly before a `{` group: is it a struct
+/// literal head (vs `match x {`, `for x in y {`, …)?
+fn is_struct_literal_head(tts: &[Tt], i: usize) -> bool {
+    let Some(id) = tts[i].ident() else { return false };
+    if !id.chars().next().is_some_and(|c| c.is_uppercase()) {
+        return false;
+    }
+    // Find the start of the path this ident ends (`a::b::Ident`).
+    let mut start = i;
+    while start >= 2 && tts[start - 1].is_punct(':') && tts[start - 2].is_punct(':') {
+        if tts[start - 3..start - 2].first().and_then(|t| t.ident()).is_some() {
+            start -= 3;
+        } else {
+            break;
+        }
+    }
+    // The token before the path must be an expression position, not a
+    // block-introducing keyword or item keyword.
+    if start == 0 {
+        return true;
+    }
+    !matches!(
+        tts[start - 1].ident(),
+        Some(
+            "match"
+                | "for"
+                | "while"
+                | "if"
+                | "in"
+                | "impl"
+                | "struct"
+                | "enum"
+                | "union"
+                | "trait"
+                | "mod"
+                | "fn"
+                | "dyn"
+                | "loop"
+        )
+    )
+}
+
+/// Token-level scans for the re-implemented lexical rules. These run on
+/// the flat stream (path sequences cross group boundaries in `use`
+/// declarations), with `#[cfg(test)]` spans masked per line.
+fn flat_scans(tokens: &[Token], test_spans: &[(usize, usize)], facts: &mut FileFacts) {
+    let toks: Vec<&Token> = tokens.iter().filter(|t| !matches!(t.tok, Tok::Comment(_))).collect();
+    let site = |line: usize| Site { line, in_test: in_spans(test_spans, line) };
+    let ident = |i: usize| -> Option<&str> {
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s),
+            _ => None,
+        }
+    };
+    let punct =
+        |i: usize, c: char| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c);
+    let open =
+        |i: usize, c: char| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Open(p)) if *p == c);
+
+    let mut i = 0;
+    while i < toks.len() {
+        let line = toks[i].line;
+        // `.unwrap()` / `.expect(` — method position only.
+        if punct(i, '.') {
+            if let Some(name) = ident(i + 1) {
+                if (name == "unwrap" || name == "expect") && open(i + 2, '(') {
+                    facts.unwraps.push(site(toks[i + 1].line));
+                }
+            }
+        }
+        // `std::sync::…` / `core::sync::atomic`.
+        if let Some(head) = ident(i) {
+            if (head == "std" || head == "core")
+                && punct(i + 1, ':')
+                && punct(i + 2, ':')
+                && ident(i + 3) == Some("sync")
+            {
+                // `…::atomic`?
+                if punct(i + 4, ':') && punct(i + 5, ':') && ident(i + 6) == Some("atomic") {
+                    facts.atomic_names.push(site(line));
+                } else if head == "std" {
+                    // Scan the rest of the path (direct segment or a
+                    // `{…}` use-group) for lock primitives.
+                    let mut found = false;
+                    if punct(i + 4, ':') && punct(i + 5, ':') {
+                        match toks.get(i + 6).map(|t| &t.tok) {
+                            Some(Tok::Ident(seg)) => found = is_lock_primitive(seg),
+                            Some(Tok::Open('{')) => {
+                                let mut j = i + 7;
+                                let mut depth = 1;
+                                while j < toks.len() && depth > 0 {
+                                    match &toks[j].tok {
+                                        Tok::Open('{') => depth += 1,
+                                        Tok::Close('}') => depth -= 1,
+                                        Tok::Ident(seg) if is_lock_primitive(seg) => found = true,
+                                        _ => {}
+                                    }
+                                    j += 1;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    if found {
+                        facts.mutex_names.push(site(line));
+                    }
+                }
+            }
+            // `Instant::now`.
+            if head == "Instant"
+                && punct(i + 1, ':')
+                && punct(i + 2, ':')
+                && ident(i + 3) == Some("now")
+            {
+                facts.instant_sites.push(site(line));
+            }
+            // `debug_assert*!(…)` arity.
+            if let Some(needs) = match head {
+                "debug_assert" => Some(1),
+                "debug_assert_eq" | "debug_assert_ne" => Some(2),
+                _ => None,
+            } {
+                if punct(i + 1, '!') && open(i + 2, '(') {
+                    let mut depth = 1;
+                    let mut commas_with_tail = 0;
+                    let mut j = i + 3;
+                    let mut pending_comma = false;
+                    while j < toks.len() && depth > 0 {
+                        match &toks[j].tok {
+                            Tok::Open(_) => {
+                                depth += 1;
+                                pending_comma = false;
+                            }
+                            Tok::Close(_) => {
+                                depth -= 1;
+                            }
+                            Tok::Punct(',') if depth == 1 => pending_comma = true,
+                            _ => {
+                                if pending_comma && depth == 1 {
+                                    commas_with_tail += 1;
+                                    pending_comma = false;
+                                }
+                            }
+                        }
+                        j += 1;
+                    }
+                    if commas_with_tail < needs {
+                        facts.asserts_without_message.push(site(line));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn is_lock_primitive(seg: &str) -> bool {
+    matches!(
+        seg,
+        "Mutex" | "MutexGuard" | "Condvar" | "RwLock" | "RwLockReadGuard" | "RwLockWriteGuard"
+    )
+}
+
+/// Build global function summaries from first-pass facts. A name has a
+/// summary only when every definition of that name agrees on its
+/// **transitively closed** class set — agreement on lexical sets alone
+/// is not enough, because two same-name methods (`program` on the FTL vs
+/// on the NAND array) can both acquire nothing directly yet reach
+/// different locks through calls. An ambiguous name contributes no
+/// interprocedural edges; direct `.lock()` sites are still classified
+/// per-site.
+pub fn build_summaries(all: &[FileFacts]) -> (Summaries, Vec<String>) {
+    // name → per-definition (direct, tail, calls)
+    let mut defs: BTreeMap<String, Vec<&FnDef>> = BTreeMap::new();
+    for f in all {
+        for d in &f.fns {
+            defs.entry(d.name.clone()).or_default().push(d);
+        }
+    }
+    let norm = |mut s: Vec<String>| -> Vec<String> {
+        s.sort();
+        s.dedup();
+        s
+    };
+    let agree = |sets: Vec<Vec<String>>| -> Option<Vec<String>> {
+        let mut sets: Vec<Vec<String>> = sets.into_iter().map(&norm).collect();
+        let first = sets.pop()?;
+        sets.iter().all(|s| *s == first).then_some(first)
+    };
+
+    // Tail summaries (guard-returning helpers) come straight from lexical
+    // tails; disagreeing definitions contribute nothing.
+    let mut tail: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (name, ds) in &defs {
+        if let Some(t) = agree(ds.iter().map(|d| d.tail.clone()).collect()) {
+            if !t.is_empty() {
+                tail.insert(name.clone(), t);
+            }
+        }
+    }
+
+    // Per-definition transitive closure, then cross-definition agreement.
+    // Callees resolve only through names that are currently unambiguous;
+    // names flip to ambiguous as their defs' closures diverge, so iterate
+    // to a fixed point (bounded — each flip is permanent).
+    let mut ambiguous: BTreeSet<String> = BTreeSet::new();
+    let mut full: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    loop {
+        let mut next: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut newly_ambiguous: Vec<String> = Vec::new();
+        for (name, ds) in &defs {
+            if ambiguous.contains(name) {
+                continue;
+            }
+            let mut per_def: Vec<Vec<String>> = Vec::with_capacity(ds.len());
+            for d in ds {
+                let mut acc = d.direct.clone();
+                for callee in &d.calls {
+                    if ambiguous.contains(callee) {
+                        continue;
+                    }
+                    if let Some(extra) = full.get(callee.as_str()) {
+                        acc.extend(extra.iter().cloned());
+                    }
+                }
+                per_def.push(acc);
+            }
+            match agree(per_def) {
+                Some(closed) => {
+                    next.insert(name.clone(), closed);
+                }
+                None => newly_ambiguous.push(name.clone()),
+            }
+        }
+        let stable = next == full && newly_ambiguous.is_empty();
+        full = next;
+        for n in newly_ambiguous {
+            ambiguous.insert(n);
+        }
+        if stable {
+            break;
+        }
+    }
+    // A name that is ambiguous for `full` cannot lend its tail either —
+    // its definitions demonstrably do different things.
+    tail.retain(|name, _| !ambiguous.contains(name));
+    // Drop empty summaries (functions that acquire nothing).
+    full.retain(|_, v| !v.is_empty());
+    let ambiguous: Vec<String> = ambiguous.into_iter().collect();
+    (Summaries { full, tail }, ambiguous)
+}

@@ -1,0 +1,309 @@
+//! A small Rust lexer producing a token stream with line numbers.
+//!
+//! This is not a full fidelity rustc lexer — it is exactly the subset the
+//! analyzer needs: identifiers, punctuation, delimiters, literals and
+//! comments, each tagged with its 1-based source line. String/char
+//! literal *contents* and comment *text* never leak into code tokens, so
+//! every downstream rule is immune to the prose-masking bugs the old
+//! line-scanner worked around. Comments are kept (with their text) so
+//! contract annotations (`// SAFETY:`, `// bounded-by:`) are first-class
+//! facts rather than stripped noise.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unsafe`, `lock`, …). Raw
+    /// identifiers (`r#type`) are normalized to their bare name.
+    Ident(String),
+    /// `'a` — lifetimes never matter to rules but must not be confused
+    /// with char literals.
+    Lifetime,
+    /// String / raw string / byte string literal (contents dropped).
+    Str,
+    /// Char / byte literal (contents dropped).
+    Char,
+    /// Numeric literal (value dropped).
+    Num,
+    /// A single punctuation character (`.`, `:`, `#`, `=`, …).
+    Punct(char),
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open(char),
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close(char),
+    /// A comment, line or block, with its full text (including the
+    /// `//` / `/*` markers).
+    Comment(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+/// Lex `source` into tokens. Never fails: unterminated literals simply
+/// run to end of input (the analyzer lints real, compiling code; fixture
+/// garbage degrades gracefully).
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+
+    // Advance over `chars[i..j]`, counting newlines.
+    macro_rules! consume_to {
+        ($j:expr) => {{
+            let j = $j.min(n);
+            for k in i..j {
+                if chars[k] == '\n' {
+                    line += 1;
+                }
+            }
+            i = j;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments (kept, with text).
+        if c == '/' && next == Some('/') {
+            let start = i;
+            let mut j = i;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[start..j].iter().collect();
+            toks.push(Token { tok: Tok::Comment(text), line });
+            consume_to!(j);
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < n {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+            let text: String = chars[start..j.min(n)].iter().collect();
+            toks.push(Token { tok: Tok::Comment(text), line: start_line });
+            consume_to!(j);
+            continue;
+        }
+        // Raw strings / raw byte strings / raw identifiers.
+        if c == 'r' || (c == 'b' && next == Some('r')) {
+            let hash_start = if c == 'r' { i + 1 } else { i + 2 };
+            let mut j = hash_start;
+            while chars.get(j) == Some(&'#') {
+                j += 1;
+            }
+            let hashes = j - hash_start;
+            if chars.get(j) == Some(&'"') {
+                // Raw string: scan for `"###...` with `hashes` hashes.
+                let start_line = line;
+                let mut k = j + 1;
+                while k < n {
+                    if chars[k] == '"' && (0..hashes).all(|h| chars.get(k + 1 + h) == Some(&'#')) {
+                        k += 1 + hashes;
+                        break;
+                    }
+                    k += 1;
+                }
+                toks.push(Token { tok: Tok::Str, line: start_line });
+                consume_to!(k);
+                continue;
+            }
+            if c == 'r' && hashes == 1 && chars.get(j).is_some_and(|c| ident_start(*c)) {
+                // Raw identifier r#name.
+                let mut k = j;
+                while k < n && ident_cont(chars[k]) {
+                    k += 1;
+                }
+                let name: String = chars[j..k].iter().collect();
+                toks.push(Token { tok: Tok::Ident(name), line });
+                consume_to!(k);
+                continue;
+            }
+            // Plain identifier starting with r/b: fall through.
+        }
+        // String / byte string.
+        if c == '"' || (c == 'b' && next == Some('"')) {
+            let start_line = line;
+            let mut j = if c == '"' { i + 1 } else { i + 2 };
+            while j < n {
+                if chars[j] == '\\' {
+                    j += 2;
+                } else if chars[j] == '"' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            toks.push(Token { tok: Tok::Str, line: start_line });
+            consume_to!(j);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' || (c == 'b' && next == Some('\'')) {
+            let q = if c == '\'' { i } else { i + 1 };
+            let after = chars.get(q + 1).copied();
+            let is_char = match after {
+                Some('\\') => true,
+                Some(a) if ident_start(a) => {
+                    // `'x'` is a char; `'x` followed by non-quote is a
+                    // lifetime (`'a,`, `'static>`, …).
+                    let mut k = q + 2;
+                    while k < n && ident_cont(chars[k]) {
+                        k += 1;
+                    }
+                    chars.get(k) == Some(&'\'')
+                }
+                Some(_) => true, // '(' etc.
+                None => false,
+            };
+            if is_char {
+                let mut j = q + 1;
+                while j < n {
+                    if chars[j] == '\\' {
+                        j += 2;
+                    } else if chars[j] == '\'' {
+                        j += 1;
+                        break;
+                    } else if chars[j] == '\n' {
+                        break; // stray quote; bail at line end
+                    } else {
+                        j += 1;
+                    }
+                }
+                toks.push(Token { tok: Tok::Char, line });
+                consume_to!(j);
+            } else {
+                let mut j = q + 1;
+                while j < n && ident_cont(chars[j]) {
+                    j += 1;
+                }
+                toks.push(Token { tok: Tok::Lifetime, line });
+                consume_to!(j);
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if ident_start(c) {
+            let mut j = i;
+            while j < n && ident_cont(chars[j]) {
+                j += 1;
+            }
+            let name: String = chars[i..j].iter().collect();
+            toks.push(Token { tok: Tok::Ident(name), line });
+            consume_to!(j);
+            continue;
+        }
+        // Number (consume `1_000`, `0xfe`, `1.5e3`; `.` only when
+        // followed by a digit so ranges like `0..n` stay punctuation).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n {
+                let d = chars[j];
+                if d.is_ascii_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && chars.get(j + 1).is_some_and(|x| x.is_ascii_digit()))
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Token { tok: Tok::Num, line });
+            consume_to!(j);
+            continue;
+        }
+        let tok = match c {
+            '(' | '[' | '{' => Tok::Open(c),
+            ')' | ']' | '}' => Tok::Close(c),
+            other => Tok::Punct(other),
+        };
+        toks.push(Token { tok, line });
+        i += 1;
+    }
+    toks
+}
+
+fn ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r#"let x = "Mutex::lock()"; // Instant::now in prose
+        /* VecDeque::new() */ call();"#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "call"]);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_opaque() {
+        let src = "let s = r#\"unsafe { }\"#; let c = '{'; let l: &'static str = f::<'_>();";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"static".to_string()), "lifetime must not leak an ident");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n\"x\ny\"\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.tok == Tok::Ident("b".into())).unwrap();
+        assert_eq!(b.line, 4, "line count must include newlines inside literals");
+    }
+
+    #[test]
+    fn comment_text_is_preserved_for_contract_annotations() {
+        let toks = lex("// SAFETY: the pointer is pinned\nunsafe {}");
+        match &toks[0].tok {
+            Tok::Comment(text) => assert!(text.contains("SAFETY:")),
+            other => panic!("expected comment, got {other:?}"),
+        }
+    }
+}

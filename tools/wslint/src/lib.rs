@@ -1,0 +1,128 @@
+//! wslint: syntax-aware workspace analyzer for the KVSSD codebase.
+//!
+//! Two passes over every workspace member discovered from the root
+//! `Cargo.toml`:
+//!
+//! 1. **Facts** ([`facts`]): lex + token-tree walk per file, producing
+//!    lock acquisition sites (with lexically-held guard classes),
+//!    function summaries, `unsafe` sites with `// SAFETY:` status, and
+//!    unbounded-collection constructions. Function summaries are closed
+//!    over calls, then a second walk treats calls to guard-returning
+//!    helpers (`pool.gc_permit()`, `self.lock_queue()`) as acquisitions.
+//! 2. **Rules** ([`rules`]): the workspace lock-order graph is checked
+//!    against the declared partial order in `lock_order.toml`; contract
+//!    and policy rules run per crate according to `wslint.toml`.
+//!
+//! Findings carry content-hash fingerprints ([`report`]) so the
+//! allowlist survives rebases, and serialize to JSON and SARIF 2.1.0.
+
+pub mod config;
+pub mod facts;
+pub mod lexer;
+pub mod registry;
+pub mod report;
+pub mod rules;
+pub mod toml_lite;
+pub mod tree;
+
+use std::fs;
+use std::path::Path;
+
+use config::{discover_members, file_kind, Config};
+use registry::Registry;
+use report::{assign_fingerprints, Finding};
+use rules::FileCtx;
+
+pub struct Analysis {
+    /// All findings, fingerprinted, before the allowlist is applied.
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    pub classes: usize,
+    pub edges: usize,
+    /// Function names whose workspace definitions disagree on acquired
+    /// classes (they contribute no interprocedural edges — diagnostic).
+    pub ambiguous: Vec<String>,
+}
+
+pub fn run_analysis(
+    root: &Path,
+    config_path: &Path,
+    lock_order_path: &Path,
+) -> Result<Analysis, String> {
+    let config = Config::load(root, config_path)?;
+    let mut registry = Registry::load(lock_order_path)?;
+    // Anchor config-level findings at a root-relative path when possible
+    // (matches every other finding path and keeps fingerprints stable
+    // across checkouts).
+    if let Ok(rel) = lock_order_path.strip_prefix(root) {
+        registry.display_path = rel.to_string_lossy().replace('\\', "/");
+    }
+    let members = discover_members(root)?;
+
+    let mut findings: Vec<Finding> = Vec::new();
+    // (member dir, rel path, source, kind, policy)
+    let mut sources: Vec<(String, String, config::CratePolicy)> = Vec::new();
+    for member in &members {
+        let Some(policy) = config.crates.get(&member.dir) else {
+            let manifest = if member.dir == "." {
+                "Cargo.toml".to_string()
+            } else {
+                format!("{}/Cargo.toml", member.dir)
+            };
+            findings.push(Finding::new(
+                "crate-unclassified",
+                &manifest,
+                1,
+                format!(
+                    "workspace member `{}` has no [crates.\"{}\"] policy in wslint.toml; \
+                     every member must opt in or out of each rule explicitly",
+                    member.dir, member.dir
+                ),
+                &[],
+            ));
+            continue;
+        };
+        if policy.skip {
+            continue;
+        }
+        for file in &member.files {
+            sources.push((member.dir.clone(), file.clone(), policy.clone()));
+        }
+    }
+
+    // Pass 1a: per-file facts, for function summaries only.
+    let mut texts: Vec<String> = Vec::with_capacity(sources.len());
+    let mut first: Vec<facts::FileFacts> = Vec::with_capacity(sources.len());
+    for (_, file, _) in &sources {
+        let text =
+            fs::read_to_string(root.join(file)).map_err(|e| format!("cannot read {file}: {e}"))?;
+        first.push(facts::extract(file, &text, &registry, None));
+        texts.push(text);
+    }
+    let (summaries, ambiguous) = facts::build_summaries(&first);
+    drop(first);
+
+    // Pass 1b: re-extract with summaries, so guard-returning helper calls
+    // count as acquisitions at the call site.
+    let mut files: Vec<FileCtx> = Vec::with_capacity(sources.len());
+    for ((member_dir, file, policy), text) in sources.iter().zip(&texts) {
+        files.push(FileCtx {
+            facts: facts::extract(file, text, &registry, Some(&summaries)),
+            kind: file_kind(member_dir, file),
+            policy: policy.clone(),
+        });
+    }
+
+    // Pass 2: rules.
+    findings.extend(rules::evaluate(&config, &registry, &files, &summaries));
+    assign_fingerprints(&mut findings);
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    Ok(Analysis {
+        findings,
+        files_scanned: files.len(),
+        classes: registry.classes.len(),
+        edges: registry.edges.len(),
+        ambiguous,
+    })
+}

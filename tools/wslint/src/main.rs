@@ -1,480 +1,188 @@
-//! Workspace lint pass — `cargo run -p wslint` (CI runs it too).
+//! wslint CLI.
 //!
-//! Four lexical rules over the workspace's library sources, each guarding
-//! a discipline the type system cannot:
-//!
-//! * `unwrap-in-lib` — no `.unwrap()` / `.expect(` in non-test library
-//!   code of `kvssd`, `ftl`, `rhik-core`, `nand`, `hotcache`. Firmware-path code must
-//!   surface typed errors; the vetted remainder lives in
-//!   `tools/wslint/allowlist.txt`, which only ever shrinks.
-//! * `std-mutex-outside-sync` — `std::sync::Mutex` may be named only in
-//!   `ftl::sync` (the loom-swappable primitive module) and `telemetry`.
-//!   Everything else imports locks from `rhik_ftl::sync`, so
-//!   `cfg(loom)` builds model them.
-//! * `raw-atomic-outside-sync` — library sources must not name
-//!   `std::sync::atomic` / `core::sync::atomic` (types or orderings)
-//!   outside `ftl::sync` and `telemetry`; atomics come from
-//!   `rhik_ftl::sync::atomic` so loom models see them. Integration
-//!   tests are exempt (they coordinate test threads, not device state,
-//!   and never compile under `--cfg loom`).
-//! * `instant-off-sim-clock` — device-model crates must not read the
-//!   host clock with `Instant::now()`; timing flows from the simulated
-//!   NAND timing model. (Bench crates measure wall clock and are out of
-//!   scope.)
-//! * `debug-assert-message` — every `debug_assert!`-family invocation
-//!   carries a message naming the violated invariant.
-//! * `unbounded-queue-in-server` — server sources construct only bounded
-//!   queues: no `VecDeque::new()` / `LinkedList::new()` / unbounded
-//!   `mpsc::channel()`. The per-connection memory budget rests on every
-//!   stage of the backpressure chain being bounded at construction.
-//!
-//! The scanner strips comments and string/char literals first, then
-//! masks `#[cfg(test)]` regions by brace tracking, so prose and test
-//! code never trip a rule. Findings not covered by the allowlist fail
-//! the run (exit code 1) with `rule file:line` output; stale allowlist
-//! entries are reported so the list keeps shrinking. `--print-allowlist`
-//! emits current findings in allowlist format for vetting.
+//! Exit codes: 0 clean, 1 findings (or stale allowlist entries), 2 usage
+//! or configuration error.
 
-use std::collections::HashMap;
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-const RULE_UNWRAP: &str = "unwrap-in-lib";
-const RULE_MUTEX: &str = "std-mutex-outside-sync";
-const RULE_ATOMIC: &str = "raw-atomic-outside-sync";
-const RULE_CLOCK: &str = "instant-off-sim-clock";
-const RULE_ASSERT: &str = "debug-assert-message";
-const RULE_UNBOUNDED: &str = "unbounded-queue-in-server";
+use wslint::report::{to_json, to_sarif, Allowlist};
+use wslint::rules::RULE_IDS;
 
-/// Library crates that must stay panic-free outside tests.
-const PANIC_FREE: &[&str] = &[
-    "crates/kvssd/src",
-    "crates/ftl/src",
-    "crates/rhik-core/src",
-    "crates/nand/src",
-    "crates/hotcache/src",
-    "crates/server/src",
-];
-/// Crates whose timing must come off the simulated clock.
-const SIM_CLOCK: &[&str] = &[
-    "crates/nand/src",
-    "crates/ftl/src",
-    "crates/rhik-core/src",
-    "crates/kvssd/src",
-    "crates/baseline/src",
-    "crates/sigs/src",
-    "crates/hotcache/src",
-    "crates/server/src",
-];
-/// Server sources where every queue must be bounded at construction
-/// (the backpressure chain is only as strong as its weakest stage):
-/// no growable `VecDeque::new()` / `LinkedList::new()` and no unbounded
-/// `mpsc::channel()`. Bounded constructors (`with_capacity`,
-/// `sync_channel`) pass.
-const BOUNDED_QUEUES: &[&str] = &["crates/server/src"];
-/// The only places allowed to name `std::sync::Mutex`.
-const MUTEX_ALLOWED: &[&str] = &["crates/ftl/src/sync.rs", "crates/telemetry/src"];
-/// The only library sources allowed to name `std::sync::atomic` /
-/// `core::sync::atomic` directly; everything else goes through the
-/// loom-swappable `rhik_ftl::sync::atomic` re-exports.
-const ATOMIC_ALLOWED: &[&str] = &["crates/ftl/src/sync.rs", "crates/telemetry/src"];
+const USAGE: &str = "\
+wslint — syntax-aware workspace analyzer (lock order, unsafe contracts, bounds)
 
-struct Finding {
-    rule: &'static str,
-    path: String,
-    line: usize,
-    excerpt: String,
+USAGE:
+    cargo run -p wslint [--] [OPTIONS]
+
+OPTIONS:
+    --root <DIR>            workspace root (default: .)
+    --config <FILE>         policy file (default: <root>/tools/wslint/wslint.toml)
+    --lock-order <FILE>     lock-class registry (default: <root>/tools/wslint/lock_order.toml)
+    --allowlist <FILE>      allowlist (default: <root>/tools/wslint/allowlist.txt)
+    --json <FILE|->         write JSON findings report
+    --sarif <FILE|->        write SARIF 2.1.0 report
+    --print-allowlist       print current violations in allowlist format and exit 0
+    --migrate-allowlist     rewrite a legacy line-text allowlist to fingerprints
+    -h, --help              show this help
+";
+
+struct Opts {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    lock_order: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    json: Option<String>,
+    sarif: Option<String>,
+    print_allowlist: bool,
+    migrate_allowlist: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        config: None,
+        lock_order: None,
+        allowlist: None,
+        json: None,
+        sarif: None,
+        print_allowlist: false,
+        migrate_allowlist: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--config" => opts.config = Some(PathBuf::from(value("--config")?)),
+            "--lock-order" => opts.lock_order = Some(PathBuf::from(value("--lock-order")?)),
+            "--allowlist" => opts.allowlist = Some(PathBuf::from(value("--allowlist")?)),
+            "--json" => opts.json = Some(value("--json")?),
+            "--sarif" => opts.sarif = Some(value("--sarif")?),
+            "--print-allowlist" => opts.print_allowlist = true,
+            "--migrate-allowlist" => opts.migrate_allowlist = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
 }
 
 fn main() -> ExitCode {
-    let print_allowlist = std::env::args().any(|a| a == "--print-allowlist");
-    // tools/wslint/ → repo root is two levels up from the manifest.
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let root = root.parent().and_then(Path::parent).expect("repo root").to_path_buf();
-
-    let mut files = Vec::new();
-    collect_rs(&root.join("crates"), &root, &mut files);
-    collect_rs(&root.join("src"), &root, &mut files);
-    files.sort();
-
-    let mut findings = Vec::new();
-    for rel in &files {
-        match fs::read_to_string(root.join(rel)) {
-            Ok(source) => lint_file(rel, &source, &mut findings),
-            Err(e) => {
-                eprintln!("wslint: cannot read {rel}: {e}");
-                return ExitCode::FAILURE;
-            }
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("wslint: {e}");
+            return ExitCode::from(2);
         }
-    }
+    };
+    let tool_dir = opts.root.join("tools/wslint");
+    let config = opts.config.unwrap_or_else(|| tool_dir.join("wslint.toml"));
+    let lock_order = opts.lock_order.unwrap_or_else(|| tool_dir.join("lock_order.toml"));
+    let allowlist_path = opts.allowlist.unwrap_or_else(|| tool_dir.join("allowlist.txt"));
 
-    if print_allowlist {
-        for f in &findings {
-            println!("{}\t{}\t{}", f.rule, f.path, f.excerpt);
+    let analysis = match wslint::run_analysis(&opts.root, &config, &lock_order) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("wslint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allowlist = Allowlist::load(&allowlist_path);
+    if opts.migrate_allowlist {
+        if allowlist.legacy_lines.is_empty() {
+            eprintln!("wslint: {} has no legacy entries to migrate", allowlist_path.display());
+            return ExitCode::from(2);
+        }
+        let (text, dropped) = Allowlist::migrate(&allowlist.legacy_lines, &analysis.findings);
+        if let Err(e) = fs::write(&allowlist_path, text) {
+            eprintln!("wslint: cannot write {}: {e}", allowlist_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wslint: migrated {} legacy entries to fingerprints ({} dropped as stale)",
+            allowlist.legacy_lines.len() - dropped.len(),
+            dropped.len()
+        );
+        for line in &dropped {
+            println!("  dropped: {line}");
         }
         return ExitCode::SUCCESS;
     }
+    if !allowlist.legacy_lines.is_empty() {
+        eprintln!(
+            "wslint: {} contains {} legacy line-text entries; run `cargo run -p wslint -- --migrate-allowlist` once",
+            allowlist_path.display(),
+            allowlist.legacy_lines.len()
+        );
+        return ExitCode::from(2);
+    }
 
-    // Allowlist entries form a multiset keyed on (rule, path, trimmed
-    // line); each entry excuses exactly one occurrence, so duplicating a
-    // vetted pattern still fails until it is re-vetted.
-    let allowlist_path = root.join("tools/wslint/allowlist.txt");
-    let mut allowed: HashMap<(String, String, String), usize> = HashMap::new();
-    if let Ok(text) = fs::read_to_string(&allowlist_path) {
-        for line in text.lines() {
-            let line = line.trim_end();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let mut parts = line.splitn(3, '\t');
-            match (parts.next(), parts.next(), parts.next()) {
-                (Some(rule), Some(path), Some(excerpt)) => {
-                    *allowed
-                        .entry((rule.to_string(), path.to_string(), excerpt.to_string()))
-                        .or_insert(0) += 1;
-                }
-                _ => eprintln!("wslint: malformed allowlist line: {line}"),
-            }
+    if opts.print_allowlist {
+        print!("{}", Allowlist::render(&analysis.findings));
+        return ExitCode::SUCCESS;
+    }
+
+    let (violations, allowed, stale) = allowlist.apply(analysis.findings.clone());
+
+    if let Some(dest) = &opts.json {
+        let text = to_json(&violations, analysis.files_scanned, analysis.classes, analysis.edges);
+        if let Err(e) = write_report(dest, &text) {
+            eprintln!("wslint: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(dest) = &opts.sarif {
+        let text = to_sarif(&violations, RULE_IDS);
+        if let Err(e) = write_report(dest, &text) {
+            eprintln!("wslint: {e}");
+            return ExitCode::from(2);
         }
     }
 
-    let mut failures = 0usize;
-    for f in &findings {
-        let key = (f.rule.to_string(), f.path.clone(), f.excerpt.clone());
-        if let Some(n) = allowed.get_mut(&key) {
-            *n -= 1;
-            if *n == 0 {
-                allowed.remove(&key);
-            }
-            continue;
+    for f in &violations {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        if !f.excerpt.is_empty() {
+            println!("    {}", f.excerpt);
         }
-        failures += 1;
-        println!("error[{}] {}:{}: {}", f.rule, f.path, f.line, f.excerpt);
+        println!("    fingerprint: {}", f.fingerprint);
     }
-    for ((rule, path, excerpt), n) in &allowed {
-        eprintln!("wslint: stale allowlist entry (×{n}): {rule}\t{path}\t{excerpt}");
+    for entry in &stale {
+        println!("stale allowlist entry (remove it): {entry}");
+    }
+    println!(
+        "wslint: {} files, {} lock classes, {} declared edges; {} violations, {} allowlisted, {} stale entries",
+        analysis.files_scanned,
+        analysis.classes,
+        analysis.edges,
+        violations.len(),
+        allowed.len(),
+        stale.len()
+    );
+    if !analysis.ambiguous.is_empty() {
+        eprintln!(
+            "wslint: note: {} ambiguous function names contribute no interprocedural edges",
+            analysis.ambiguous.len()
+        );
     }
 
-    if failures > 0 {
-        eprintln!("wslint: {failures} violation(s); scanned {} files", files.len());
-        ExitCode::FAILURE
-    } else {
-        eprintln!("wslint: clean; scanned {} files", files.len());
+    if violations.is_empty() && stale.is_empty() {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }
 
-/// Recursively collect `.rs` files under `dir` as root-relative paths,
-/// skipping vendored shims and build output.
-fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) {
-    let Ok(entries) = fs::read_dir(dir) else { return };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "shims" || name == "target" || name == ".git" {
-                continue;
-            }
-            collect_rs(&path, root, out);
-        } else if name.ends_with(".rs") {
-            if let Ok(rel) = path.strip_prefix(root) {
-                out.push(rel.to_string_lossy().replace('\\', "/"));
-            }
-        }
+fn write_report(dest: &str, text: &str) -> Result<(), String> {
+    if dest == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        fs::write(dest, text).map_err(|e| format!("cannot write {dest}: {e}"))
     }
-}
-
-fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
-    let raw: Vec<&str> = source.lines().collect();
-    let cleaned = clean(source);
-    let test_mask = mask_test_regions(&cleaned);
-
-    let in_lib = PANIC_FREE.iter().any(|p| rel.starts_with(p));
-    let in_clock = SIM_CLOCK.iter().any(|p| rel.starts_with(p));
-    let in_bounded = BOUNDED_QUEUES.iter().any(|p| rel.starts_with(p));
-    let mutex_ok = MUTEX_ALLOWED.iter().any(|p| rel.starts_with(p));
-    // Library sources only: `crates/<name>/src/**` and the root `src/`.
-    let in_src = rel.contains("/src/") || rel.starts_with("src/");
-    let atomic_ok = !in_src || ATOMIC_ALLOWED.iter().any(|p| rel.starts_with(p));
-
-    let mut push = |rule: &'static str, line: usize| {
-        let excerpt: String = raw.get(line).map_or("", |l| l.trim()).chars().take(160).collect();
-        findings.push(Finding { rule, path: rel.to_string(), line: line + 1, excerpt });
-    };
-
-    for (i, line) in cleaned.iter().enumerate() {
-        if test_mask[i] {
-            continue;
-        }
-        if in_lib && (line.contains(".unwrap()") || line.contains(".expect(")) {
-            push(RULE_UNWRAP, i);
-        }
-        if !mutex_ok && line.contains("std::sync") && line.contains("Mutex") {
-            push(RULE_MUTEX, i);
-        }
-        if !atomic_ok && (line.contains("std::sync::atomic") || line.contains("core::sync::atomic"))
-        {
-            push(RULE_ATOMIC, i);
-        }
-        if in_clock && line.contains("Instant::now") {
-            push(RULE_CLOCK, i);
-        }
-        if in_bounded
-            && (line.contains("VecDeque::new(")
-                || line.contains("LinkedList::new(")
-                || line.contains("mpsc::channel("))
-        {
-            push(RULE_UNBOUNDED, i);
-        }
-    }
-
-    for (line, needs) in debug_asserts_without_message(&cleaned, &test_mask) {
-        let _ = needs;
-        push(RULE_ASSERT, line);
-    }
-}
-
-/// Replace comments and string/char literal contents with spaces, keeping
-/// line structure intact, so substring rules never match prose.
-fn clean(source: &str) -> Vec<String> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-    }
-    let mut state = State::Code;
-    let mut out = String::with_capacity(source.len());
-    let bytes: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    let mut prev_ident = false;
-    while i < bytes.len() {
-        let c = bytes[i];
-        if c == '\n' {
-            if state == State::LineComment {
-                state = State::Code;
-            }
-            out.push('\n');
-            prev_ident = false;
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Code => {
-                let next = bytes.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    state = State::LineComment;
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(1);
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    state = State::Str;
-                    out.push('"');
-                    i += 1;
-                } else if c == 'r' && !prev_ident {
-                    // Possible raw string: r"…", r#"…"#, …
-                    let mut j = i + 1;
-                    let mut hashes = 0;
-                    while bytes.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if bytes.get(j) == Some(&'"') {
-                        state = State::RawStr(hashes);
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                    } else {
-                        out.push(c);
-                        prev_ident = true;
-                        i += 1;
-                        continue;
-                    }
-                } else if c == '\'' {
-                    // Char literal vs lifetime.
-                    if next == Some('\\') {
-                        let mut j = i + 2; // skip escape lead-in
-                        if j < bytes.len() {
-                            j += 1; // the escaped char (covers \n, \', \\ …)
-                        }
-                        while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
-                            j += 1; // \u{…} and friends
-                        }
-                        for _ in i..=j.min(bytes.len() - 1) {
-                            out.push(' ');
-                        }
-                        i = (j + 1).min(bytes.len());
-                    } else if bytes.get(i + 2) == Some(&'\'') {
-                        out.push_str("   ");
-                        i += 3;
-                    } else {
-                        out.push('\''); // lifetime
-                        i += 1;
-                    }
-                    prev_ident = false;
-                    continue;
-                } else {
-                    out.push(c);
-                    prev_ident = c.is_alphanumeric() || c == '_';
-                    i += 1;
-                    continue;
-                }
-                prev_ident = false;
-            }
-            State::LineComment => {
-                out.push(' ');
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                let next = bytes.get(i + 1).copied();
-                if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '*' && next == Some('/') {
-                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    state = State::Code;
-                    out.push('"');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' {
-                    let closed = (0..hashes).all(|k| bytes.get(i + 1 + k) == Some(&'#'));
-                    if closed {
-                        state = State::Code;
-                        out.push('"');
-                        for _ in 0..hashes {
-                            out.push(' ');
-                        }
-                        i += 1 + hashes;
-                        continue;
-                    }
-                }
-                out.push(' ');
-                i += 1;
-            }
-        }
-    }
-    out.lines().map(str::to_string).collect()
-}
-
-/// Mark every line inside a `#[cfg(test)]` item (attribute line through
-/// the item's closing brace) so rules skip test code embedded in src.
-fn mask_test_regions(cleaned: &[String]) -> Vec<bool> {
-    let mut mask = vec![false; cleaned.len()];
-    let mut pending = false; // saw the attribute, waiting for the item's `{`
-    let mut depth = 0i32;
-    for (i, line) in cleaned.iter().enumerate() {
-        if !pending && depth == 0 {
-            if line.contains("#[cfg(test)]") {
-                pending = true;
-                mask[i] = true;
-            }
-            continue;
-        }
-        mask[i] = true;
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    pending = false;
-                    depth += 1;
-                }
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-        if !pending && depth <= 0 {
-            depth = 0;
-        }
-    }
-    mask
-}
-
-/// Find `debug_assert!`-family invocations whose argument list lacks a
-/// message (fewer top-level commas than the macro's value arity allows).
-fn debug_asserts_without_message(cleaned: &[String], test_mask: &[bool]) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    for (i, line) in cleaned.iter().enumerate() {
-        if test_mask[i] {
-            continue;
-        }
-        let mut from = 0;
-        while let Some(pos) = line[from..].find("debug_assert") {
-            let start = from + pos;
-            // Must be a free-standing macro name, not a suffix of another
-            // identifier.
-            let pre_ok = start == 0
-                || !line[..start]
-                    .chars()
-                    .next_back()
-                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
-            let rest = &line[start + "debug_assert".len()..];
-            let (needs, tail) = if let Some(t) = rest.strip_prefix("_eq!") {
-                (2, t)
-            } else if let Some(t) = rest.strip_prefix("_ne!") {
-                (2, t)
-            } else if let Some(t) = rest.strip_prefix('!') {
-                (1, t)
-            } else {
-                from = start + 1;
-                continue;
-            };
-            if pre_ok && tail.trim_start().starts_with('(') {
-                let col = line.len() - tail.trim_start().len();
-                if count_top_level_commas(cleaned, i, col) < needs {
-                    out.push((i, needs));
-                }
-            }
-            from = start + 1;
-        }
-    }
-    out
-}
-
-/// Count commas at paren depth 1 of the group opening at (line, col),
-/// scanning across lines (the source is already comment/string-free).
-fn count_top_level_commas(cleaned: &[String], line: usize, col: usize) -> usize {
-    let mut depth = 0i32;
-    let mut commas = 0;
-    for (li, text) in cleaned.iter().enumerate().skip(line) {
-        let start = if li == line { col } else { 0 };
-        for c in text[start.min(text.len())..].chars() {
-            match c {
-                '(' | '[' | '{' => depth += 1,
-                ')' | ']' | '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return commas;
-                    }
-                }
-                ',' if depth == 1 => commas += 1,
-                _ => {}
-            }
-        }
-    }
-    commas
 }

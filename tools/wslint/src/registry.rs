@@ -1,0 +1,154 @@
+//! The lock-class registry: `tools/wslint/lock_order.toml`.
+//!
+//! Every lock acquisition site in library code must classify into a
+//! declared *lock class* (an equivalence class of mutex instances that
+//! share an ordering role — "any shard's DRR queue", "any tenant's op
+//! bucket"). Classification is syntactic: a class lists
+//! `(path-prefix, receiver-pattern)` rows; a `.lock()` site matches the
+//! class whose path prefix covers the file and whose receiver pattern is
+//! the longest prefix of the normalized receiver expression (indexes
+//! normalized to `[_]`, call arguments to `(..)`). The declared partial
+//! order is a set of `"a < b"` edges: holding `a` while acquiring `b` is
+//! legal, the reverse is a finding.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::toml_lite::{self, Value};
+
+#[derive(Debug, Clone)]
+pub struct LockClass {
+    pub name: String,
+    pub doc: String,
+    /// (file path prefix, normalized receiver prefix). An empty receiver
+    /// pattern matches any receiver in the covered files (single-class
+    /// files declare one wildcard row).
+    pub patterns: Vec<(String, String)>,
+    /// Instances of this class are disjoint and acquired in a canonical
+    /// (index) order, so holding two at once is vetted rather than a
+    /// self-cycle finding.
+    pub allow_self: bool,
+}
+
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub classes: Vec<LockClass>,
+    /// Declared order: (before, after) — `before` may be held while
+    /// acquiring `after`.
+    pub edges: Vec<(String, String)>,
+    /// Where the registry was loaded from (for anchoring config-level
+    /// findings); root-relative when the caller can make it so.
+    pub display_path: String,
+}
+
+impl Registry {
+    pub fn load(path: &Path) -> Result<Registry, String> {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = toml_lite::parse(&text)
+            .map_err(|(line, msg)| format!("{}:{line}: {msg}", path.display()))?;
+
+        let mut classes = Vec::new();
+        for (section, entries) in &doc {
+            let Some(name) = section.strip_prefix("classes.") else { continue };
+            let mut class = LockClass {
+                name: name.to_string(),
+                doc: String::new(),
+                patterns: Vec::new(),
+                allow_self: false,
+            };
+            let mut paths: Vec<String> = Vec::new();
+            let mut recvs: Vec<String> = Vec::new();
+            for (k, v) in entries {
+                match (k.as_str(), v) {
+                    ("doc", Value::Str(s)) => class.doc = s.clone(),
+                    ("paths", Value::List(l)) => paths = l.clone(),
+                    ("recv", Value::List(l)) => recvs = l.clone(),
+                    ("allow-self", Value::Bool(b)) => class.allow_self = *b,
+                    (other, _) => {
+                        return Err(format!(
+                            "{}: unknown key `{other}` in [classes.{name}]",
+                            path.display()
+                        ))
+                    }
+                }
+            }
+            if paths.is_empty() {
+                return Err(format!("{}: class {name} declares no paths", path.display()));
+            }
+            if recvs.is_empty() {
+                recvs.push(String::new()); // wildcard receiver
+            }
+            for p in &paths {
+                for r in &recvs {
+                    class.patterns.push((p.clone(), r.clone()));
+                }
+            }
+            classes.push(class);
+        }
+
+        let mut edges = Vec::new();
+        for spec in toml_lite::get_list(&doc, "order", "edges").unwrap_or(&[]) {
+            let Some((a, b)) = spec.split_once('<') else {
+                return Err(format!("{}: order edge must be `a < b`: {spec}", path.display()));
+            };
+            let (a, b) = (a.trim().to_string(), b.trim().to_string());
+            for side in [&a, &b] {
+                if !classes.iter().any(|c| c.name == *side) {
+                    return Err(format!(
+                        "{}: order edge names undeclared class `{side}`",
+                        path.display()
+                    ));
+                }
+            }
+            edges.push((a, b));
+        }
+        Ok(Registry { classes, edges, display_path: path.display().to_string() })
+    }
+
+    /// Classify an acquisition site: longest matching receiver pattern
+    /// among classes whose path prefix covers `file`.
+    pub fn classify(&self, file: &str, recv: &str) -> Option<&str> {
+        let mut best: Option<(&str, usize)> = None;
+        for class in &self.classes {
+            for (path, pat) in &class.patterns {
+                if !file.starts_with(path.as_str()) {
+                    continue;
+                }
+                let matched = pat.is_empty()
+                    || recv == pat
+                    || recv.starts_with(&format!("{pat}."))
+                    || recv.starts_with(&format!("{pat}["));
+                if matched && best.is_none_or(|(_, len)| pat.len() >= len) {
+                    best = Some((&class.name, pat.len()));
+                }
+            }
+        }
+        best.map(|(name, _)| name)
+    }
+
+    /// Transitive closure of the declared order: for each class, the set
+    /// of classes reachable strictly after it.
+    pub fn declared_closure(&self) -> BTreeMap<&str, Vec<&str>> {
+        let mut succ: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in &self.edges {
+            succ.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        let mut closure: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for class in &self.classes {
+            let mut seen: Vec<&str> = Vec::new();
+            let mut stack: Vec<&str> = vec![&class.name];
+            while let Some(n) = stack.pop() {
+                for next in succ.get(n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if !seen.contains(next) {
+                        seen.push(next);
+                        stack.push(next);
+                    }
+                }
+            }
+            closure.insert(&class.name, seen);
+        }
+        closure
+    }
+}

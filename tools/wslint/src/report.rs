@@ -1,0 +1,542 @@
+//! Findings, stable fingerprints, the allowlist, and JSON/SARIF output.
+//!
+//! A finding's fingerprint is `fnv64(rule ⊕ path ⊕ normalized excerpt ⊕
+//! occurrence-index)` — content-addressed, no line numbers — so an
+//! allowlist entry survives rebases, reformats and unrelated edits to
+//! the same file. The occurrence index disambiguates identical lines in
+//! one file (each entry excuses exactly one occurrence, as before).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    /// Human message (what is wrong, and how to satisfy the rule).
+    pub message: String,
+    /// Trimmed source line, capped, for display and fingerprinting.
+    pub excerpt: String,
+    /// Filled by [`assign_fingerprints`].
+    pub fingerprint: String,
+}
+
+impl Finding {
+    pub fn new(
+        rule: &'static str,
+        path: &str,
+        line: usize,
+        message: String,
+        lines: &[String],
+    ) -> Finding {
+        let excerpt: String =
+            lines.get(line.saturating_sub(1)).map_or("", |l| l.trim()).chars().take(160).collect();
+        Finding { rule, path: path.to_string(), line, message, excerpt, fingerprint: String::new() }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv64(parts: &[&str]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for part in parts {
+        for b in part.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // Separator byte so ("ab","c") ≠ ("a","bc").
+        h ^= 0x1f;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Whitespace-insensitive excerpt normalization: a reformat must not
+/// rotate the allowlist.
+fn normalize(excerpt: &str) -> String {
+    let mut out = String::with_capacity(excerpt.len());
+    let mut last_space = true;
+    for c in excerpt.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// Assign content-hash fingerprints, numbering identical (rule, path,
+/// excerpt) occurrences in file order.
+pub fn assign_fingerprints(findings: &mut [Finding]) {
+    let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    // Number occurrences in (path, line) order so the index is stable
+    // against discovery-order changes.
+    let mut order: Vec<usize> = (0..findings.len()).collect();
+    order.sort_by(|&a, &b| {
+        (&findings[a].path, findings[a].line).cmp(&(&findings[b].path, findings[b].line))
+    });
+    for idx in order {
+        let f = &findings[idx];
+        let key = (f.rule.to_string(), f.path.clone(), normalize(&f.excerpt));
+        let n = counts.entry(key.clone()).or_insert(0);
+        let fp = fnv64(&[f.rule, &f.path, &key.2, &n.to_string()]);
+        findings[idx].fingerprint = format!("{fp:016x}");
+        *n += 1;
+    }
+}
+
+/// Allowlist: `rule<TAB>path<TAB>fingerprint<TAB>excerpt` (excerpt is
+/// informational). Legacy v1 lines (`rule<TAB>path<TAB>excerpt`) are
+/// detected so the tool can demand `--migrate-allowlist` instead of
+/// silently ignoring them.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// (rule, path, fingerprint) → remaining count.
+    entries: BTreeMap<(String, String, String), usize>,
+    pub legacy_lines: Vec<String>,
+}
+
+impl Allowlist {
+    pub fn load(path: &Path) -> Allowlist {
+        let mut out = Allowlist::default();
+        let Ok(text) = fs::read_to_string(path) else { return out };
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            let is_fp = |s: &str| s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit());
+            match fields.as_slice() {
+                [rule, p, fp, ..] if is_fp(fp) => {
+                    *out.entries
+                        .entry((rule.to_string(), p.to_string(), fp.to_string()))
+                        .or_insert(0) += 1;
+                }
+                _ => out.legacy_lines.push(line.to_string()),
+            }
+        }
+        out
+    }
+
+    /// Partition findings into (violations, allowed); leftover entries
+    /// are stale.
+    pub fn apply(mut self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>, Vec<String>) {
+        let mut violations = Vec::new();
+        let mut allowed = Vec::new();
+        for f in findings {
+            let key = (f.rule.to_string(), f.path.clone(), f.fingerprint.clone());
+            match self.entries.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    allowed.push(f);
+                }
+                _ => violations.push(f),
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|((rule, path, fp), n)| format!("(×{n}) {rule}\t{path}\t{fp}"))
+            .collect();
+        (violations, allowed, stale)
+    }
+
+    /// Rewrite legacy `rule\tpath\texcerpt` entries as fingerprint
+    /// entries by matching them against current findings. Returns the
+    /// new file text and the legacy lines that no longer match anything
+    /// (dropped, reported to the caller).
+    pub fn migrate(legacy_lines: &[String], findings: &[Finding]) -> (String, Vec<String>) {
+        // (rule, path, normalized excerpt) → fingerprints in occurrence order.
+        let mut pool: BTreeMap<(String, String, String), Vec<String>> = BTreeMap::new();
+        let mut ordered: Vec<&Finding> = findings.iter().collect();
+        ordered.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        for f in ordered {
+            pool.entry((f.rule.to_string(), f.path.clone(), normalize(&f.excerpt)))
+                .or_default()
+                .push(f.fingerprint.clone());
+        }
+        let mut out = String::from(
+            "# wslint allowlist — vetted findings only; this file only ever shrinks.\n\
+             # Format: <rule>\\t<path>\\t<fingerprint>\\t<excerpt>. The fingerprint is a\n\
+             # content hash (rule + path + normalized source line + occurrence index),\n\
+             # so entries survive rebases; `--migrate-allowlist` regenerates from the\n\
+             # legacy line-text format. The excerpt column is informational.\n",
+        );
+        let mut dropped = Vec::new();
+        for line in legacy_lines {
+            let mut parts = line.splitn(3, '\t');
+            let (Some(rule), Some(path), Some(excerpt)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                dropped.push(line.clone());
+                continue;
+            };
+            let key = (rule.to_string(), path.to_string(), normalize(excerpt));
+            match pool.get_mut(&key).and_then(|v| (!v.is_empty()).then(|| v.remove(0))) {
+                Some(fp) => {
+                    let _ = writeln!(out, "{rule}\t{path}\t{fp}\t{}", normalize(excerpt));
+                }
+                None => dropped.push(line.clone()),
+            }
+        }
+        (out, dropped)
+    }
+
+    /// Render current findings in allowlist format (for vetting).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::new();
+        for f in findings {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{}",
+                f.rule,
+                f.path,
+                f.fingerprint,
+                normalize(&f.excerpt)
+            );
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------- JSON out
+
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable findings report.
+pub fn to_json(findings: &[Finding], files_scanned: usize, classes: usize, edges: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"tool\": \"wslint\",");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"lock_classes\": {classes},");
+    let _ = writeln!(out, "  \"lock_edges\": {edges},");
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 == findings.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"fingerprint\": \"{}\", \"message\": \"{}\", \"excerpt\": \"{}\"}}{comma}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.fingerprint),
+            json_escape(&f.message),
+            json_escape(&f.excerpt),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// SARIF 2.1.0 (the subset GitHub code scanning ingests): one run, one
+/// driver, per-rule metadata, results with physical locations and the
+/// stable fingerprint under `partialFingerprints`.
+pub fn to_sarif(findings: &[Finding], rule_ids: &[&str]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n          \"name\": \"wslint\",\n");
+    out.push_str("          \"informationUri\": \"tools/wslint\",\n          \"rules\": [\n");
+    for (i, id) in rule_ids.iter().enumerate() {
+        let comma = if i + 1 == rule_ids.len() { "" } else { "," };
+        let _ = writeln!(out, "            {{\"id\": \"{}\"}}{comma}", json_escape(id));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 == findings.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}], \"partialFingerprints\": {{\"wslint/v1\": \"{}\"}}}}{comma}",
+            json_escape(f.rule),
+            json_escape(&f.message),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.fingerprint),
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+// ------------------------------------------------ JSON value (round-trip)
+
+/// A minimal JSON value + parser, used by the fixture tests (and CI) to
+/// prove the JSON/SARIF reports round-trip. The in-tree `serde_json`
+/// shim only serializes, so the parser lives here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn str_val(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0;
+    let v = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing data at {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while *pos < c.len() && c[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(c: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(c, pos);
+    match c.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            loop {
+                skip_ws(c, pos);
+                if c.get(*pos) == Some(&'}') {
+                    *pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                let Json::Str(key) = parse_value(c, pos)? else {
+                    return Err(format!("object key must be string at {pos}"));
+                };
+                skip_ws(c, pos);
+                if c.get(*pos) != Some(&':') {
+                    return Err(format!("expected ':' at {pos}"));
+                }
+                *pos += 1;
+                pairs.push((key, parse_value(c, pos)?));
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {}
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_ws(c, pos);
+                if c.get(*pos) == Some(&']') {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                items.push(parse_value(c, pos)?);
+                skip_ws(c, pos);
+                match c.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {}
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some('"') => {
+            *pos += 1;
+            let mut s = String::new();
+            while *pos < c.len() {
+                match c[*pos] {
+                    '"' => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    '\\' => {
+                        *pos += 1;
+                        match c.get(*pos) {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('u') => {
+                                let hex: String = c[*pos + 1..*pos + 5].iter().collect();
+                                let code = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            Some(other) => s.push(*other),
+                            None => return Err("unterminated escape".into()),
+                        }
+                        *pos += 1;
+                    }
+                    other => {
+                        s.push(other);
+                        *pos += 1;
+                    }
+                }
+            }
+            Err("unterminated string".into())
+        }
+        Some('t') if c[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if c[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if c[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(d) if d.is_ascii_digit() || *d == '-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < c.len()
+                && (c[*pos].is_ascii_digit() || matches!(c[*pos], '.' | 'e' | 'E' | '+' | '-'))
+            {
+                *pos += 1;
+            }
+            let text: String = c[start..*pos].iter().collect();
+            text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number {text}: {e}"))
+        }
+        other => Err(format!("unexpected {other:?} at {pos}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: usize, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line,
+            message: "m".into(),
+            excerpt: excerpt.into(),
+            fingerprint: String::new(),
+        }
+    }
+
+    #[test]
+    fn fingerprints_ignore_line_numbers_and_whitespace() {
+        let mut a = vec![finding("r", "f.rs", 10, "let x =  q.pop();")];
+        let mut b = vec![finding("r", "f.rs", 99, "let x = q.pop();")];
+        assign_fingerprints(&mut a);
+        assign_fingerprints(&mut b);
+        assert_eq!(
+            a[0].fingerprint, b[0].fingerprint,
+            "moving/reformatting a line must not rotate the fingerprint"
+        );
+    }
+
+    #[test]
+    fn duplicate_lines_get_distinct_fingerprints() {
+        let mut fs = vec![finding("r", "f.rs", 1, "x.lock()"), finding("r", "f.rs", 5, "x.lock()")];
+        assign_fingerprints(&mut fs);
+        assert_ne!(fs[0].fingerprint, fs[1].fingerprint);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut fs = vec![finding("rule-a", "a \"b\".rs", 3, "weird \\ excerpt\t")];
+        assign_fingerprints(&mut fs);
+        let text = to_json(&fs, 7, 4, 9);
+        let v = parse_json(&text).expect("valid JSON");
+        let list = v.get("findings").unwrap().arr().unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].get("rule").unwrap().str_val(), Some("rule-a"));
+        assert_eq!(list[0].get("path").unwrap().str_val(), Some("a \"b\".rs"));
+        assert_eq!(v.get("lock_classes").unwrap().num(), Some(4.0));
+    }
+
+    #[test]
+    fn sarif_round_trips_with_locations() {
+        let mut fs = vec![finding("lock-order-cycle", "crates/x/src/lib.rs", 42, "q.lock()")];
+        assign_fingerprints(&mut fs);
+        let text = to_sarif(&fs, &["lock-order-cycle", "unwrap-in-lib"]);
+        let v = parse_json(&text).expect("valid SARIF JSON");
+        let runs = v.get("runs").unwrap().arr().unwrap();
+        let results = runs[0].get("results").unwrap().arr().unwrap();
+        let loc =
+            results[0].get("locations").unwrap().arr().unwrap()[0].get("physicalLocation").unwrap();
+        assert_eq!(
+            loc.get("artifactLocation").unwrap().get("uri").unwrap().str_val(),
+            Some("crates/x/src/lib.rs")
+        );
+        assert_eq!(loc.get("region").unwrap().get("startLine").unwrap().num(), Some(42.0));
+    }
+
+    #[test]
+    fn migration_matches_legacy_excerpts_and_reports_dropped() {
+        let mut fs = vec![
+            finding("unwrap-in-lib", "crates/a/src/l.rs", 3, "x.expect(\"checked\")"),
+            finding("unwrap-in-lib", "crates/a/src/l.rs", 9, "x.expect(\"checked\")"),
+        ];
+        assign_fingerprints(&mut fs);
+        let legacy = vec![
+            "unwrap-in-lib\tcrates/a/src/l.rs\tx.expect(\"checked\")".to_string(),
+            "unwrap-in-lib\tcrates/a/src/l.rs\tx.expect(\"checked\")".to_string(),
+            "unwrap-in-lib\tcrates/gone/src/l.rs\ty.unwrap()".to_string(),
+        ];
+        let (text, dropped) = Allowlist::migrate(&legacy, &fs);
+        assert_eq!(dropped.len(), 1, "entry with no matching finding is dropped");
+        let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(body.len(), 2);
+        assert!(body[0].contains(&fs[0].fingerprint) || body[1].contains(&fs[0].fingerprint));
+        assert!(body[0] != body[1], "two occurrences map to distinct fingerprints");
+    }
+}

@@ -1,0 +1,423 @@
+//! Pass 2: rule evaluation over the fact base.
+//!
+//! Graph rules (`lock-order-*`) fold every classified acquisition and
+//! every summary-bearing call into a workspace-wide lock-order graph and
+//! check it against the declared partial order in `lock_order.toml`.
+//! Scoped rules (`unwrap-in-lib`, `instant-off-sim-clock`, …) apply per
+//! crate according to `wslint.toml` policy flags and per file according
+//! to its [`FileKind`].
+
+use std::collections::BTreeSet;
+
+use crate::config::{Config, CratePolicy, FileKind};
+use crate::facts::{CollectionKind, FileFacts, Summaries};
+use crate::registry::Registry;
+use crate::report::Finding;
+
+/// Every rule the analyzer can emit, for SARIF driver metadata.
+pub const RULE_IDS: &[&str] = &[
+    "crate-unclassified",
+    "lock-class-undeclared",
+    "lock-order-cycle",
+    "lock-order-contradiction",
+    "lock-order-undeclared-edge",
+    "lock-order-self-cycle",
+    "unsafe-without-safety-comment",
+    "unsafe-outside-sync",
+    "unbounded-collection",
+    "unwrap-in-lib",
+    "std-mutex-outside-sync",
+    "raw-atomic-outside-sync",
+    "instant-off-sim-clock",
+    "debug-assert-message",
+];
+
+/// One analyzed file with its policy context resolved.
+pub struct FileCtx {
+    pub facts: FileFacts,
+    pub kind: FileKind,
+    pub policy: CratePolicy,
+}
+
+/// An edge observed in code: `from` was held while `to` was acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ObservedEdge {
+    pub from: String,
+    pub to: String,
+    pub path: String,
+    pub line: usize,
+}
+
+pub fn evaluate(
+    config: &Config,
+    registry: &Registry,
+    files: &[FileCtx],
+    summaries: &Summaries,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let lib_code = |f: &FileCtx| f.kind == FileKind::Lib;
+    let allowed =
+        |prefixes: &[String], path: &str| prefixes.iter().any(|p| path.starts_with(p.as_str()));
+
+    // ---- lock classification + edge observation -------------------------
+    let mut observed: BTreeSet<ObservedEdge> = BTreeSet::new();
+    for f in files.iter().filter(|f| lib_code(f)) {
+        for acq in f.facts.acquisitions.iter().filter(|a| !a.in_test) {
+            match &acq.class {
+                None => out.push(Finding::new(
+                    "lock-class-undeclared",
+                    &f.facts.path,
+                    acq.line,
+                    format!(
+                        "lock acquisition on `{}` matches no class in lock_order.toml; \
+                         add a [classes.*] row covering it",
+                        acq.recv
+                    ),
+                    &f.facts.lines,
+                )),
+                Some(class) => {
+                    for held in &acq.held {
+                        observed.insert(ObservedEdge {
+                            from: held.clone(),
+                            to: class.clone(),
+                            path: f.facts.path.clone(),
+                            line: acq.line,
+                        });
+                    }
+                }
+            }
+        }
+        // Cross-function edges: a call made under guard to a function
+        // whose summary says it acquires classes.
+        for call in f.facts.calls.iter().filter(|c| !c.in_test && !c.held.is_empty()) {
+            if let Some(acquires) = summaries.full.get(&call.name) {
+                for to in acquires {
+                    for from in &call.held {
+                        observed.insert(ObservedEdge {
+                            from: from.clone(),
+                            to: to.clone(),
+                            path: f.facts.path.clone(),
+                            line: call.line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- lock-order graph rules ----------------------------------------
+    let closure = registry.declared_closure();
+    let allow_self = |class: &str| registry.classes.iter().any(|c| c.name == class && c.allow_self);
+
+    // The declared order itself must be a partial order (acyclic).
+    if let Some(cycle) = find_cycle(&registry.edges) {
+        out.push(Finding::new(
+            "lock-order-cycle",
+            &registry.display_path,
+            1,
+            format!("declared lock order contains a cycle: {}", cycle.join(" -> ")),
+            &[],
+        ));
+    }
+
+    // Edge-level dedup for findings: one finding per (from, to, path) —
+    // the first site in the file is the anchor.
+    let mut reported: BTreeSet<(String, String, String)> = BTreeSet::new();
+    for e in &observed {
+        if !reported.insert((e.from.clone(), e.to.clone(), e.path.clone())) {
+            continue;
+        }
+        let lines = files
+            .iter()
+            .find(|f| f.facts.path == e.path)
+            .map_or(&[][..], |f| f.facts.lines.as_slice());
+        if e.from == e.to {
+            if !allow_self(&e.from) {
+                out.push(Finding::new(
+                    "lock-order-self-cycle",
+                    &e.path,
+                    e.line,
+                    format!(
+                        "a `{}` guard is already held while acquiring another `{}`; \
+                         declare `allow-self = true` for the class only if instances \
+                         are disjoint and acquired in a canonical order",
+                        e.from, e.to
+                    ),
+                    lines,
+                ));
+            }
+            continue;
+        }
+        let declared_fwd = closure.get(e.from.as_str()).is_some_and(|s| s.contains(&e.to.as_str()));
+        let declared_rev = closure.get(e.to.as_str()).is_some_and(|s| s.contains(&e.from.as_str()));
+        if declared_fwd {
+            continue; // edge agrees with the declared order
+        }
+        if declared_rev {
+            out.push(Finding::new(
+                "lock-order-contradiction",
+                &e.path,
+                e.line,
+                format!(
+                    "acquiring `{}` while holding `{}` contradicts the declared \
+                     order `{} < {}` in lock_order.toml",
+                    e.to, e.from, e.to, e.from
+                ),
+                lines,
+            ));
+        } else {
+            out.push(Finding::new(
+                "lock-order-undeclared-edge",
+                &e.path,
+                e.line,
+                format!(
+                    "acquiring `{}` while holding `{}` is not covered by the declared \
+                     order; add `\"{} < {}\"` to [order] edges in lock_order.toml \
+                     after vetting the nesting",
+                    e.to, e.from, e.from, e.to
+                ),
+                lines,
+            ));
+        }
+    }
+
+    // A cycle formed by declared ∪ observed edges (each observed edge is
+    // individually vetted above, but an ABBA pair across two files only
+    // shows up here).
+    let mut combined: Vec<(String, String)> = registry.edges.clone();
+    for e in &observed {
+        if e.from == e.to {
+            continue;
+        }
+        // An edge whose reverse is declared was already reported as a
+        // contradiction — adding it here would re-report the same pair
+        // of sites as a two-node cycle.
+        if closure.get(e.to.as_str()).is_some_and(|s| s.contains(&e.from.as_str())) {
+            continue;
+        }
+        if !combined.iter().any(|(a, b)| *a == e.from && *b == e.to) {
+            combined.push((e.from.clone(), e.to.clone()));
+        }
+    }
+    if find_cycle(&registry.edges).is_none() {
+        if let Some(cycle) = find_cycle(&combined) {
+            // Anchor at an observed edge participating in the cycle.
+            let anchor =
+                observed.iter().find(|e| cycle.windows(2).any(|w| w[0] == e.from && w[1] == e.to));
+            let (path, line, lines) = match anchor {
+                Some(e) => (
+                    e.path.clone(),
+                    e.line,
+                    files
+                        .iter()
+                        .find(|f| f.facts.path == e.path)
+                        .map_or(&[][..], |f| f.facts.lines.as_slice()),
+                ),
+                None => (registry.display_path.clone(), 1, &[][..]),
+            };
+            out.push(Finding::new(
+                "lock-order-cycle",
+                &path,
+                line,
+                format!("observed acquisitions close a lock-order cycle: {}", cycle.join(" -> ")),
+                lines,
+            ));
+        }
+    }
+
+    // ---- unsafe contracts ----------------------------------------------
+    for f in files {
+        for site in f.facts.unsafe_sites.iter().filter(|u| !u.in_test) {
+            if f.kind == FileKind::Test {
+                continue;
+            }
+            if !site.has_safety {
+                out.push(Finding::new(
+                    "unsafe-without-safety-comment",
+                    &f.facts.path,
+                    site.line,
+                    "`unsafe` without an adjacent `// SAFETY:` comment stating the \
+                     contract the caller upholds"
+                        .to_string(),
+                    &f.facts.lines,
+                ));
+            }
+            if !allowed(&config.unsafe_allowed, &f.facts.path) {
+                out.push(Finding::new(
+                    "unsafe-outside-sync",
+                    &f.facts.path,
+                    site.line,
+                    "`unsafe` outside the fenced sync layer; move the primitive into \
+                     `ftl::sync` (or add the path to [allow] unsafe-code with review)"
+                        .to_string(),
+                    &f.facts.lines,
+                ));
+            }
+        }
+    }
+
+    // ---- unbounded collections -----------------------------------------
+    for f in files.iter().filter(|f| lib_code(f)) {
+        for c in f.facts.collections.iter().filter(|c| !c.in_test && !c.has_bound) {
+            let flagged = match c.kind {
+                CollectionKind::QueueLike => true,
+                CollectionKind::General => f.policy.long_lived_state && c.in_struct_literal,
+            };
+            if flagged {
+                out.push(Finding::new(
+                    "unbounded-collection",
+                    &f.facts.path,
+                    c.line,
+                    format!(
+                        "`{}` creates an unbounded collection{}; use a capacity at \
+                         construction or state the growth invariant in an adjacent \
+                         `// bounded-by:` comment",
+                        c.what,
+                        if c.in_struct_literal { " in long-lived struct state" } else { "" }
+                    ),
+                    &f.facts.lines,
+                ));
+            }
+        }
+    }
+
+    // ---- scoped lexical rules ------------------------------------------
+    for f in files {
+        let lib = lib_code(f);
+        if f.policy.panic_free && lib {
+            for s in f.facts.unwraps.iter().filter(|s| !s.in_test) {
+                out.push(Finding::new(
+                    "unwrap-in-lib",
+                    &f.facts.path,
+                    s.line,
+                    "`.unwrap()`/`.expect()` in panic-free library code; return an \
+                     error or prove the invariant with a vetted allowlist entry"
+                        .to_string(),
+                    &f.facts.lines,
+                ));
+            }
+        }
+        if f.policy.sim_clock && lib {
+            for s in f.facts.instant_sites.iter().filter(|s| !s.in_test) {
+                out.push(Finding::new(
+                    "instant-off-sim-clock",
+                    &f.facts.path,
+                    s.line,
+                    "`Instant::now()` bypasses the simulation clock; take time from \
+                     the clock abstraction"
+                        .to_string(),
+                    &f.facts.lines,
+                ));
+            }
+        }
+        if lib && !allowed(&config.mutex_allowed, &f.facts.path) {
+            for s in f.facts.mutex_names.iter().filter(|s| !s.in_test) {
+                out.push(Finding::new(
+                    "std-mutex-outside-sync",
+                    &f.facts.path,
+                    s.line,
+                    "`std::sync` lock primitive named outside the sync layer; use \
+                     the `ftl::sync` wrappers"
+                        .to_string(),
+                    &f.facts.lines,
+                ));
+            }
+        }
+        if lib && !allowed(&config.atomic_allowed, &f.facts.path) {
+            for s in f.facts.atomic_names.iter().filter(|s| !s.in_test) {
+                out.push(Finding::new(
+                    "raw-atomic-outside-sync",
+                    &f.facts.path,
+                    s.line,
+                    "raw `std::sync::atomic` outside the sync layer; use the \
+                     `ftl::sync` wrappers"
+                        .to_string(),
+                    &f.facts.lines,
+                ));
+            }
+        }
+        if lib {
+            for s in f.facts.asserts_without_message.iter().filter(|s| !s.in_test) {
+                out.push(Finding::new(
+                    "debug-assert-message",
+                    &f.facts.path,
+                    s.line,
+                    "`debug_assert!` without a message; state the violated invariant".to_string(),
+                    &f.facts.lines,
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+/// Find one cycle in a directed edge list; returns the node path
+/// `a -> b -> … -> a` if any.
+pub fn find_cycle(edges: &[(String, String)]) -> Option<Vec<String>> {
+    let nodes: BTreeSet<&str> = edges.iter().flat_map(|(a, b)| [a.as_str(), b.as_str()]).collect();
+    let succ = |n: &str| {
+        edges.iter().filter(move |(a, _)| a == n).map(|(_, b)| b.as_str()).collect::<Vec<_>>()
+    };
+    // DFS with colors: 0 unvisited, 1 on stack, 2 done.
+    let mut color: std::collections::BTreeMap<&str, u8> = nodes.iter().map(|n| (*n, 0u8)).collect();
+    fn dfs<'a>(
+        n: &'a str,
+        succ: &dyn Fn(&str) -> Vec<&'a str>,
+        color: &mut std::collections::BTreeMap<&'a str, u8>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        color.insert(n, 1);
+        stack.push(n);
+        for next in succ(n) {
+            match color.get(next).copied().unwrap_or(0) {
+                0 => {
+                    if let Some(c) = dfs(next, succ, color, stack) {
+                        return Some(c);
+                    }
+                }
+                1 => {
+                    let start = stack.iter().position(|s| *s == next).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        stack[start..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(next.to_string());
+                    return Some(cycle);
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color.insert(n, 2);
+        None
+    }
+    for n in &nodes {
+        if color.get(n).copied() == Some(0) {
+            if let Some(c) = dfs(n, &succ, &mut color, &mut Vec::new()) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: &str, b: &str) -> (String, String) {
+        (a.to_string(), b.to_string())
+    }
+
+    #[test]
+    fn cycle_detection_finds_the_loop() {
+        assert!(find_cycle(&[e("a", "b"), e("b", "c")]).is_none());
+        let cycle = find_cycle(&[e("a", "b"), e("b", "c"), e("c", "a")]).expect("cycle");
+        assert_eq!(cycle.len(), 4, "a -> b -> c -> a");
+        assert_eq!(cycle.first(), cycle.last());
+    }
+
+    #[test]
+    fn self_edge_is_a_cycle() {
+        assert!(find_cycle(&[e("a", "a")]).is_some());
+    }
+}

@@ -1,0 +1,241 @@
+//! A TOML subset parser for the analyzer's two config files
+//! (`wslint.toml`, `lock_order.toml`). Supports exactly what they use:
+//! `[section]` / `[section."quoted.key"]` headers, `key = "string"`,
+//! `key = true|false`, and `key = ["a", "b", …]` (single- or multi-line
+//! arrays of strings). No crates.io access in this build environment, so
+//! this stays hand-rolled and tiny.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Bool(bool),
+    List(Vec<String>),
+    /// Anything else (inline tables, numbers) — preserved verbatim so
+    /// foreign manifests like the root `Cargo.toml` parse; the analyzer's
+    /// own configs never produce this.
+    Other(String),
+}
+
+/// section name → (key → value), in file order within a section.
+pub type Doc = BTreeMap<String, Vec<(String, Value)>>;
+
+/// Parse `text`; returns `Err(line_no, message)` on the first malformed
+/// line so config typos fail the run loudly instead of silently
+/// weakening a rule.
+pub fn parse(text: &str) -> Result<Doc, (usize, String)> {
+    let mut doc: Doc = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err((idx + 1, format!("unterminated section header: {raw}")));
+            };
+            section = unquote_section(name);
+            doc.entry(section.clone()).or_default();
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err((idx + 1, format!("expected `key = value`: {raw}")));
+        };
+        let key = unquote(line[..eq].trim());
+        let mut val = line[eq + 1..].trim().to_string();
+        // Multi-line array: keep consuming lines until the bracket closes.
+        if val.starts_with('[') && !balanced(&val) {
+            for (_, cont) in lines.by_ref() {
+                val.push(' ');
+                val.push_str(strip_comment(cont).trim());
+                if balanced(&val) {
+                    break;
+                }
+            }
+        }
+        let value = parse_value(&val).map_err(|m| (idx + 1, m))?;
+        doc.entry(section.clone()).or_default().push((key, value));
+    }
+    Ok(doc)
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    let v = v.trim();
+    if v == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if v == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if v.starts_with('"') {
+        return Ok(Value::Str(parse_str(v)?.0));
+    }
+    if let Some(inner) = v.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| format!("unterminated array: {v}"))?;
+        let mut items = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            if rest.starts_with(',') {
+                rest = rest[1..].trim_start();
+                continue;
+            }
+            let (s, consumed) = parse_str(rest)?;
+            items.push(s);
+            rest = rest[consumed..].trim_start();
+        }
+        return Ok(Value::List(items));
+    }
+    Ok(Value::Other(v.to_string()))
+}
+
+/// Parse a leading double-quoted string; returns (contents, chars consumed).
+fn parse_str(v: &str) -> Result<(String, usize), String> {
+    let chars: Vec<char> = v.chars().collect();
+    if chars.first() != Some(&'"') {
+        return Err(format!("expected string: {v}"));
+    }
+    let mut out = String::new();
+    let mut i = 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' if i + 1 < chars.len() => {
+                out.push(match chars[i + 1] {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                });
+                i += 2;
+            }
+            '"' => return Ok((out, chars[..=i].iter().map(|c| c.len_utf8()).sum())),
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err(format!("unterminated string: {v}"))
+}
+
+/// A `#` starts a comment unless inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// True when every `[` has a matching `]` outside strings.
+fn balanced(v: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in v.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth <= 0
+}
+
+/// `crates."crates/kvssd"` → `crates.crates/kvssd` (inner quotes removed).
+fn unquote_section(name: &str) -> String {
+    let mut out = String::new();
+    let mut in_str = false;
+    for c in name.trim().chars() {
+        if c == '"' {
+            in_str = !in_str;
+        } else {
+            out.push(c);
+        }
+    }
+    let _ = in_str;
+    out
+}
+
+fn unquote(key: &str) -> String {
+    key.trim().trim_matches('"').to_string()
+}
+
+/// Convenience lookups over a parsed document.
+pub fn get_str<'a>(doc: &'a Doc, section: &str, key: &str) -> Option<&'a str> {
+    doc.get(section)?.iter().rev().find_map(|(k, v)| match v {
+        Value::Str(s) if k == key => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+pub fn get_bool(doc: &Doc, section: &str, key: &str) -> Option<bool> {
+    doc.get(section)?.iter().rev().find_map(|(k, v)| match v {
+        Value::Bool(b) if k == key => Some(*b),
+        _ => None,
+    })
+}
+
+pub fn get_list<'a>(doc: &'a Doc, section: &str, key: &str) -> Option<&'a [String]> {
+    doc.get(section)?.iter().rev().find_map(|(k, v)| match v {
+        Value::List(l) if k == key => Some(l.as_slice()),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_keys_and_arrays_parse() {
+        let doc = parse(
+            r#"
+# top comment
+[classes."server.shard_queue"]
+doc = "per-shard DRR lanes"   # trailing comment
+paths = ["crates/server/src/server.rs"]
+
+[order]
+edges = [
+  "a < b",
+  "b < c",
+]
+flag = true
+"#,
+        )
+        .unwrap();
+        assert_eq!(get_str(&doc, "classes.server.shard_queue", "doc"), Some("per-shard DRR lanes"));
+        assert_eq!(get_list(&doc, "order", "edges").unwrap().len(), 2);
+        assert_eq!(get_bool(&doc, "order", "flag"), Some(true));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_number() {
+        let err = parse("[ok]\nkey value-without-equals\n").unwrap_err();
+        assert_eq!(err.0, 2);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("[s]\nk = \"a # b\"\n").unwrap();
+        assert_eq!(get_str(&doc, "s", "k"), Some("a # b"));
+    }
+}

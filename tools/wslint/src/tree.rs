@@ -1,0 +1,138 @@
+//! Token trees: the lexer's flat stream folded into nested delimiter
+//! groups. This is the "syntax" in syntax-aware — rules walk scopes, not
+//! lines, so guard lifetimes, test regions and struct literals have real
+//! extents instead of brace-counting heuristics.
+
+use crate::lexer::{lex, Tok, Token};
+
+/// One node of a token tree.
+#[derive(Debug, Clone)]
+pub enum Tt {
+    /// A leaf token (never `Open`/`Close`).
+    Leaf(Token),
+    /// A delimited group: `(…)`, `[…]` or `{…}`.
+    Group(Group),
+}
+
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// `'('`, `'['` or `'{'`.
+    pub delim: char,
+    pub open_line: usize,
+    pub close_line: usize,
+    pub inner: Vec<Tt>,
+}
+
+impl Tt {
+    pub fn line(&self) -> usize {
+        match self {
+            Tt::Leaf(t) => t.line,
+            Tt::Group(g) => g.open_line,
+        }
+    }
+
+    /// The identifier text if this is an ident leaf.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tt::Leaf(Token { tok: Tok::Ident(s), .. }) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tt::Leaf(Token { tok: Tok::Punct(p), .. }) if *p == c)
+    }
+
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tt::Group(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    pub fn comment(&self) -> Option<&str> {
+        match self {
+            Tt::Leaf(Token { tok: Tok::Comment(s), .. }) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse source text into a token tree. Imbalanced delimiters degrade
+/// gracefully: a stray closer is dropped, an unclosed group runs to EOF.
+pub fn parse(source: &str) -> Vec<Tt> {
+    build(lex(source))
+}
+
+/// Fold an already-lexed stream into a tree (callers that also need the
+/// flat stream lex once and share it).
+pub fn build(toks: Vec<Token>) -> Vec<Tt> {
+    let mut stack: Vec<Group> = Vec::new();
+    let mut top: Vec<Tt> = Vec::new();
+    for t in toks {
+        match t.tok {
+            Tok::Open(c) => {
+                stack.push(Group {
+                    delim: c,
+                    open_line: t.line,
+                    close_line: t.line,
+                    inner: Vec::new(),
+                });
+            }
+            Tok::Close(c) => {
+                // Pop the innermost group whose delimiter matches; a
+                // mismatched closer closes the innermost group anyway
+                // (tolerant — real code balances).
+                let _ = c;
+                if let Some(mut g) = stack.pop() {
+                    g.close_line = t.line;
+                    let node = Tt::Group(g);
+                    match stack.last_mut() {
+                        Some(parent) => parent.inner.push(node),
+                        None => top.push(node),
+                    }
+                }
+            }
+            _ => {
+                let node = Tt::Leaf(t);
+                match stack.last_mut() {
+                    Some(parent) => parent.inner.push(node),
+                    None => top.push(node),
+                }
+            }
+        }
+    }
+    // Unclosed groups: attach them where they started.
+    while let Some(g) = stack.pop() {
+        let node = Tt::Group(g);
+        match stack.last_mut() {
+            Some(parent) => parent.inner.push(node),
+            None => top.push(node),
+        }
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_matches_delimiters() {
+        let tts = parse("fn f() { a(b[c]); }");
+        // fn, f, (), {}
+        assert_eq!(tts.len(), 4);
+        let body = tts[3].group().expect("fn body group");
+        assert_eq!(body.delim, '{');
+        let call = body.inner[1].group().expect("call arg group");
+        assert_eq!(call.delim, '(');
+        assert_eq!(call.inner[1].group().expect("index group").delim, '[');
+    }
+
+    #[test]
+    fn group_lines_span_the_extent() {
+        let tts = parse("{\na\nb\n}");
+        let g = tts[0].group().unwrap();
+        assert_eq!((g.open_line, g.close_line), (1, 4));
+    }
+}

@@ -1,0 +1,58 @@
+//! Seeded violations for the wslint integration tests. Every finding
+//! the `bad` fixture is expected to produce lives in this crate; the
+//! test asserts the exact (rule, line) set.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub struct App {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    q: VecDeque<u32>,
+    names: Vec<String>,
+    capped: Vec<u32>,
+    noted: Vec<u32>,
+}
+
+impl App {
+    pub fn new() -> App {
+        App {
+            a: Mutex::new(0),
+            b: Mutex::new(0),
+            q: VecDeque::new(),      // seeded: unbounded-collection (queue-like)
+            names: Vec::new(),       // seeded: unbounded-collection (long-lived state)
+            capped: Vec::with_capacity(8),
+            noted: Vec::new(), // bounded-by: fixture invariant, never grows
+        }
+    }
+
+    /// Matches the declared order `fixture.a < fixture.b`: no finding.
+    pub fn ordered(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        let total = *ga + *gb;
+        drop(gb);
+        drop(ga);
+        total
+    }
+
+    /// Seeded: acquires `fixture.a` while holding `fixture.b`, the
+    /// reverse of the declared edge — lock-order-contradiction.
+    pub fn inverted(&self) -> u32 {
+        let held_b = self.b.lock().unwrap();
+        let a_after_b = self.a.lock().unwrap();
+        *a_after_b + *held_b
+    }
+
+    /// Seeded: unsafe block with no SAFETY comment.
+    pub fn uncommented(&self, p: *const u32) -> u32 {
+        unsafe { *p }
+    }
+
+    /// A SAFETY comment satisfies the contract: no finding.
+    pub fn commented(&self, p: *const u32) -> u32 {
+        // SAFETY: fixture callers always pass a reference cast to a
+        // pointer, so it is valid and aligned.
+        unsafe { *p }
+    }
+}

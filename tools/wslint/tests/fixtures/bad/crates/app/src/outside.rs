@@ -1,0 +1,7 @@
+//! This file is *not* on the `unsafe-code` allow list: even a
+//! SAFETY-commented unsafe block is an unsafe-outside-sync finding.
+
+pub fn read(p: *const u32) -> u32 {
+    // SAFETY: fixture callers always pass a valid pointer.
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+//! Empty crate: the `cycle` fixture's findings are config-level (a
+//! declared lock-order cycle, an unclassified workspace member).
+
+pub fn noop() {}

@@ -1,0 +1,3 @@
+//! Not listed in wslint.toml: must surface as crate-unclassified.
+
+pub fn noop() {}

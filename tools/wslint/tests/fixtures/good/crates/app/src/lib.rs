@@ -1,0 +1,47 @@
+//! The clean mirror of the `bad` fixture: same shapes, every contract
+//! honored. The test asserts wslint exits 0 with zero findings.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+
+pub struct App {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    q: VecDeque<u32>,
+    names: Vec<String>,
+}
+
+impl App {
+    pub fn new() -> App {
+        App {
+            a: Mutex::new(0),
+            b: Mutex::new(0),
+            // bounded-by: drained whole by every `take` call.
+            q: VecDeque::new(),
+            names: Vec::with_capacity(4),
+        }
+    }
+
+    /// Guard-returning helper: callers of `lock_a` acquire `fixture.a`
+    /// at the call site (exercises the interprocedural tail summary).
+    fn lock_a(&self) -> MutexGuard<'_, u32> {
+        self.a.lock().unwrap()
+    }
+
+    /// Acquires a (via the helper) then b — the declared order.
+    pub fn ordered(&self) -> u32 {
+        let ga = self.lock_a();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn read(&self, p: *const u32) -> u32 {
+        // SAFETY: fixture callers always pass a reference cast to a
+        // pointer, so it is valid and aligned.
+        unsafe { *p }
+    }
+
+    pub fn take(&mut self) -> Vec<u32> {
+        self.q.drain(..).collect()
+    }
+}

@@ -1,0 +1,292 @@
+//! Integration tests: run the wslint binary against the fixture
+//! workspaces under `tests/fixtures/` and assert exact findings and
+//! exit codes. Fixtures are never compiled by cargo — wslint lexes
+//! them as text.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use wslint::report::{parse_json, Json};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear tmp dir");
+    }
+    fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).expect("mkdir");
+    for entry in fs::read_dir(from).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        if src.is_dir() {
+            copy_tree(&src, &dst);
+        } else {
+            fs::copy(&src, &dst).expect("copy file");
+        }
+    }
+}
+
+/// Run wslint on a fixture root (config files live at the fixture's
+/// top level, not under `tools/wslint/`).
+fn run(root: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wslint"))
+        .arg("--root")
+        .arg(root)
+        .arg("--config")
+        .arg(root.join("wslint.toml"))
+        .arg("--lock-order")
+        .arg(root.join("lock_order.toml"))
+        .args(extra)
+        .output()
+        .expect("spawn wslint")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+/// 1-indexed line of the first occurrence of `marker` in a fixture file.
+fn line_of(root: &Path, rel: &str, marker: &str) -> u64 {
+    let text = fs::read_to_string(root.join(rel)).expect("read fixture source");
+    let idx = text.lines().position(|l| l.contains(marker)).expect("marker present");
+    (idx + 1) as u64
+}
+
+/// Parse a `--json` report into (rule, path, line, fingerprint) rows.
+fn findings(report: &Json) -> Vec<(String, String, u64, String)> {
+    report
+        .get("findings")
+        .and_then(Json::arr)
+        .expect("findings array")
+        .iter()
+        .map(|f| {
+            (
+                f.get("rule").and_then(Json::str_val).expect("rule").to_string(),
+                f.get("path").and_then(Json::str_val).expect("path").to_string(),
+                f.get("line").and_then(Json::num).expect("line") as u64,
+                f.get("fingerprint").and_then(Json::str_val).expect("fingerprint").to_string(),
+            )
+        })
+        .collect()
+}
+
+fn json_report(root: &Path, out_name: &str, extra: &[&str]) -> (Output, Json) {
+    let json_path = Path::new(env!("CARGO_TARGET_TMPDIR")).join(out_name);
+    let json_arg = json_path.to_str().expect("utf8 tmp path").to_string();
+    let mut args = vec!["--json", json_arg.as_str()];
+    args.extend_from_slice(extra);
+    let out = run(root, &args);
+    let text = fs::read_to_string(&json_path).expect("json report written");
+    let report = parse_json(&text).expect("json report parses");
+    (out, report)
+}
+
+#[test]
+fn bad_fixture_reports_exact_findings_and_exits_1() {
+    let root = fixture("bad");
+    let (out, report) = json_report(&root, "bad.json", &[]);
+    assert_eq!(exit_code(&out), 1, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+
+    let lib = "crates/app/src/lib.rs";
+    let mut got: Vec<(String, String, u64)> =
+        findings(&report).into_iter().map(|(r, p, l, _)| (r, p, l)).collect();
+    got.sort();
+    let mut want = vec![
+        (
+            "lock-order-contradiction".to_string(),
+            lib.to_string(),
+            line_of(&root, lib, "a_after_b = self.a.lock()"),
+        ),
+        (
+            "unsafe-without-safety-comment".to_string(),
+            lib.to_string(),
+            line_of(&root, lib, "unsafe { *p }"),
+        ),
+        (
+            "unsafe-outside-sync".to_string(),
+            "crates/app/src/outside.rs".to_string(),
+            line_of(&root, "crates/app/src/outside.rs", "unsafe { *p }"),
+        ),
+        (
+            "unbounded-collection".to_string(),
+            lib.to_string(),
+            line_of(&root, lib, "q: VecDeque::new()"),
+        ),
+        (
+            "unbounded-collection".to_string(),
+            lib.to_string(),
+            line_of(&root, lib, "names: Vec::new(),"),
+        ),
+    ];
+    want.sort();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn good_fixture_is_clean_and_exits_0() {
+    let root = fixture("good");
+    let (out, report) = json_report(&root, "good.json", &[]);
+    assert_eq!(exit_code(&out), 0, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(findings(&report).is_empty());
+    // The helper-based nesting was actually observed and declared:
+    // two classes, one edge, no ambiguity note.
+    assert_eq!(report.get("lock_classes").and_then(Json::num), Some(2.0));
+    assert_eq!(report.get("lock_edges").and_then(Json::num), Some(1.0));
+}
+
+#[test]
+fn declared_cycle_and_unclassified_member_are_findings() {
+    let root = fixture("cycle");
+    let (out, report) = json_report(&root, "cycle.json", &[]);
+    assert_eq!(exit_code(&out), 1);
+    let rows = findings(&report);
+    assert!(
+        rows.iter().any(|(r, p, _, _)| r == "lock-order-cycle" && p == "lock_order.toml"),
+        "missing cycle finding in {rows:?}"
+    );
+    assert!(
+        rows.iter()
+            .any(|(r, p, _, _)| r == "crate-unclassified" && p == "crates/orphan/Cargo.toml"),
+        "missing unclassified finding in {rows:?}"
+    );
+}
+
+#[test]
+fn fingerprints_survive_line_shifts() {
+    let root = tmp_dir("wslint-shift");
+    copy_tree(&fixture("bad"), &root);
+    let (out, before) = json_report(&root, "shift-before.json", &[]);
+    assert_eq!(exit_code(&out), 1);
+
+    // Prepend comment lines: every finding moves down three lines but
+    // the content-hash fingerprints must not change.
+    let lib = root.join("crates/app/src/lib.rs");
+    let text = fs::read_to_string(&lib).expect("read lib");
+    fs::write(&lib, format!("// shifted\n// shifted\n// shifted\n{text}")).expect("write lib");
+    let (out, after) = json_report(&root, "shift-after.json", &[]);
+    assert_eq!(exit_code(&out), 1);
+
+    let fp = |report: &Json| {
+        let mut v: Vec<String> = findings(report).into_iter().map(|(_, _, _, fp)| fp).collect();
+        v.sort();
+        v
+    };
+    let lines = |report: &Json| {
+        findings(report).iter().filter(|(_, p, _, _)| p.ends_with("lib.rs")).count()
+    };
+    assert_eq!(fp(&before), fp(&after));
+    assert_eq!(lines(&before), lines(&after));
+}
+
+#[test]
+fn legacy_allowlist_demands_migration_then_migrates() {
+    let root = tmp_dir("wslint-migrate");
+    copy_tree(&fixture("bad"), &root);
+    let allowlist = root.join("allowlist.txt");
+    fs::write(
+        &allowlist,
+        "# legacy format\nunsafe-without-safety-comment\tcrates/app/src/lib.rs\tunsafe { *p }\n",
+    )
+    .expect("write legacy allowlist");
+    let allow_arg = allowlist.to_str().expect("utf8").to_string();
+
+    // Without the flag: refuse with exit 2 and point at the migration.
+    let out = run(&root, &["--allowlist", &allow_arg]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--migrate-allowlist"));
+
+    // One-shot migration rewrites the file to fingerprint entries.
+    let out = run(&root, &["--allowlist", &allow_arg, "--migrate-allowlist"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let migrated = fs::read_to_string(&allowlist).expect("migrated allowlist");
+    assert!(migrated.contains("unsafe-without-safety-comment\tcrates/app/src/lib.rs\t"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("migrated 1 legacy entries"), "stdout: {stdout}");
+    assert!(stdout.contains("(0 dropped as stale)"), "stdout: {stdout}");
+
+    // The migrated entry suppresses exactly the unsafe finding; the
+    // other four violations remain.
+    let (out, report) = json_report(&root, "migrated.json", &["--allowlist", &allow_arg]);
+    assert_eq!(exit_code(&out), 1);
+    let rows = findings(&report);
+    assert_eq!(rows.len(), 4);
+    assert!(rows.iter().all(|(r, _, _, _)| r != "unsafe-without-safety-comment"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 allowlisted"));
+}
+
+#[test]
+fn stale_allowlist_entries_fail_the_run() {
+    let root = tmp_dir("wslint-stale");
+    copy_tree(&fixture("good"), &root);
+    let allowlist = root.join("allowlist.txt");
+    fs::write(
+        &allowlist,
+        "unwrap-in-lib\tcrates/app/src/lib.rs\tdeadbeefdeadbeef\tno such finding\n",
+    )
+    .expect("write allowlist");
+    let allow_arg = allowlist.to_str().expect("utf8").to_string();
+    let out = run(&root, &["--allowlist", &allow_arg]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("stale allowlist entry"));
+}
+
+#[test]
+fn sarif_report_round_trips() {
+    let root = fixture("bad");
+    let sarif_path = Path::new(env!("CARGO_TARGET_TMPDIR")).join("bad.sarif");
+    let sarif_arg = sarif_path.to_str().expect("utf8").to_string();
+    let out = run(&root, &["--sarif", &sarif_arg]);
+    assert_eq!(exit_code(&out), 1);
+
+    let sarif =
+        parse_json(&fs::read_to_string(&sarif_path).expect("sarif written")).expect("sarif parses");
+    assert_eq!(sarif.get("version").and_then(Json::str_val), Some("2.1.0"));
+    let run0 = &sarif.get("runs").and_then(Json::arr).expect("runs")[0];
+    let results = run0.get("results").and_then(Json::arr).expect("results");
+    assert_eq!(results.len(), 5);
+
+    let rules = run0
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .and_then(|d| d.get("rules"))
+        .and_then(Json::arr)
+        .expect("driver rules");
+    let rule_ids: Vec<&str> =
+        rules.iter().filter_map(|r| r.get("id").and_then(Json::str_val)).collect();
+    for res in results {
+        let rule = res.get("ruleId").and_then(Json::str_val).expect("ruleId");
+        assert!(rule_ids.contains(&rule), "{rule} not in driver rules");
+        let fp = res
+            .get("partialFingerprints")
+            .and_then(|p| p.get("wslint/v1"))
+            .and_then(Json::str_val)
+            .expect("partial fingerprint");
+        assert_eq!(fp.len(), 16);
+        let loc = &res.get("locations").and_then(Json::arr).expect("locations")[0];
+        let region = loc
+            .get("physicalLocation")
+            .and_then(|p| p.get("region"))
+            .and_then(|r| r.get("startLine"))
+            .and_then(Json::num)
+            .expect("startLine");
+        assert!(region >= 1.0);
+    }
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = run(&fixture("bad"), &["--no-such-flag"]);
+    assert_eq!(exit_code(&out), 2);
+    let out = run(&fixture("nonexistent"), &[]);
+    assert_eq!(exit_code(&out), 2);
+}
